@@ -1,0 +1,152 @@
+//! `cargo bench` entry points for the paper's evaluation: one Criterion
+//! benchmark per table/figure. Each benchmark exercises the figure's
+//! measurement path on a representative slice (one workload pair at
+//! small NA) so the whole suite completes in minutes; the full-scale
+//! regeneration lives in the `figNN_*` binaries (see DESIGN.md's
+//! per-experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hq_bench::experiments::{fig03, fig05, table03};
+use hq_bench::Scale;
+use hq_gpu::types::Dir;
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use hyperq_core::metrics::improvement;
+use hyperq_core::ordering::ScheduleOrder;
+
+const NA: u32 = 4;
+
+fn kinds() -> Vec<AppKind> {
+    pair_workload(AppKind::Knearest, AppKind::Needle, NA as usize)
+}
+
+fn bench_table03(c: &mut Criterion) {
+    c.bench_function("figure/table03_geometry", |b| {
+        b.iter(|| table03::run(Scale::Quick).markdown.len())
+    });
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    // Figure 1's measurement: a traced default-memory run and the Le
+    // inflation it exhibits.
+    c.bench_function("figure/fig01_false_serialization", |b| {
+        b.iter(|| {
+            let out = run_workload(&RunConfig::concurrent(NA).with_trace(true), &kinds()).unwrap();
+            out.mean_le(Dir::HtoD).unwrap().as_ns()
+        })
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    // Figure 2's measurement: the same run with the transfer mutex.
+    c.bench_function("figure/fig02_memsync_timeline", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::concurrent(NA)
+                .with_trace(true)
+                .with_memsync(MemsyncMode::Synced);
+            run_workload(&cfg, &kinds()).unwrap().makespan().as_ns()
+        })
+    });
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    c.bench_function("figure/fig03_orders", |b| {
+        b.iter(|| fig03::run(Scale::Quick).markdown.len())
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    // Figure 4's cell: serialized vs full-concurrent improvement.
+    c.bench_function("figure/fig04_lazy_policy_cell", |b| {
+        b.iter(|| {
+            let s = run_workload(&RunConfig::serial(), &kinds()).unwrap();
+            let f = run_workload(&RunConfig::concurrent(NA), &kinds()).unwrap();
+            improvement(s.makespan(), f.makespan())
+        })
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("figure/fig05_oversubscription", |b| {
+        b.iter(|| fig05::run(Scale::Quick).markdown.len())
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    // Figure 6's point: default vs synced effective latency.
+    c.bench_function("figure/fig06_effective_latency_point", |b| {
+        b.iter(|| {
+            let base = run_workload(&RunConfig::concurrent(NA), &kinds()).unwrap();
+            let sync = run_workload(
+                &RunConfig::concurrent(NA).with_memsync(MemsyncMode::Synced),
+                &kinds(),
+            )
+            .unwrap();
+            (
+                base.mean_le(Dir::HtoD).unwrap().as_ns(),
+                sync.mean_le(Dir::HtoD).unwrap().as_ns(),
+            )
+        })
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    // Figure 7's cell: two contrasting orders, default memory.
+    c.bench_function("figure/fig07_ordering_cell", |b| {
+        b.iter(|| {
+            let fifo = run_workload(&RunConfig::concurrent(NA), &kinds()).unwrap();
+            let rr = run_workload(
+                &RunConfig::concurrent(NA).with_order(ScheduleOrder::RoundRobin),
+                &kinds(),
+            )
+            .unwrap();
+            (fifo.makespan().as_ns(), rr.makespan().as_ns())
+        })
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    // Figure 8's cell: ordering with memsync enabled.
+    c.bench_function("figure/fig08_ordering_memsync_cell", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::concurrent(NA)
+                .with_order(ScheduleOrder::ReverseRoundRobin)
+                .with_memsync(MemsyncMode::Synced);
+            run_workload(&cfg, &kinds()).unwrap().makespan().as_ns()
+        })
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    // Figure 9's point: serialized vs concurrent energy.
+    c.bench_function("figure/fig09_power_concurrency_point", |b| {
+        b.iter(|| {
+            let s = run_workload(&RunConfig::serial(), &kinds()).unwrap();
+            let f = run_workload(&RunConfig::concurrent(NA), &kinds()).unwrap();
+            (s.energy_j(), f.energy_j())
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    // Figure 10's point: power with and without memsync.
+    c.bench_function("figure/fig10_power_memsync_point", |b| {
+        b.iter(|| {
+            let base = run_workload(&RunConfig::concurrent(NA), &kinds()).unwrap();
+            let sync = run_workload(
+                &RunConfig::concurrent(NA).with_memsync(MemsyncMode::Synced),
+                &kinds(),
+            )
+            .unwrap();
+            (base.avg_power_w(), sync.avg_power_w())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table03, bench_fig01, bench_fig02, bench_fig03, bench_fig04,
+              bench_fig05, bench_fig06, bench_fig07, bench_fig08, bench_fig09, bench_fig10
+);
+criterion_main!(benches);

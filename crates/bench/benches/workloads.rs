@@ -1,0 +1,78 @@
+//! CPU-side benchmarks of the real Rodinia algorithm ports (the
+//! functional halves of the four applications).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hq_workloads::gaussian::{Gaussian, GaussianConfig};
+use hq_workloads::knearest::{Knearest, KnearestConfig};
+use hq_workloads::needle::{Needle, NeedleConfig};
+use hq_workloads::srad::{Srad, SradConfig};
+
+fn bench_gaussian(c: &mut Criterion) {
+    c.bench_function("workload/gaussian_solve_128", |b| {
+        b.iter_batched(
+            || Gaussian::generate(GaussianConfig { n: 128, seed: 1 }),
+            |mut g| g.solve(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_needle(c: &mut Criterion) {
+    c.bench_function("workload/needle_align_256", |b| {
+        b.iter_batched(
+            || {
+                Needle::generate(NeedleConfig {
+                    n: 256,
+                    penalty: 10,
+                    seed: 1,
+                })
+            },
+            |mut n| {
+                n.run_kernelized();
+                n.score()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_srad(c: &mut Criterion) {
+    c.bench_function("workload/srad_128_x4_iters", |b| {
+        b.iter_batched(
+            || {
+                Srad::generate(SradConfig {
+                    rows: 128,
+                    cols: 128,
+                    iters: 4,
+                    lambda: 0.5,
+                    seed: 1,
+                })
+            },
+            |mut s| {
+                s.run(4);
+                s.variance()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_knearest(c: &mut Criterion) {
+    c.bench_function("workload/knearest_42764", |b| {
+        b.iter_batched(
+            || Knearest::generate(KnearestConfig::default()),
+            |mut k| {
+                k.euclid();
+                k.nearest()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gaussian, bench_needle, bench_srad, bench_knearest
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs every ablation study (Hyper-Q vs Fermi, chunking vs batching,
+//! admission policy, driver-overhead sensitivity). Pass `--quick` for
+//! a reduced-scale smoke run.
+
+use hq_bench::experiments::ablations;
+use hq_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    for report in [
+        ablations::fermi(scale),
+        ablations::chunking(scale),
+        ablations::admission(scale),
+        ablations::driver_overhead(scale),
+    ] {
+        report.save_and_print();
+        println!();
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs the extension studies (homogeneous scaling, many-shuffle
+//! distribution, K40 device scaling, §VI dynamic scheduler). Pass
+//! `--quick` for a reduced-scale smoke run.
+
+use hq_bench::experiments::extensions;
+use hq_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    for report in [
+        extensions::homogeneous_scaling(scale),
+        extensions::shuffle_study(scale),
+        extensions::device_scaling(scale),
+        extensions::heterogeneity_study(scale),
+        extensions::autosched_study(scale),
+    ] {
+        report.save_and_print();
+        println!();
+    }
+}

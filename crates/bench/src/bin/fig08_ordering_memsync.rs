@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig08 experiment. Pass `--quick` for a
+//! reduced-scale smoke run.
+
+fn main() {
+    let report = hq_bench::experiments::fig08::run(hq_bench::Scale::from_env());
+    report.save_and_print();
+}

@@ -1,0 +1,246 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * **Hyper-Q vs. Fermi** — how much of the gain comes from the 32
+//!   hardware work queues alone (paper contribution 1).
+//! * **Transfer chunking ([8]) vs. batching (ours) vs. default** — the
+//!   two opposed strategies discussed in §III-B.
+//! * **Admission policy** — LEFTOVER lazy packing vs. conservative-fit
+//!   ([2]-style) on oversubscribing mixes.
+//! * **Driver-overhead sensitivity** — host enqueue pacing drives the
+//!   interleaving behaviour; sweep it.
+
+use crate::util::{par_map, ExperimentReport, Scale};
+use hq_gpu::prelude::*;
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use hyperq_core::metrics::improvement;
+use hyperq_core::report::{pct, Table};
+
+/// Hyper-Q (32 queues) vs Fermi-like (1 queue) on every pair.
+pub fn fermi(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(16, 4);
+    let rows = par_map(AppKind::pairs(), |&(x, y)| {
+        let kinds = pair_workload(x, y, na as usize);
+        let hq = run_workload(&RunConfig::concurrent(na), &kinds).expect("hyperq");
+        let mut cfg = RunConfig::concurrent(na);
+        cfg.device = DeviceConfig::fermi_like();
+        let fermi = run_workload(&cfg, &kinds).expect("fermi");
+        (
+            format!("{x}+{y}"),
+            fermi.makespan(),
+            hq.makespan(),
+            improvement(fermi.makespan(), hq.makespan()),
+        )
+    });
+    let mut table = Table::new(vec![
+        "pair",
+        "Fermi (1 queue)",
+        "Hyper-Q (32)",
+        "Hyper-Q gain",
+    ]);
+    let mut imps = Vec::new();
+    for (p, f, h, imp) in &rows {
+        imps.push(*imp);
+        table.row(vec![p.clone(), f.to_string(), h.to_string(), pct(*imp)]);
+    }
+    let avg = imps.iter().sum::<f64>() / imps.len().max(1) as f64;
+    ExperimentReport {
+        id: "ablation_fermi".into(),
+        title: "Ablation — Hyper-Q hardware queues vs. Fermi false serialization".into(),
+        markdown: format!(
+            "NA = NS = {na}, identical compute fabric, only the hardware \
+             work-queue count differs.\n\n{}\n**Average Hyper-Q gain: {}**\n",
+            table.to_markdown(),
+            pct(avg)
+        ),
+        csv: Some(table.to_csv()),
+    }
+}
+
+/// Default vs chunked transfers vs our batched (memsync) transfers.
+pub fn chunking(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(16, 4);
+    let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
+    let configs: Vec<(&str, RunConfig)> = vec![
+        ("default", RunConfig::concurrent(na)),
+        ("chunked 256KB ([8])", {
+            let mut c = RunConfig::concurrent(na);
+            c.device.dma.chunk_bytes = Some(256 << 10);
+            c
+        }),
+        ("batched / memsync (ours)", {
+            RunConfig::concurrent(na).with_memsync(MemsyncMode::Synced)
+        }),
+        ("chunked + memsync", {
+            let mut c = RunConfig::concurrent(na).with_memsync(MemsyncMode::Synced);
+            c.device.dma.chunk_bytes = Some(256 << 10);
+            c
+        }),
+    ];
+    let rows = par_map(configs, |(name, cfg)| {
+        let out = run_workload(cfg, &kinds).expect("run");
+        (
+            name.to_string(),
+            out.makespan(),
+            out.mean_le(Dir::HtoD).unwrap_or(hq_des::time::Dur::ZERO),
+        )
+    });
+    let base = rows[0].1;
+    let mut table = Table::new(vec!["strategy", "makespan", "mean Le (HtoD)", "vs default"]);
+    for (name, mk, le) in &rows {
+        table.row(vec![
+            name.clone(),
+            mk.to_string(),
+            le.to_string(),
+            pct(improvement(base, *mk)),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation_chunking".into(),
+        title: "Ablation — transfer chunking vs. batching".into(),
+        markdown: format!(
+            "{{gaussian, needle}}, NA = NS = {na}. The paper argues for \
+             *batching* small transfers (the mutex pseudo-burst) where Pai \
+             et al. [8] chunk large ones; with many small transfers, \
+             chunking only adds per-chunk latency.\n\n{}",
+            table.to_markdown()
+        ),
+        csv: Some(table.to_csv()),
+    }
+}
+
+/// LEFTOVER lazy policy vs conservative-fit admission.
+pub fn admission(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(8, 4);
+    let rows = par_map(AppKind::pairs(), |&(x, y)| {
+        let kinds = pair_workload(x, y, na as usize);
+        let lazy = run_workload(&RunConfig::concurrent(na), &kinds).expect("lazy");
+        let mut cfg = RunConfig::concurrent(na);
+        cfg.device.admission = AdmissionPolicy::ConservativeFit;
+        let fit = run_workload(&cfg, &kinds).expect("fit");
+        (
+            format!("{x}+{y}"),
+            fit.makespan(),
+            lazy.makespan(),
+            improvement(fit.makespan(), lazy.makespan()),
+        )
+    });
+    let mut table = Table::new(vec![
+        "pair",
+        "conservative fit ([2]-style)",
+        "LEFTOVER lazy (ours)",
+        "lazy gain",
+    ]);
+    for (p, f, l, imp) in &rows {
+        table.row(vec![p.clone(), f.to_string(), l.to_string(), pct(*imp)]);
+    }
+    ExperimentReport {
+        id: "ablation_admission".into(),
+        title: "Ablation — lazy LEFTOVER packing vs. conservative-fit admission".into(),
+        markdown: format!(
+            "NA = NS = {na}. Conservative fit refuses to co-schedule grids \
+             whose summed resource requests oversubscribe the device — for \
+             Fan2/srad-sized grids that means serialization; the lazy policy \
+             lets Hyper-Q pack the leftovers. One nuance the simulation \
+             surfaces: lazy packing can *dilate small critical-path kernels* \
+             — a single-block `Fan1` waits a full wave for free thread slots, \
+             and a 1-warp `needle` block co-resident with 64 saturating warps \
+             runs at 1/8 of its solo rate (Kepler has no preemption or \
+             priorities) — so conservative fit can win pairs dominated by \
+             such chains. The paper's actual claim, lazy ≥ *serialized* \
+             execution, holds throughout (Fig. 4).\n\n{}",
+            table.to_markdown()
+        ),
+        csv: Some(table.to_csv()),
+    }
+}
+
+/// Sensitivity of the concurrency gain to driver-call overhead.
+pub fn driver_overhead(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(16, 4);
+    let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
+    let overheads_us: Vec<u64> = vec![1, 5, 20];
+    let rows = par_map(overheads_us, |&us| {
+        let mut serial_cfg = RunConfig::serial();
+        serial_cfg.host.driver_call_overhead = hq_des::time::Dur::from_us(us);
+        let mut conc_cfg = RunConfig::concurrent(na);
+        conc_cfg.host.driver_call_overhead = hq_des::time::Dur::from_us(us);
+        let s = run_workload(&serial_cfg, &kinds).expect("serial");
+        let c = run_workload(&conc_cfg, &kinds).expect("conc");
+        (
+            us,
+            s.makespan(),
+            c.makespan(),
+            improvement(s.makespan(), c.makespan()),
+        )
+    });
+    let mut table = Table::new(vec![
+        "driver overhead (µs)",
+        "serial",
+        "full-concurrent",
+        "improvement",
+    ]);
+    for (us, s, c, imp) in &rows {
+        table.row(vec![
+            us.to_string(),
+            s.to_string(),
+            c.to_string(),
+            pct(*imp),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation_driver_overhead".into(),
+        title: "Ablation — driver-call overhead sensitivity".into(),
+        markdown: format!(
+            "{{gaussian, needle}}, NA = {na}. Host enqueue pacing is what \
+             interleaves concurrent transfer stages; this sweep checks how \
+             sensitive the end-to-end gain is to the per-call cost. With the \
+             calibrated kernel costs the workload is device-bound, so the \
+             gain is flat in driver overhead — launch cost only matters for \
+             much cheaper kernels.\n\n{}",
+            table.to_markdown()
+        ),
+        csv: Some(table.to_csv()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_ablation_shows_gain() {
+        let r = fermi(Scale::Quick);
+        assert!(r.markdown.contains("Average Hyper-Q gain"));
+    }
+
+    #[test]
+    fn admission_lazy_wins_underutilizing_mixes() {
+        let r = admission(Scale::Quick);
+        let gains: Vec<(String, f64)> = r
+            .csv
+            .as_ref()
+            .unwrap()
+            .lines()
+            .skip(1)
+            .map(|line| {
+                let pair = line.split(',').next().unwrap().to_string();
+                let gain: f64 = line
+                    .rsplit(',')
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse()
+                    .unwrap();
+                (pair, gain)
+            })
+            .collect();
+        // Lazy may lose a bounded amount to conservative fit on pairs
+        // whose critical chains dilate under co-residency (see the
+        // report text), but never catastrophically; the lazy-vs-serial
+        // claim itself is covered by the fig04 tests.
+        for (pair, g) in &gains {
+            assert!(*g > -25.0, "{pair}: lazy loses too much ({g}%)");
+        }
+    }
+}

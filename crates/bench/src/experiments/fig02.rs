@@ -1,0 +1,80 @@
+//! **Figure 2** — concurrency improvement with the memory
+//! synchronization approach: each stream's transfers now occur
+//! consecutively (pseudo-burst), kernels start sooner.
+//!
+//! Same workload as Figure 1, with the HtoD-stage mutex enabled
+//! (`Memsync::Synced`, the paper's mechanism). The report contrasts the
+//! per-application `Le` inflation against the Figure 1 baseline.
+
+use crate::experiments::window_trace;
+use crate::util::{ExperimentReport, Scale};
+use hq_des::time::{Dur, SimTime};
+use hq_gpu::types::Dir;
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use hyperq_core::report::Table;
+
+/// Run both configurations and report the timeline + `Le` comparison.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(8, 4);
+    let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
+    let base = run_workload(&RunConfig::concurrent(na).with_trace(true), &kinds).expect("base");
+    let sync = run_workload(
+        &RunConfig::concurrent(na)
+            .with_trace(true)
+            .with_memsync(MemsyncMode::Synced),
+        &kinds,
+    )
+    .expect("sync");
+
+    let t1 = sync
+        .result
+        .apps
+        .iter()
+        .filter_map(|a| a.htod.last_end)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let gantt =
+        window_trace(&sync.result.trace, SimTime::ZERO, t1 + Dur::from_us(200)).render_gantt(100);
+
+    let mut table = Table::new(vec!["configuration", "mean Le (HtoD)", "makespan"]);
+    table.row(vec![
+        "default (Fig. 1)".to_string(),
+        base.mean_le(Dir::HtoD).unwrap_or(Dur::ZERO).to_string(),
+        base.makespan().to_string(),
+    ]);
+    table.row(vec![
+        "memory sync (Fig. 2)".to_string(),
+        sync.mean_le(Dir::HtoD).unwrap_or(Dur::ZERO).to_string(),
+        sync.makespan().to_string(),
+    ]);
+
+    let le_base = base.mean_le(Dir::HtoD).unwrap_or(Dur::ZERO).as_ns() as f64;
+    let le_sync = sync.mean_le(Dir::HtoD).unwrap_or(Dur::ZERO).as_ns().max(1) as f64;
+    let markdown = format!(
+        "Workload: {{gaussian, needle}}, NA = NS = {na}, `Memsync::Synced`.\n\n\
+         Timeline over the transfer phase — per-stream transfers are now \
+         consecutive bursts:\n\n```text\n{gantt}```\n\n{}\n\
+         Mean effective transfer latency reduced **{:.1}x** relative to the \
+         default behaviour.\n",
+        table.to_markdown(),
+        le_base / le_sync
+    );
+    ExperimentReport {
+        id: "fig02_memsync_timeline".into(),
+        title: "Figure 2 — pseudo-burst transfers under memory synchronization".into(),
+        markdown,
+        csv: Some(table.to_csv()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memsync_beats_default_le() {
+        let r = run(Scale::Quick);
+        assert!(r.markdown.contains("reduced"));
+    }
+}

@@ -1,0 +1,60 @@
+//! **Figure 3** — representative launch orders for the five application
+//! scheduling techniques, with m = 4 copies of type X and n = 4 copies
+//! of type Y (8 applications total).
+
+use crate::util::{ExperimentReport, Scale};
+use hq_des::rng::DetRng;
+use hyperq_core::ordering::{schedule, ScheduleOrder};
+use hyperq_core::report::Table;
+
+/// Print the five queues side by side, as the paper's figure does.
+pub fn run(_scale: Scale) -> ExperimentReport {
+    let groups: Vec<Vec<String>> = vec![
+        (1..=4).map(|i| format!("AX({i})")).collect(),
+        (1..=4).map(|i| format!("AY({i})")).collect(),
+    ];
+    let columns: Vec<(ScheduleOrder, Vec<String>)> = ScheduleOrder::ALL
+        .iter()
+        .map(|&o| (o, schedule(&groups, o, &mut DetRng::seed_from_u64(0xF163))))
+        .collect();
+
+    let mut table = Table::new(columns.iter().map(|(o, _)| o.name()).collect::<Vec<_>>());
+    for i in 0..8 {
+        table.row(
+            columns
+                .iter()
+                .map(|(_, q)| q[i].clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    let markdown = format!(
+        "Launch queues for Ω = {{4 × AX, 4 × AY}} under each scheduling \
+         technique (paper Fig. 3 a–e; Random Shuffle shown for one seed):\n\n{}",
+        table.to_markdown()
+    );
+    ExperimentReport {
+        id: "fig03_orders".into(),
+        title: "Figure 3 — representative launch orders".into(),
+        markdown,
+        csv: Some(table.to_csv()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shows_all_five_orders() {
+        let r = run(Scale::Quick);
+        for name in [
+            "Naive FIFO",
+            "Round-Robin",
+            "Random Shuffle",
+            "Reverse FIFO",
+        ] {
+            assert!(r.markdown.contains(name), "missing {name}");
+        }
+        assert!(r.markdown.contains("AX(1)"));
+    }
+}

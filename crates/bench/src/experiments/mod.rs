@@ -1,0 +1,58 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! ablations.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod table03;
+
+use hq_des::time::SimTime;
+use hq_des::trace::TraceLog;
+
+/// Cut a trace down to the spans intersecting `[t0, t1]`, clamping span
+/// extents to the window — used to zoom the timeline figures onto the
+/// transfer phase, as the paper's profiler screenshots do.
+pub fn window_trace(trace: &TraceLog, t0: SimTime, t1: SimTime) -> TraceLog {
+    let mut out = TraceLog::enabled();
+    for s in trace.spans() {
+        if s.end <= t0 || s.start >= t1 {
+            continue;
+        }
+        let mut c = s.clone();
+        c.start = c.start.max(t0);
+        c.end = c.end.min(t1);
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_des::trace::SpanKind;
+
+    #[test]
+    fn window_clamps_and_filters() {
+        let mut t = TraceLog::enabled();
+        let s = |a: u64, b: u64| (SimTime::from_ns(a), SimTime::from_ns(b));
+        let (a, b) = s(0, 100);
+        t.record(0, SpanKind::Kernel, "early", a, b);
+        let (a, b) = s(50, 250);
+        t.record(1, SpanKind::Kernel, "straddle", a, b);
+        let (a, b) = s(300, 400);
+        t.record(2, SpanKind::Kernel, "late", a, b);
+        let w = window_trace(&t, SimTime::from_ns(60), SimTime::from_ns(200));
+        assert_eq!(w.spans().len(), 2);
+        assert_eq!(w.spans()[0].start, SimTime::from_ns(60));
+        assert_eq!(w.spans()[1].end, SimTime::from_ns(200));
+    }
+}

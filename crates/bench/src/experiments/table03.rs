@@ -1,0 +1,51 @@
+//! **Table III** — application kernel grid and block dimensions,
+//! thread-block and threads-per-block requirements, regenerated from
+//! the workload builders and cross-validated against the paper's
+//! values.
+
+use crate::util::{ExperimentReport, Scale};
+use hq_workloads::geometry;
+
+/// Validate and render Table III.
+pub fn run(_scale: Scale) -> ExperimentReport {
+    geometry::validate_against_builders();
+    let markdown = format!(
+        "{}\n\nEvery row validated against the kernel descriptors the \
+         program builders actually emit (`geometry::validate_against_builders`).\n",
+        geometry::render_markdown()
+    );
+    let csv = {
+        let mut s = String::from("application,kernel,calls,grid,block,tb,tpb\n");
+        for r in geometry::table3() {
+            s.push_str(&format!(
+                "{},{},{},{:?},{:?},{},{}\n",
+                r.application,
+                r.kernel,
+                r.calls,
+                r.grid,
+                r.block,
+                r.thread_blocks,
+                r.threads_per_block
+            ));
+        }
+        s.replace(", ", ";")
+    };
+    ExperimentReport {
+        id: "table03_geometry".into(),
+        title: "Table III — kernel grid/block dimensions".into(),
+        markdown,
+        csv: Some(csv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_validates() {
+        let r = run(Scale::Quick);
+        assert!(r.markdown.contains("Fan2"));
+        assert!(r.markdown.contains("euclid"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared experiment plumbing: scale selection, result persistence and
+//! a small parallel map for independent simulation runs.
+
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Experiment scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// The paper's full parameters (NA up to 32).
+    Full,
+    /// Reduced parameters for smoke tests and `cargo bench`.
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the process arguments / environment
+    /// (`--quick` or `HQ_QUICK=1` select [`Scale::Quick`]).
+    pub fn from_env() -> Scale {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("HQ_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Pick `full` or `quick` depending on the scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// A finished experiment: an id (e.g. `fig04`), a human title, and the
+/// rendered report body (markdown).
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Artifact id, e.g. `fig06_effective_latency`.
+    pub id: String,
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Markdown body (tables + notes), also printed to stdout.
+    pub markdown: String,
+    /// Optional CSV artifact.
+    pub csv: Option<String>,
+}
+
+impl ExperimentReport {
+    /// Persist the report under the results directory and print it.
+    /// Returns the markdown path.
+    pub fn save_and_print(&self) -> PathBuf {
+        let dir = out_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let md_path = dir.join(format!("{}.md", self.id));
+        let body = format!("# {}\n\n{}", self.title, self.markdown);
+        std::fs::write(&md_path, &body).expect("write report");
+        if let Some(csv) = &self.csv {
+            std::fs::write(dir.join(format!("{}.csv", self.id)), csv).expect("write csv");
+        }
+        println!("{body}");
+        println!("[saved to {}]", md_path.display());
+        md_path
+    }
+}
+
+/// Results directory (override with `HQ_RESULTS`).
+pub fn out_dir() -> PathBuf {
+    std::env::var("HQ_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Map `f` over `items` on all cores, preserving order. Each item runs
+/// one independent (deterministic) simulation, so parallelism does not
+/// affect results.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_inner()
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Format a `Dur`-like nanosecond count as milliseconds with 3 digits.
+pub fn ms(d: hq_des::time::Dur) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items.clone(), |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(32, 4), 32);
+        assert_eq!(Scale::Quick.pick(32, 4), 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! The run harness: stream management, thread launch, measurement.
+//!
+//! Mirrors the paper's test-harness execution flow (§IV): instantiate a
+//! class object per application, start the power monitor, launch each
+//! application on its own child thread (in schedule order, which is
+//! also stream-allocation order), join, and report. Serialized
+//! baselines chain thread starts so exactly one application runs at a
+//! time on a single stream.
+
+use crate::kernel::{build_program, Kernel, Memsync, RodiniaApp};
+use crate::ordering::{schedule, ScheduleOrder};
+use hq_des::rng::DetRng;
+use hq_des::time::{Dur, SimTime};
+use hq_gpu::prelude::*;
+use hq_power::{PowerModel, PowerMonitor, PowerReport};
+use hq_workloads::apps::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// Memory-synchronization technique selection (mutex ids are created
+/// internally by the harness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MemsyncMode {
+    /// Default CUDA behaviour.
+    Off,
+    /// Mutex released right after the enqueues.
+    Enqueue,
+    /// Mutex held until the stage's transfers complete (the paper's
+    /// mechanism).
+    Synced,
+}
+
+/// Full configuration of one harness run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Device model.
+    pub device: DeviceConfig,
+    /// Host timing model.
+    pub host: HostConfig,
+    /// Number of CUDA streams (`NS`); applications are assigned
+    /// round-robin in schedule order.
+    pub num_streams: u32,
+    /// Launch order policy.
+    pub order: ScheduleOrder,
+    /// Memory-transfer synchronization.
+    pub memsync: MemsyncMode,
+    /// Fully serialized baseline: one stream, threads chained so one
+    /// application runs at a time.
+    pub serialize: bool,
+    /// Simulation seed (jitter + random shuffle).
+    pub seed: u64,
+    /// Record timeline spans (disable for sweeps).
+    pub trace: bool,
+    /// Board power model.
+    pub power: PowerModel,
+    /// Power sensor period.
+    pub sample_period: Dur,
+}
+
+impl RunConfig {
+    /// Concurrent run on `num_streams` streams, Naïve FIFO, no memsync.
+    pub fn concurrent(num_streams: u32) -> Self {
+        RunConfig {
+            device: DeviceConfig::tesla_k20(),
+            host: HostConfig::default(),
+            num_streams,
+            order: ScheduleOrder::NaiveFifo,
+            memsync: MemsyncMode::Off,
+            serialize: false,
+            seed: 0xC0FFEE,
+            trace: false,
+            power: PowerModel::tesla_k20(),
+            sample_period: Dur::from_ms(15),
+        }
+    }
+
+    /// The paper's serialized baseline.
+    pub fn serial() -> Self {
+        RunConfig {
+            num_streams: 1,
+            serialize: true,
+            ..Self::concurrent(1)
+        }
+    }
+
+    /// Builder-style order override.
+    pub fn with_order(mut self, order: ScheduleOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder-style memsync override.
+    pub fn with_memsync(mut self, memsync: MemsyncMode) -> Self {
+        self.memsync = memsync;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style trace toggle.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// One scheduled application instance.
+pub type AppSpec = (AppKind, usize);
+
+/// Everything measured in one harness run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Launch order actually used (labels, in order).
+    pub schedule: Vec<String>,
+    /// Raw simulation output.
+    pub result: SimResult,
+    /// Power/energy measurement.
+    pub power: PowerReport,
+}
+
+impl RunOutcome {
+    /// Total wall time of the workload.
+    pub fn makespan(&self) -> Dur {
+        self.result.makespan - SimTime::ZERO
+    }
+
+    /// Total GPU energy in Joules.
+    pub fn energy_j(&self) -> f64 {
+        self.power.energy_j
+    }
+
+    /// Time-weighted average power in Watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.power.avg_true_w
+    }
+
+    /// Mean effective memory transfer latency across applications.
+    pub fn mean_le(&self, dir: Dir) -> Option<Dur> {
+        self.result.mean_effective_latency(dir)
+    }
+}
+
+/// Build the per-type instance groups and apply the scheduling order.
+pub fn build_schedule(kinds: &[AppKind], order: ScheduleOrder, seed: u64) -> Vec<AppSpec> {
+    // Group by type in first-appearance order, numbering instances
+    // within each type.
+    let mut type_order: Vec<AppKind> = Vec::new();
+    for &k in kinds {
+        if !type_order.contains(&k) {
+            type_order.push(k);
+        }
+    }
+    let groups: Vec<Vec<AppSpec>> = type_order
+        .iter()
+        .map(|&t| {
+            (0..kinds.iter().filter(|&&k| k == t).count())
+                .map(|i| (t, i))
+                .collect()
+        })
+        .collect();
+    let mut rng = DetRng::seed_from_u64(seed).fork(0x0bde7);
+    schedule(&groups, order, &mut rng)
+}
+
+/// Run an explicit schedule (used by the dynamic scheduler, which
+/// searches orders directly).
+pub fn run_schedule(cfg: &RunConfig, specs: &[AppSpec]) -> Result<RunOutcome, SimError> {
+    let num_streams = if cfg.serialize { 1 } else { cfg.num_streams };
+    let mut sim = GpuSim::with_trace(cfg.device.clone(), cfg.host, cfg.seed, cfg.trace);
+    let mut streams = crate::streams::StreamManager::create(&mut sim, num_streams);
+    let memsync = match cfg.memsync {
+        MemsyncMode::Off => Memsync::Off,
+        MemsyncMode::Enqueue => Memsync::Enqueue(sim.create_mutex()),
+        MemsyncMode::Synced => Memsync::Synced(sim.create_mutex()),
+    };
+    let mut labels = Vec::with_capacity(specs.len());
+    let mut prev: Option<AppId> = None;
+    for &(kind, instance) in specs.iter() {
+        let app = RodiniaApp::new(kind, instance);
+        labels.push(Kernel::label(&app));
+        let program = build_program(&app, memsync);
+        let id = sim.add_app(program, streams.acquire());
+        if cfg.serialize {
+            if let Some(p) = prev {
+                sim.set_start_after(id, p);
+            }
+            prev = Some(id);
+        }
+    }
+    let result = sim.run()?;
+    let power = PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&result);
+    Ok(RunOutcome {
+        schedule: labels,
+        result,
+        power,
+    })
+}
+
+/// Schedule `kinds` under the configured order and run.
+pub fn run_workload(cfg: &RunConfig, kinds: &[AppKind]) -> Result<RunOutcome, SimError> {
+    let specs = build_schedule(kinds, cfg.order, cfg.seed);
+    run_schedule(cfg, &specs)
+}
+
+/// The paper's heterogeneous workload: `total` applications evenly
+/// split between two types (§IV).
+pub fn pair_workload(x: AppKind, y: AppKind, total: usize) -> Vec<AppKind> {
+    let m = total / 2;
+    let mut kinds = vec![x; m];
+    kinds.extend(vec![y; total - m]);
+    kinds
+}
+
+/// A homogeneous workload of `n` copies of one type.
+pub fn homogeneous_workload(kind: AppKind, n: usize) -> Vec<AppKind> {
+    vec![kind; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_workload_splits_evenly() {
+        let w = pair_workload(AppKind::Gaussian, AppKind::Needle, 8);
+        assert_eq!(w.iter().filter(|&&k| k == AppKind::Gaussian).count(), 4);
+        assert_eq!(w.iter().filter(|&&k| k == AppKind::Needle).count(), 4);
+        let w = pair_workload(AppKind::Gaussian, AppKind::Needle, 5);
+        assert_eq!(w.iter().filter(|&&k| k == AppKind::Needle).count(), 3);
+    }
+
+    #[test]
+    fn build_schedule_round_robin_instances() {
+        let kinds = pair_workload(AppKind::Needle, AppKind::Knearest, 6);
+        let specs = build_schedule(&kinds, ScheduleOrder::RoundRobin, 1);
+        assert_eq!(
+            specs,
+            vec![
+                (AppKind::Needle, 0),
+                (AppKind::Knearest, 0),
+                (AppKind::Needle, 1),
+                (AppKind::Knearest, 1),
+                (AppKind::Needle, 2),
+                (AppKind::Knearest, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn serial_run_executes_one_at_a_time() {
+        let cfg = RunConfig::serial().with_trace(true);
+        let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 4);
+        let out = run_workload(&cfg, &kinds).unwrap();
+        assert_eq!(out.result.apps.len(), 4);
+        // Threads ran disjointly: each app starts after the previous
+        // one finished.
+        let mut spans: Vec<(SimTime, SimTime)> = out
+            .result
+            .apps
+            .iter()
+            .map(|a| (a.started.unwrap(), a.finished.unwrap()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "serial apps must not overlap");
+        }
+    }
+
+    #[test]
+    fn concurrent_beats_serial_for_small_apps() {
+        let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 8);
+        let serial = run_workload(&RunConfig::serial(), &kinds).unwrap();
+        let conc = run_workload(&RunConfig::concurrent(8), &kinds).unwrap();
+        assert!(
+            conc.makespan() < serial.makespan(),
+            "concurrent {} !< serial {}",
+            conc.makespan(),
+            serial.makespan()
+        );
+    }
+
+    #[test]
+    fn memsync_reduces_effective_latency() {
+        let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, 8);
+        let base = run_workload(&RunConfig::concurrent(8), &kinds).unwrap();
+        let synced = run_workload(
+            &RunConfig::concurrent(8).with_memsync(MemsyncMode::Synced),
+            &kinds,
+        )
+        .unwrap();
+        let le_base = base.mean_le(Dir::HtoD).unwrap();
+        let le_sync = synced.mean_le(Dir::HtoD).unwrap();
+        assert!(
+            le_sync < le_base,
+            "memsync must cut Le: {le_sync} !< {le_base}"
+        );
+    }
+
+    #[test]
+    fn schedule_labels_match_order() {
+        let cfg = RunConfig::concurrent(4).with_order(ScheduleOrder::ReverseRoundRobin);
+        let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 4);
+        let out = run_workload(&cfg, &kinds).unwrap();
+        assert_eq!(
+            out.schedule,
+            vec!["needle#0", "knearest#0", "needle#1", "knearest#1"]
+        );
+    }
+
+    #[test]
+    fn outcome_metrics_populated() {
+        let out = run_workload(
+            &RunConfig::concurrent(2),
+            &homogeneous_workload(AppKind::Knearest, 2),
+        )
+        .unwrap();
+        assert!(out.makespan().as_ns() > 0);
+        assert!(out.energy_j() > 0.0);
+        assert!(out.avg_power_w() > 0.0);
+        assert!(out.mean_le(Dir::HtoD).is_some());
+    }
+}

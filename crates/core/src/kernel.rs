@@ -1,0 +1,407 @@
+//! The Table II application interface.
+//!
+//! The paper defines an abstract `Kernel` base class whose virtual
+//! methods logically group a benchmark's phases; the test harness talks
+//! only to this interface, so new applications slot in "with minimal
+//! programming effort" and *without modifying kernel source code*. The
+//! Rust rendition is the [`Kernel`] trait plus a [`Recorder`] that the
+//! methods write driver calls into; [`build_program`] invokes the
+//! methods in the canonical order and assembles the simulator
+//! [`Program`], applying the memory-synchronization technique when
+//! requested.
+
+use hq_des::time::Dur;
+use hq_gpu::kernel::KernelDesc;
+use hq_gpu::program::{HostOp, Program};
+use hq_gpu::types::{Dir, MutexId};
+use hq_workloads::apps::AppKind;
+use hq_workloads::{gaussian, knearest, needle, srad};
+
+/// Memory-transfer synchronization mode (paper §III-B).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Memsync {
+    /// Default CUDA behaviour: transfers from concurrent applications
+    /// interleave in the copy queue (Fig. 1).
+    Off,
+    /// Hold a mutex across each HtoD stage, releasing after the
+    /// *enqueues* (burst issue, but the engine may still interleave).
+    Enqueue(MutexId),
+    /// Hold the mutex until the stage's transfers have *completed*
+    /// (a `cudaStreamSynchronize` before the unlock) — the paper's
+    /// pseudo-burst mechanism (Fig. 2).
+    Synced(MutexId),
+}
+
+/// Records the driver calls an application's phases emit.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    ops: Vec<HostOp>,
+    device_bytes: u64,
+    host_bytes: u64,
+    /// Half-open op-index ranges marking HtoD transfer stages.
+    stages: Vec<(usize, usize)>,
+    open_stage: Option<usize>,
+}
+
+impl Recorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a `cudaMallocHost` (bookkeeping only; allocation happens
+    /// before the timed region, as in the paper's harness).
+    pub fn host_alloc(&mut self, bytes: u64) {
+        self.host_bytes += bytes;
+    }
+
+    /// Record a `cudaMalloc` (checked against device capacity at run
+    /// start).
+    pub fn device_alloc(&mut self, bytes: u64) {
+        self.device_bytes += bytes;
+    }
+
+    /// Emit an HtoD `cudaMemcpyAsync`.
+    pub fn htod(&mut self, bytes: u64, label: impl Into<String>) {
+        self.ops.push(HostOp::MemcpyAsync {
+            dir: Dir::HtoD,
+            bytes,
+            label: label.into(),
+        });
+    }
+
+    /// Emit a DtoH `cudaMemcpyAsync`.
+    pub fn dtoh(&mut self, bytes: u64, label: impl Into<String>) {
+        self.ops.push(HostOp::MemcpyAsync {
+            dir: Dir::DtoH,
+            bytes,
+            label: label.into(),
+        });
+    }
+
+    /// Emit a kernel launch.
+    pub fn launch(&mut self, kernel: KernelDesc) {
+        self.ops.push(HostOp::LaunchKernel { kernel });
+    }
+
+    /// Emit host-side computation.
+    pub fn host_work(&mut self, dur: Dur) {
+        self.ops.push(HostOp::HostWork { dur });
+    }
+
+    /// Emit a `cudaStreamSynchronize`.
+    pub fn sync(&mut self) {
+        self.ops.push(HostOp::StreamSync);
+    }
+
+    /// Mark the HtoD calls emitted by `f` as one transfer *stage* — the
+    /// unit the memory-synchronization mutex wraps.
+    pub fn htod_stage(&mut self, f: impl FnOnce(&mut Self)) {
+        assert!(self.open_stage.is_none(), "nested HtoD stages");
+        let start = self.ops.len();
+        self.open_stage = Some(start);
+        f(self);
+        let end = self.ops.len();
+        self.open_stage = None;
+        if end > start {
+            self.stages.push((start, end));
+        }
+    }
+
+    /// Assemble the final [`Program`], wrapping each marked HtoD stage
+    /// per the requested [`Memsync`] mode and appending the trailing
+    /// stream synchronize every application ends with.
+    pub fn finish(mut self, label: String, memsync: Memsync) -> Program {
+        if let Memsync::Enqueue(m) | Memsync::Synced(m) = memsync {
+            let synced = matches!(memsync, Memsync::Synced(_));
+            // Splice lock/unlock around each stage, back to front so
+            // earlier recorded ranges stay valid.
+            for &(start, end) in self.stages.iter().rev() {
+                if synced {
+                    self.ops.insert(end, HostOp::MutexUnlock(m));
+                    self.ops.insert(end, HostOp::StreamSync);
+                } else {
+                    self.ops.insert(end, HostOp::MutexUnlock(m));
+                }
+                self.ops.insert(start, HostOp::MutexLock(m));
+            }
+        }
+        if !matches!(self.ops.last(), Some(HostOp::StreamSync)) {
+            self.ops.push(HostOp::StreamSync);
+        }
+        Program {
+            label,
+            ops: self.ops,
+            device_bytes: self.device_bytes,
+        }
+    }
+}
+
+/// The abstract application interface (Table II).
+///
+/// Methods are invoked by [`build_program`] in the order the paper's
+/// harness calls them; each emits its phase's driver calls into the
+/// [`Recorder`]. Allocation/free methods do bookkeeping only — in the
+/// paper the parent thread performs them outside the measured region.
+pub trait Kernel {
+    /// Application label, e.g. `gaussian#3`.
+    fn label(&self) -> String;
+    /// Encapsulates `cudaMallocHost` calls.
+    fn allocate_host_memory(&self, rec: &mut Recorder);
+    /// Encapsulates `cudaMalloc` calls.
+    fn allocate_device_memory(&self, rec: &mut Recorder);
+    /// Encapsulates loading / initializing host data.
+    fn initialize_host_memory(&self, rec: &mut Recorder);
+    /// Encapsulates the leading HtoD `cudaMemcpyAsync` stage.
+    fn transfer_memory_in(&self, rec: &mut Recorder);
+    /// Encapsulates grid/block setup and kernel launches (including any
+    /// transfers the benchmark performs inside its iteration loop).
+    fn execute_kernel(&self, rec: &mut Recorder);
+    /// Encapsulates the trailing DtoH `cudaMemcpyAsync` stage.
+    fn transfer_memory_out(&self, rec: &mut Recorder);
+    /// Encapsulates `cudaFreeHost` calls.
+    fn free_host_memory(&self, rec: &mut Recorder) {
+        let _ = rec;
+    }
+    /// Encapsulates `cudaFree` calls.
+    fn free_device_memory(&self, rec: &mut Recorder) {
+        let _ = rec;
+    }
+}
+
+/// Drive a [`Kernel`]'s methods in the canonical order and build the
+/// simulator program, with the HtoD stage(s) wrapped per `memsync`.
+pub fn build_program(kernel: &dyn Kernel, memsync: Memsync) -> Program {
+    let mut rec = Recorder::new();
+    kernel.allocate_host_memory(&mut rec);
+    kernel.allocate_device_memory(&mut rec);
+    kernel.initialize_host_memory(&mut rec);
+    rec.htod_stage(|r| kernel.transfer_memory_in(r));
+    kernel.execute_kernel(&mut rec);
+    kernel.transfer_memory_out(&mut rec);
+    kernel.free_host_memory(&mut rec);
+    kernel.free_device_memory(&mut rec);
+    rec.finish(kernel.label(), memsync)
+}
+
+/// A ported Rodinia benchmark behind the [`Kernel`] interface, at the
+/// paper's default problem sizes (Table III).
+#[derive(Clone, Copy, Debug)]
+pub struct RodiniaApp {
+    /// Which benchmark.
+    pub kind: AppKind,
+    /// Instance number (for labelling).
+    pub instance: usize,
+}
+
+impl RodiniaApp {
+    /// New instance of a benchmark.
+    pub fn new(kind: AppKind, instance: usize) -> Self {
+        RodiniaApp { kind, instance }
+    }
+}
+
+impl Kernel for RodiniaApp {
+    fn label(&self) -> String {
+        format!("{}#{}", self.kind.name(), self.instance)
+    }
+
+    fn allocate_host_memory(&self, rec: &mut Recorder) {
+        // Mirror each benchmark's pinned host footprint.
+        let bytes = match self.kind {
+            AppKind::Gaussian => 2 * 512 * 512 * 4 + 2 * 512 * 4,
+            AppKind::Needle => 2 * 513 * 513 * 4,
+            AppKind::Srad => 512 * 512 * 4,
+            AppKind::Knearest => 42_764 * (8 + 4),
+        };
+        rec.host_alloc(bytes);
+    }
+
+    fn allocate_device_memory(&self, rec: &mut Recorder) {
+        let bytes = match self.kind {
+            AppKind::Gaussian => 2 * 512 * 512 * 4 + 2 * 512 * 4,
+            AppKind::Needle => 2 * 513 * 513 * 4,
+            AppKind::Srad => 6 * 512 * 512 * 4,
+            AppKind::Knearest => 42_764 * (8 + 4),
+        };
+        rec.device_alloc(bytes);
+    }
+
+    fn initialize_host_memory(&self, _rec: &mut Recorder) {
+        // Input generation happens before the timed region.
+    }
+
+    fn transfer_memory_in(&self, rec: &mut Recorder) {
+        match self.kind {
+            AppKind::Gaussian => {
+                rec.htod(512 * 512 * 4, "a");
+                rec.htod(512 * 4, "b");
+                rec.htod(512 * 512 * 4, "m");
+            }
+            AppKind::Needle => {
+                rec.htod(513 * 513 * 4, "reference");
+                rec.htod(513 * 513 * 4, "input_itemsets");
+            }
+            AppKind::Srad => {
+                // srad_v2 transfers inside its iteration loop (see
+                // execute_kernel); no leading stage.
+            }
+            AppKind::Knearest => {
+                rec.htod(42_764 * 8, "records");
+            }
+        }
+    }
+
+    fn execute_kernel(&self, rec: &mut Recorder) {
+        match self.kind {
+            AppKind::Gaussian => {
+                for _ in 0..511 {
+                    rec.launch(gaussian::fan1_kernel(512));
+                    rec.launch(gaussian::fan2_kernel(512));
+                }
+            }
+            AppKind::Needle => {
+                for i in 1..=16 {
+                    rec.launch(needle::shared1_kernel(i));
+                }
+                for i in (1..16).rev() {
+                    rec.launch(needle::shared2_kernel(i));
+                }
+            }
+            AppKind::Srad => {
+                let img = (512 * 512 * 4) as u64;
+                for _ in 0..10 {
+                    rec.host_work(Dur::from_ns(512 * 512 / 4));
+                    rec.htod_stage(|r| r.htod(img, "J"));
+                    rec.launch(srad::srad1_kernel(512, 512));
+                    rec.launch(srad::srad2_kernel(512, 512));
+                    rec.dtoh(img, "J");
+                }
+            }
+            AppKind::Knearest => {
+                rec.launch(knearest::euclid_kernel(42_764));
+            }
+        }
+    }
+
+    fn transfer_memory_out(&self, rec: &mut Recorder) {
+        match self.kind {
+            AppKind::Gaussian => {
+                rec.dtoh(512 * 512 * 4, "a");
+                rec.dtoh(512 * 4, "b");
+            }
+            AppKind::Needle => {
+                rec.dtoh(513 * 513 * 4, "input_itemsets");
+            }
+            AppKind::Srad => {
+                // Final image already downloaded by the last iteration.
+            }
+            AppKind::Knearest => {
+                rec.dtoh(42_764 * 4, "distances");
+                rec.host_work(Dur::from_ns(42_764 / 2));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rodinia_apps_match_workloads_programs() {
+        // The trait-built programs must emit exactly the op sequence of
+        // the standalone workload builders (the independent spec).
+        for kind in AppKind::ALL {
+            let via_trait = build_program(&RodiniaApp::new(kind, 2), Memsync::Off);
+            let direct = kind.program(2);
+            assert_eq!(via_trait.label, direct.label);
+            assert_eq!(via_trait.device_bytes, direct.device_bytes, "{kind}");
+            assert_eq!(via_trait.ops, direct.ops, "{kind} op sequence");
+        }
+    }
+
+    #[test]
+    fn memsync_wraps_leading_stage() {
+        let m = MutexId(0);
+        let p = build_program(&RodiniaApp::new(AppKind::Gaussian, 0), Memsync::Synced(m));
+        assert!(matches!(p.ops[0], HostOp::MutexLock(id) if id == m));
+        // lock, 3 htod, sync, unlock
+        assert!(matches!(p.ops[4], HostOp::StreamSync));
+        assert!(matches!(p.ops[5], HostOp::MutexUnlock(id) if id == m));
+    }
+
+    #[test]
+    fn memsync_enqueue_skips_inner_sync() {
+        let m = MutexId(0);
+        let p = build_program(&RodiniaApp::new(AppKind::Needle, 0), Memsync::Enqueue(m));
+        assert!(matches!(p.ops[0], HostOp::MutexLock(_)));
+        // lock, 2 htod, unlock (no sync before unlock)
+        assert!(matches!(p.ops[3], HostOp::MutexUnlock(_)));
+    }
+
+    #[test]
+    fn memsync_wraps_each_srad_iteration() {
+        let m = MutexId(3);
+        let p = build_program(&RodiniaApp::new(AppKind::Srad, 0), Memsync::Synced(m));
+        let locks = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, HostOp::MutexLock(_)))
+            .count();
+        let unlocks = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, HostOp::MutexUnlock(_)))
+            .count();
+        assert_eq!(locks, 10, "one stage per srad iteration");
+        assert_eq!(locks, unlocks);
+    }
+
+    #[test]
+    fn memsync_off_adds_no_mutex_ops() {
+        for kind in AppKind::ALL {
+            let p = build_program(&RodiniaApp::new(kind, 0), Memsync::Off);
+            assert!(!p
+                .ops
+                .iter()
+                .any(|o| matches!(o, HostOp::MutexLock(_) | HostOp::MutexUnlock(_))));
+        }
+    }
+
+    #[test]
+    fn recorder_stage_tracking() {
+        let mut rec = Recorder::new();
+        rec.htod_stage(|r| {
+            r.htod(10, "x");
+            r.htod(20, "y");
+        });
+        rec.launch(gaussian::fan1_kernel(512));
+        let p = rec.finish("t".into(), Memsync::Synced(MutexId(1)));
+        let kinds: Vec<&'static str> = p
+            .ops
+            .iter()
+            .map(|o| match o {
+                HostOp::MutexLock(_) => "lock",
+                HostOp::MemcpyAsync { .. } => "copy",
+                HostOp::StreamSync => "sync",
+                HostOp::MutexUnlock(_) => "unlock",
+                HostOp::LaunchKernel { .. } => "launch",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["lock", "copy", "copy", "sync", "unlock", "launch", "sync"]
+        );
+    }
+
+    #[test]
+    fn empty_stage_is_not_wrapped() {
+        let mut rec = Recorder::new();
+        rec.htod_stage(|_| {});
+        rec.launch(gaussian::fan1_kernel(512));
+        let p = rec.finish("t".into(), Memsync::Synced(MutexId(0)));
+        assert!(!p.ops.iter().any(|o| matches!(o, HostOp::MutexLock(_))));
+    }
+}

@@ -1,0 +1,60 @@
+//! # hyperq-core — the Hyper-Q management framework
+//!
+//! This crate is the paper's primary contribution, reimplemented in
+//! Rust against the simulated Kepler device in `hq-gpu`:
+//!
+//! * [`kernel::Kernel`] — the abstract application interface of
+//!   Table II (`allocateHostMemory` … `freeDeviceMemory`); Rodinia
+//!   benchmarks plug in through [`kernel::RodiniaApp`] without touching
+//!   their kernel code, mirroring the paper's claim of minimal porting
+//!   effort.
+//! * [`ordering`] — the five application scheduling orders of Fig. 3
+//!   (Naïve FIFO, Round-Robin, Random Shuffle, Reverse FIFO, Reverse
+//!   Round-Robin).
+//! * [`kernel::Memsync`] — the host-side memory-transfer
+//!   synchronization of §III-B: a mutex held across each application's
+//!   HtoD stage (optionally until the transfers complete) that turns
+//!   interleaved copies into pseudo-bursts.
+//! * [`harness`] — `StreamManager`-style stream allocation, thread
+//!   launch in schedule order, serialized and concurrent execution
+//!   modes, and power measurement via `hq-power`'s NVML-like monitor.
+//! * [`metrics`] — effective memory transfer latency (`Le`, eq. 2),
+//!   improvement-over-serial, and energy accounting.
+//! * [`autosched`] — the future-work dynamic scheduler sketched in
+//!   §VI: a greedy search over launch orders.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+//! use hyperq_core::metrics::improvement;
+//! use hq_workloads::apps::AppKind;
+//!
+//! // Four applications: 2x knearest + 2x needle.
+//! let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 4);
+//!
+//! let serial = run_workload(&RunConfig::serial(), &kinds)?;
+//! let concurrent = run_workload(
+//!     &RunConfig::concurrent(4).with_memsync(MemsyncMode::Synced),
+//!     &kinds,
+//! )?;
+//!
+//! let gain = improvement(serial.makespan(), concurrent.makespan());
+//! assert!(gain > 0.10, "Hyper-Q concurrency should win: {gain}");
+//! # Ok::<(), hq_gpu::result::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autosched;
+pub mod harness;
+pub mod kernel;
+pub mod metrics;
+pub mod ordering;
+pub mod report;
+pub mod streams;
+pub mod summary;
+
+pub use harness::{run_workload, RunConfig, RunOutcome};
+pub use kernel::{build_program, Kernel, Memsync, Recorder, RodiniaApp};
+pub use ordering::ScheduleOrder;

@@ -1,0 +1,84 @@
+//! Evaluation metrics: improvement over serial, effective memory
+//! transfer latency expectations, energy deltas.
+
+use crate::harness::{homogeneous_workload, run_workload, RunConfig};
+use hq_des::time::Dur;
+use hq_gpu::types::Dir;
+use hq_workloads::apps::AppKind;
+
+/// Fractional improvement of `improved` over `baseline`
+/// (`(baseline − improved) / baseline`; negative when slower). This is
+/// the paper's "performance improvement relative to serialized
+/// execution".
+pub fn improvement(baseline: Dur, improved: Dur) -> f64 {
+    if baseline.is_zero() {
+        return 0.0;
+    }
+    (baseline.as_ns() as f64 - improved.as_ns() as f64) / baseline.as_ns() as f64
+}
+
+/// Fractional reduction of a scalar metric (energy, power).
+pub fn reduction(baseline: f64, improved: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (baseline - improved) / baseline
+}
+
+/// The paper's *expected* effective memory transfer latency for one
+/// application type (§V-B): the per-application HtoD latency measured
+/// in a homogeneous, uncontended run.
+pub fn expected_le(kind: AppKind, cfg: &RunConfig) -> Dur {
+    let mut solo = cfg.clone();
+    solo.num_streams = 1;
+    solo.serialize = false;
+    solo.trace = false;
+    let out =
+        run_workload(&solo, &homogeneous_workload(kind, 1)).expect("solo run cannot deadlock");
+    out.mean_le(Dir::HtoD).unwrap_or(Dur::ZERO)
+}
+
+/// Expected `Le` for a heterogeneous pair: the mean of the two types'
+/// homogeneous expectations (paper §V-B).
+pub fn expected_pair_le(x: AppKind, y: AppKind, cfg: &RunConfig) -> Dur {
+    let a = expected_le(x, cfg);
+    let b = expected_le(y, cfg);
+    Dur::from_ns((a.as_ns() + b.as_ns()) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement(Dur::from_ns(100), Dur::from_ns(75)) - 0.25).abs() < 1e-12);
+        assert!(improvement(Dur::from_ns(100), Dur::from_ns(120)) < 0.0);
+        assert_eq!(improvement(Dur::ZERO, Dur::from_ns(5)), 0.0);
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction(200.0, 150.0) - 0.25).abs() < 1e-12);
+        assert_eq!(reduction(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn expected_le_positive_for_transfer_apps() {
+        let cfg = RunConfig::concurrent(1);
+        let le = expected_le(AppKind::Needle, &cfg);
+        assert!(le.as_ns() > 0);
+        // Two ~1 MB transfers at ~6 GB/s: hundreds of microseconds.
+        assert!(le > Dur::from_us(100), "needle Le {le}");
+        assert!(le < Dur::from_ms(5), "needle Le {le}");
+    }
+
+    #[test]
+    fn expected_pair_le_is_mean() {
+        let cfg = RunConfig::concurrent(1);
+        let a = expected_le(AppKind::Needle, &cfg);
+        let b = expected_le(AppKind::Knearest, &cfg);
+        let pair = expected_pair_le(AppKind::Needle, AppKind::Knearest, &cfg);
+        assert_eq!(pair.as_ns(), (a.as_ns() + b.as_ns()) / 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! The `StreamManager` of the paper's framework (§III-E): dynamically
+//! creates the independent CUDA streams and assigns them to application
+//! threads **in launch order**, which is what makes the scheduling
+//! order meaningful when applications outnumber streams (§III-C: the
+//! assignment induces serialization dependencies within each stream's
+//! hardware queue).
+
+use hq_gpu::sim::GpuSim;
+use hq_gpu::types::StreamId;
+
+/// Round-robin stream allocator over a fixed pool.
+#[derive(Debug)]
+pub struct StreamManager {
+    streams: Vec<StreamId>,
+    next: usize,
+    issued: usize,
+}
+
+impl StreamManager {
+    /// Create `n` streams on the simulator (at least one).
+    pub fn create(sim: &mut GpuSim, n: u32) -> Self {
+        StreamManager {
+            streams: sim.create_streams(n.max(1)),
+            next: 0,
+            issued: 0,
+        }
+    }
+
+    /// Number of managed streams (`NS`).
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True if the pool is empty (never the case after `create`).
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Total assignments handed out so far (`NA` once scheduling ends).
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// Assign the next stream in round-robin order. The *i*-th call
+    /// returns stream `i mod NS`, so with `NA > NS` applications the
+    /// ones mapped to the same stream serialize — the dependency the
+    /// reordering techniques exploit.
+    pub fn acquire(&mut self) -> StreamId {
+        let s = self.streams[self.next];
+        self.next = (self.next + 1) % self.streams.len();
+        self.issued += 1;
+        s
+    }
+
+    /// Reset the round-robin cursor (a new scheduling round).
+    pub fn reset(&mut self) {
+        self.next = 0;
+        self.issued = 0;
+    }
+
+    /// The managed stream ids.
+    pub fn streams(&self) -> &[StreamId] {
+        &self.streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_gpu::prelude::*;
+
+    fn sim() -> GpuSim {
+        GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1)
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let mut s = sim();
+        let mut mgr = StreamManager::create(&mut s, 3);
+        let got: Vec<u32> = (0..7).map(|_| mgr.acquire().0).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(mgr.issued(), 7);
+    }
+
+    #[test]
+    fn zero_requested_streams_clamps_to_one() {
+        let mut s = sim();
+        let mut mgr = StreamManager::create(&mut s, 0);
+        assert_eq!(mgr.len(), 1);
+        assert!(!mgr.is_empty());
+        assert_eq!(mgr.acquire().0, 0);
+    }
+
+    #[test]
+    fn reset_restarts_cursor() {
+        let mut s = sim();
+        let mut mgr = StreamManager::create(&mut s, 2);
+        mgr.acquire();
+        mgr.reset();
+        assert_eq!(mgr.acquire().0, 0);
+        assert_eq!(mgr.issued(), 1);
+    }
+}

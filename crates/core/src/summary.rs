@@ -1,0 +1,126 @@
+//! Serializable run summaries.
+//!
+//! [`RunSummary`] is the stable JSON schema experiment artifacts use:
+//! everything a plotting script or regression checker needs, without
+//! the full trace payload.
+
+use crate::harness::RunOutcome;
+use hq_gpu::types::Dir;
+use serde::{Deserialize, Serialize};
+
+/// Per-application summary row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppSummary {
+    /// Application label (`gaussian#3`).
+    pub label: String,
+    /// Wall time from thread start to join, in nanoseconds.
+    pub turnaround_ns: u64,
+    /// Effective HtoD transfer latency (eq. 2), if the app transferred.
+    pub le_htod_ns: Option<u64>,
+    /// Effective DtoH transfer latency.
+    pub le_dtoh_ns: Option<u64>,
+    /// Completed kernel launches.
+    pub kernels: u32,
+    /// Bytes moved host-to-device.
+    pub htod_bytes: u64,
+    /// Bytes moved device-to-host.
+    pub dtoh_bytes: u64,
+}
+
+/// Whole-run summary (the JSON artifact schema).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Launch order used.
+    pub schedule: Vec<String>,
+    /// Workload makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Total GPU energy in Joules.
+    pub energy_j: f64,
+    /// Time-weighted average power in Watts.
+    pub avg_power_w: f64,
+    /// Peak power in Watts.
+    pub peak_power_w: f64,
+    /// Mean device occupancy over the run, in `[0, 1]`.
+    pub mean_occupancy: f64,
+    /// Per-application rows, in application order.
+    pub apps: Vec<AppSummary>,
+}
+
+impl From<&RunOutcome> for RunSummary {
+    fn from(out: &RunOutcome) -> Self {
+        RunSummary {
+            schedule: out.schedule.clone(),
+            makespan_ns: out.makespan().as_ns(),
+            energy_j: out.energy_j(),
+            avg_power_w: out.avg_power_w(),
+            peak_power_w: out.power.peak_w,
+            mean_occupancy: out.result.mean_occupancy(),
+            apps: out
+                .result
+                .apps
+                .iter()
+                .map(|a| AppSummary {
+                    label: a.label.clone(),
+                    turnaround_ns: a.turnaround().map(|d| d.as_ns()).unwrap_or(0),
+                    le_htod_ns: a
+                        .transfers(Dir::HtoD)
+                        .effective_latency()
+                        .map(|d| d.as_ns()),
+                    le_dtoh_ns: a
+                        .transfers(Dir::DtoH)
+                        .effective_latency()
+                        .map(|d| d.as_ns()),
+                    kernels: a.kernels_completed,
+                    htod_bytes: a.htod.bytes,
+                    dtoh_bytes: a.dtoh.bytes,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl RunSummary {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{pair_workload, run_workload, RunConfig};
+    use hq_workloads::apps::AppKind;
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 2);
+        let out = run_workload(&RunConfig::concurrent(2), &kinds).unwrap();
+        let summary = RunSummary::from(&out);
+        assert_eq!(summary.apps.len(), 2);
+        assert!(summary.makespan_ns > 0);
+        assert!(summary.energy_j > 0.0);
+        assert!(summary.mean_occupancy > 0.0);
+        let json = summary.to_json();
+        let back = RunSummary::from_json(&json).unwrap();
+        assert_eq!(summary, back);
+    }
+
+    #[test]
+    fn per_app_fields_populated() {
+        let kinds = pair_workload(AppKind::Knearest, AppKind::Needle, 2);
+        let out = run_workload(&RunConfig::concurrent(2), &kinds).unwrap();
+        let summary = RunSummary::from(&out);
+        for app in &summary.apps {
+            assert!(app.turnaround_ns > 0, "{}", app.label);
+            assert!(app.kernels > 0);
+            assert!(app.le_htod_ns.is_some());
+            assert!(app.htod_bytes > 0);
+        }
+    }
+}

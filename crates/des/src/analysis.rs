@@ -1,0 +1,186 @@
+//! Trace analysis: concurrency profiles, busy fractions and overlap
+//! measures computed from a [`TraceLog`].
+//!
+//! The paper reads these quantities off Visual Profiler screenshots
+//! (how many kernels overlap in Fig. 5, how long stream 35 stalls in
+//! Fig. 1); this module computes them exactly.
+
+use crate::record::TimeSeries;
+use crate::time::{Dur, SimTime};
+use crate::trace::{SpanKind, TraceLog};
+
+/// Number of spans of `kind` simultaneously active, as a step function
+/// of time. Pass `None` to count spans of every kind.
+pub fn concurrency_profile(trace: &TraceLog, kind: Option<SpanKind>) -> TimeSeries {
+    let mut edges: Vec<(SimTime, i32)> = Vec::new();
+    for s in trace.spans() {
+        if kind.is_some_and(|k| k != s.kind) {
+            continue;
+        }
+        if s.start < s.end {
+            edges.push((s.start, 1));
+            edges.push((s.end, -1));
+        }
+    }
+    edges.sort();
+    let mut out = TimeSeries::new();
+    let mut level = 0i32;
+    let mut i = 0;
+    while i < edges.len() {
+        let t = edges[i].0;
+        while i < edges.len() && edges[i].0 == t {
+            level += edges[i].1;
+            i += 1;
+        }
+        out.set(t, level as f64);
+    }
+    out
+}
+
+/// Peak number of simultaneously active spans of `kind`.
+pub fn max_concurrency(trace: &TraceLog, kind: Option<SpanKind>) -> u32 {
+    let profile = concurrency_profile(trace, kind);
+    profile
+        .points()
+        .iter()
+        .map(|&(_, v)| v as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Fraction of `[a, b]` during which at least one span of `kind` was
+/// active on `lane` (or on any lane when `lane` is `None`).
+pub fn busy_fraction(
+    trace: &TraceLog,
+    lane: Option<u32>,
+    kind: Option<SpanKind>,
+    a: SimTime,
+    b: SimTime,
+) -> f64 {
+    if b <= a {
+        return 0.0;
+    }
+    let mut filtered = TraceLog::enabled();
+    for s in trace.spans() {
+        if lane.is_some_and(|l| l != s.lane) {
+            continue;
+        }
+        if kind.is_some_and(|k| k != s.kind) {
+            continue;
+        }
+        filtered.push(s.clone());
+    }
+    let profile = concurrency_profile(&filtered, None);
+    // Busy = profile >= 1; build an indicator and integrate.
+    let mut indicator = TimeSeries::new();
+    for &(t, v) in profile.points() {
+        indicator.set(t, if v >= 1.0 { 1.0 } else { 0.0 });
+    }
+    indicator.integrate(a, b) / (b - a).as_secs_f64()
+}
+
+/// Total time during which *both* lanes had an active span — the
+/// overlap the paper's reordering technique tries to maximize.
+pub fn lane_overlap(trace: &TraceLog, lane_a: u32, lane_b: u32) -> Dur {
+    let horizon = trace.makespan();
+    if horizon == SimTime::ZERO {
+        return Dur::ZERO;
+    }
+    let ind = |lane: u32| {
+        let mut filtered = TraceLog::enabled();
+        for s in trace.spans().iter().filter(|s| s.lane == lane) {
+            filtered.push(s.clone());
+        }
+        concurrency_profile(&filtered, None)
+    };
+    let pa = ind(lane_a);
+    let pb = ind(lane_b);
+    // Merge change points; accumulate time where both >= 1.
+    let mut stamps: Vec<SimTime> = pa
+        .points()
+        .iter()
+        .chain(pb.points().iter())
+        .map(|&(t, _)| t)
+        .collect();
+    stamps.push(horizon);
+    stamps.sort_unstable();
+    stamps.dedup();
+    let mut total = Dur::ZERO;
+    for w in stamps.windows(2) {
+        let busy_a = pa.value_at(w[0]).unwrap_or(0.0) >= 1.0;
+        let busy_b = pb.value_at(w[0]).unwrap_or(0.0) >= 1.0;
+        if busy_a && busy_b {
+            total += w[1] - w[0];
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::enabled();
+        log.record(0, SpanKind::Kernel, "a", t(0), t(100));
+        log.record(1, SpanKind::Kernel, "b", t(50), t(150));
+        log.record(2, SpanKind::CopyHtoD, "c", t(0), t(60));
+        log
+    }
+
+    #[test]
+    fn profile_counts_levels() {
+        let p = concurrency_profile(&sample(), Some(SpanKind::Kernel));
+        assert_eq!(p.value_at(t(25)), Some(1.0));
+        assert_eq!(p.value_at(t(75)), Some(2.0));
+        assert_eq!(p.value_at(t(120)), Some(1.0));
+        assert_eq!(p.value_at(t(200)), Some(0.0));
+    }
+
+    #[test]
+    fn max_concurrency_by_kind() {
+        let log = sample();
+        assert_eq!(max_concurrency(&log, Some(SpanKind::Kernel)), 2);
+        assert_eq!(max_concurrency(&log, Some(SpanKind::CopyHtoD)), 1);
+        assert_eq!(max_concurrency(&log, None), 3);
+        assert_eq!(max_concurrency(&TraceLog::enabled(), None), 0);
+    }
+
+    #[test]
+    fn busy_fraction_window() {
+        let log = sample();
+        // Lane 0 busy over [0,100] of a [0,200] window.
+        let f = busy_fraction(&log, Some(0), None, t(0), t(200));
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+        // Any lane: busy over [0,150] of [0,200].
+        let f = busy_fraction(&log, None, None, t(0), t(200));
+        assert!((f - 0.75).abs() < 1e-9, "{f}");
+        assert_eq!(busy_fraction(&log, Some(0), None, t(10), t(10)), 0.0);
+    }
+
+    #[test]
+    fn overlap_between_lanes() {
+        let log = sample();
+        // Lanes 0 and 1 overlap on [50, 100].
+        assert_eq!(lane_overlap(&log, 0, 1), Dur::from_ns(50));
+        // Lanes 1 and 2 overlap on [50, 60].
+        assert_eq!(lane_overlap(&log, 1, 2), Dur::from_ns(10));
+        // A lane with no spans overlaps nothing.
+        assert_eq!(lane_overlap(&log, 0, 9), Dur::ZERO);
+    }
+
+    #[test]
+    fn adjacent_spans_do_not_double_count() {
+        let mut log = TraceLog::enabled();
+        log.record(0, SpanKind::Kernel, "a", t(0), t(50));
+        log.record(0, SpanKind::Kernel, "b", t(50), t(100));
+        let p = concurrency_profile(&log, None);
+        assert_eq!(p.value_at(t(50)), Some(1.0), "touching spans stay level 1");
+        let f = busy_fraction(&log, Some(0), None, t(0), t(100));
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+}

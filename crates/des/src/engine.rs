@@ -1,0 +1,256 @@
+//! The future-event list.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, M)` pairs with two
+//! properties the GPU model depends on:
+//!
+//! * **Stable tie-breaking** — events scheduled for the same instant pop
+//!   in the order they were scheduled, making runs deterministic.
+//! * **Cancellation** — `schedule` returns an [`EventId`] that can later
+//!   be cancelled in O(1) (lazy tombstoning); the processor-sharing SMX
+//!   model reschedules pending block-completion events whenever
+//!   occupancy changes.
+
+use crate::time::{Dur, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// The queue also tracks the current simulation clock: [`EventQueue::now`]
+/// advances monotonically as events are popped. Scheduling into the past
+/// is a logic error and panics in debug builds (clamped to `now` in
+/// release builds so a stray rounding artifact cannot wedge a long run).
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Create an empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (diagnostics / perf counters).
+    #[inline]
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `msg` at absolute time `at`.
+    ///
+    /// Panics in debug builds if `at` lies in the past; clamps to `now`
+    /// in release builds.
+    pub fn schedule_at(&mut self, at: SimTime, msg: M) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled an event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, msg });
+        EventId(seq)
+    }
+
+    /// Schedule `msg` after a delay relative to the current clock.
+    pub fn schedule_in(&mut self, delay: Dur, msg: M) -> EventId {
+        self.schedule_at(self.now + delay, msg)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// was still pending (i.e. this call actually removed it).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id >= next_seq was never issued. Cancelling an id that has
+        // already been delivered leaves a small tombstone (heap
+        // membership cannot be tested cheaply); callers are expected to
+        // cancel only events they know are still pending.
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, M)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event heap returned a past event");
+            self.now = ev.at;
+            self.popped += 1;
+            return Some((ev.at, ev.msg));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled tombstones from the top so peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let ev = self.heap.pop().expect("peeked element vanished");
+                self.cancelled.remove(&ev.seq);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(30), "c");
+        q.schedule_at(SimTime::from_ns(10), "a");
+        q.schedule_at(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_ns(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(100), 1);
+        q.pop();
+        q.schedule_in(Dur::from_ns(50), 2);
+        let (t, m) = q.pop().unwrap();
+        assert_eq!((t.as_ns(), m), (150, 2));
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ns(10), "a");
+        q.schedule_at(SimTime::from_ns(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pending(), 1);
+        let (t, m) = q.pop().unwrap();
+        assert_eq!((t.as_ns(), m), (20, "b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ns(10), "a");
+        q.schedule_at(SimTime::from_ns(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(20)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pending_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule_at(SimTime::from_ns(i), i))
+            .collect();
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.pending(), 5);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(100), ());
+        q.pop();
+        q.schedule_at(SimTime::from_ns(50), ());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the simulation toolkit's core invariants.
+
+use hq_des::prelude::*;
+use hq_des::stats::{geomean, percentile};
+use hq_des::time::{Dur, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events pop sorted by time, with FIFO order among equal times.
+    #[test]
+    fn event_queue_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_ns(t), i);
+        }
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_ns(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule_at(SimTime::from_ns(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Integration is additive over adjacent windows.
+    #[test]
+    fn time_series_integral_additive(
+        points in proptest::collection::vec((0u64..10_000, -100.0f64..100.0), 1..50),
+        split in 0u64..10_000,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = TimeSeries::new();
+        for (t, v) in sorted {
+            s.set(SimTime::from_ns(t), v);
+        }
+        let a = SimTime::from_ns(0);
+        let m = SimTime::from_ns(split);
+        let b = SimTime::from_ns(10_000);
+        let whole = s.integrate(a, b);
+        let parts = s.integrate(a, m) + s.integrate(m, b);
+        prop_assert!((whole - parts).abs() < 1e-9 * (1.0 + whole.abs()),
+            "integrate not additive: {whole} vs {parts}");
+    }
+
+    /// value_at returns the most recent set value.
+    #[test]
+    fn time_series_value_at_matches_last_set(
+        points in proptest::collection::vec((0u64..1000, 0.0f64..10.0), 1..40),
+        query in 0u64..1200,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = TimeSeries::new();
+        for (t, v) in &sorted {
+            s.set(SimTime::from_ns(*t), *v);
+        }
+        let expected = sorted
+            .iter()
+            .filter(|&&(t, _)| t <= query)
+            .next_back()  // last change at or before query (sorted, last write wins)
+            .map(|&(_, v)| v);
+        // The series compacts redundant values, but the *value* must match.
+        prop_assert_eq!(s.value_at(SimTime::from_ns(query)), expected);
+    }
+
+    /// Merged statistics equal sequentially accumulated statistics.
+    #[test]
+    fn stats_merge_equivalence(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut a = OnlineStats::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = OnlineStats::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+        let mut whole = OnlineStats::new();
+        xs.iter().chain(ys.iter()).for_each(|&v| whole.push(v));
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs()
+            <= 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Percentiles stay within the sample range and are monotone in q.
+    #[test]
+    fn percentile_bounds_and_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let p = percentile(&xs, q).unwrap();
+            prop_assert!(p >= lo && p <= hi);
+            prop_assert!(p >= prev, "percentile not monotone in q");
+            prev = p;
+        }
+    }
+
+    /// Geomean of positive values lies between min and max.
+    #[test]
+    fn geomean_bounds(xs in proptest::collection::vec(0.001f64..1e4, 1..100)) {
+        let g = geomean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001, "geomean {g} outside [{lo}, {hi}]");
+    }
+
+    /// Shuffle produces a permutation, deterministic per seed.
+    #[test]
+    fn shuffle_permutation(seed in any::<u64>(), n in 0usize..200) {
+        let mut v1: Vec<usize> = (0..n).collect();
+        let mut v2: Vec<usize> = (0..n).collect();
+        DetRng::seed_from_u64(seed).shuffle(&mut v1);
+        DetRng::seed_from_u64(seed).shuffle(&mut v2);
+        prop_assert_eq!(&v1, &v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Utilization busy fraction is always within [0, 1].
+    #[test]
+    fn utilization_fraction_bounded(
+        events in proptest::collection::vec((0u64..10_000, any::<bool>()), 0..50),
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut u = Utilization::new();
+        for (t, busy) in sorted {
+            if busy {
+                u.busy(SimTime::from_ns(t));
+            } else {
+                u.idle(SimTime::from_ns(t));
+            }
+        }
+        let f = u.busy_fraction(SimTime::ZERO, SimTime::from_ns(10_000));
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+    }
+
+    /// Duration scaling by a factor then its inverse round-trips within
+    /// rounding error.
+    #[test]
+    fn dur_mul_roundtrip(ns in 1u64..1_000_000_000, k in 0.01f64..100.0) {
+        let d = Dur::from_ns(ns);
+        let scaled = d.mul_f64(k);
+        let back = scaled.mul_f64(1.0 / k);
+        let err = (back.as_ns() as i128 - ns as i128).unsigned_abs();
+        // Two roundings, each up to 0.5ns, amplified by 1/k.
+        let tol = (1.0 / k).max(1.0).ceil() as u128 + 1;
+        prop_assert!(err <= tol, "roundtrip {ns} -> {} (err {err}, tol {tol})", back.as_ns());
+    }
+}

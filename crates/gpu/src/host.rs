@@ -1,0 +1,182 @@
+//! Simulated host threads and host-side mutexes.
+//!
+//! Each application is one host thread executing its [`Program`]
+//! sequentially. Threads are started by the simulated parent thread
+//! with a configurable stagger (launch order = the scheduling order
+//! under test), pay driver overhead per API call, and may block on
+//! stream synchronization or on a mutex (FIFO wakeup — the fairness the
+//! paper's pseudo-burst transfer mechanism relies on).
+
+use crate::program::Program;
+use crate::types::{AppId, MutexId, StreamId};
+use hq_des::time::SimTime;
+use std::collections::VecDeque;
+
+/// Why a host thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostState {
+    /// Created, waiting for its start event (possibly dependent on
+    /// another app finishing, for serialized baselines).
+    NotStarted,
+    /// Executing ops (a resume event is scheduled or being handled).
+    Running,
+    /// Blocked acquiring a mutex.
+    BlockedOnMutex(MutexId),
+    /// Blocked in `cudaStreamSynchronize`.
+    BlockedOnSync,
+    /// Program exhausted.
+    Done,
+}
+
+/// One simulated application thread.
+#[derive(Debug)]
+pub struct HostThread {
+    /// The application this thread runs.
+    pub app: AppId,
+    /// Stream all of this application's device ops target.
+    pub stream: StreamId,
+    /// The program being executed.
+    pub program: Program,
+    /// Index of the next op to execute.
+    pub pc: usize,
+    /// Current run state.
+    pub state: HostState,
+    /// When the thread started executing.
+    pub started: Option<SimTime>,
+    /// When the thread finished its program.
+    pub finished: Option<SimTime>,
+    /// If set, this thread starts only after the named app finishes
+    /// (used to build fully serialized baselines).
+    pub start_after: Option<AppId>,
+}
+
+impl HostThread {
+    /// New thread in the `NotStarted` state.
+    pub fn new(app: AppId, stream: StreamId, program: Program) -> Self {
+        HostThread {
+            app,
+            stream,
+            program,
+            pc: 0,
+            state: HostState::NotStarted,
+            started: None,
+            finished: None,
+            start_after: None,
+        }
+    }
+
+    /// True once the program is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.state == HostState::Done
+    }
+}
+
+/// A host-side mutex with FIFO handoff.
+///
+/// FIFO (rather than barging) wakeup keeps the simulation deterministic
+/// and matches the paper's intent: each application's transfer stage
+/// takes the copy queue in turn.
+#[derive(Debug, Default)]
+pub struct SimMutex {
+    holder: Option<AppId>,
+    waiters: VecDeque<AppId>,
+}
+
+impl SimMutex {
+    /// New unlocked mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current holder, if locked.
+    pub fn holder(&self) -> Option<AppId> {
+        self.holder
+    }
+
+    /// Number of queued waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Attempt to acquire. Returns `true` on success; otherwise the
+    /// caller is queued for FIFO handoff.
+    pub fn lock(&mut self, app: AppId) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(app);
+                true
+            }
+            Some(h) => {
+                assert_ne!(h, app, "recursive lock by {app}");
+                debug_assert!(
+                    !self.waiters.contains(&app),
+                    "{app} already waiting on this mutex"
+                );
+                self.waiters.push_back(app);
+                false
+            }
+        }
+    }
+
+    /// Release the mutex. The caller must be the holder. Returns the
+    /// next holder (woken FIFO), if any — ownership transfers directly.
+    pub fn unlock(&mut self, app: AppId) -> Option<AppId> {
+        assert_eq!(self.holder, Some(app), "unlock by non-holder {app}");
+        self.holder = self.waiters.pop_front();
+        self.holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_des::time::Dur;
+
+    #[test]
+    fn uncontended_lock_unlock() {
+        let mut m = SimMutex::new();
+        assert!(m.lock(AppId(0)));
+        assert_eq!(m.holder(), Some(AppId(0)));
+        assert_eq!(m.unlock(AppId(0)), None);
+        assert_eq!(m.holder(), None);
+    }
+
+    #[test]
+    fn fifo_handoff() {
+        let mut m = SimMutex::new();
+        assert!(m.lock(AppId(0)));
+        assert!(!m.lock(AppId(1)));
+        assert!(!m.lock(AppId(2)));
+        assert_eq!(m.waiter_count(), 2);
+        assert_eq!(m.unlock(AppId(0)), Some(AppId(1)));
+        assert_eq!(m.holder(), Some(AppId(1)));
+        assert_eq!(m.unlock(AppId(1)), Some(AppId(2)));
+        assert_eq!(m.unlock(AppId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn unlock_by_non_holder_panics() {
+        let mut m = SimMutex::new();
+        m.lock(AppId(0));
+        m.unlock(AppId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive")]
+    fn recursive_lock_panics() {
+        let mut m = SimMutex::new();
+        m.lock(AppId(0));
+        m.lock(AppId(0));
+    }
+
+    #[test]
+    fn host_thread_initial_state() {
+        let p = Program::builder("x").host_work(Dur::from_us(1)).build();
+        let t = HostThread::new(AppId(3), StreamId(1), p);
+        assert_eq!(t.state, HostState::NotStarted);
+        assert!(!t.is_done());
+        assert_eq!(t.pc, 0);
+        assert!(t.started.is_none() && t.finished.is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # hq-gpu — a discrete-event model of a Kepler-class GPU
+//!
+//! This crate is the hardware substrate for the Hyper-Q reproduction:
+//! a deterministic simulator of the device the paper evaluates on (a
+//! Tesla K20, compute capability 3.5) together with a CUDA-shaped host
+//! interface.
+//!
+//! The model captures every mechanism the paper's techniques manipulate:
+//!
+//! * **SMX array** ([`smx`]) — 13 units with CC 3.5 residency limits
+//!   (16 blocks / 2048 threads / 64 Ki registers / 48 KiB shared memory
+//!   per SMX) executing resident warps under processor sharing.
+//! * **Grid management** ([`gmu`]) — 32 Hyper-Q hardware work queues
+//!   (or 1 in Fermi mode), GMU launch latency, and a thread-block
+//!   dispatcher implementing the LEFTOVER lazy policy, plus a
+//!   conservative-fit admission baseline.
+//! * **DMA engines** ([`dma`]) — one per direction, serving transfers
+//!   in host issue order; this is where the paper's false serialization
+//!   and interleaving (Fig. 1) arise, and what the host-side transfer
+//!   mutex (Fig. 2) tames.
+//! * **Streams** ([`stream`]) — in-order work queues with
+//!   `cudaStreamSynchronize` semantics.
+//! * **Host threads** ([`host`], [`program`]) — one thread per
+//!   application executing a program of driver calls with per-call
+//!   overhead, launch stagger, and optional jitter.
+//!
+//! The entry point is [`sim::GpuSim`]; see its module docs for a
+//! runnable example.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dma;
+pub mod gmu;
+pub mod host;
+pub mod kernel;
+pub mod memory;
+pub mod program;
+pub mod result;
+pub mod sim;
+pub mod smx;
+pub mod stream;
+pub mod types;
+pub mod validate;
+
+pub use sim::prelude;
+pub use sim::GpuSim;

@@ -1,0 +1,241 @@
+//! Simulation outputs: per-application statistics and device series.
+
+use crate::config::DeviceConfig;
+use crate::types::{AppId, Dir, StreamId};
+use hq_des::record::TimeSeries;
+use hq_des::time::{Dur, SimTime};
+use hq_des::trace::TraceLog;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics for one transfer direction of one application.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Number of memcpy operations.
+    pub count: u32,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Engine start of the first transfer.
+    pub first_start: Option<SimTime>,
+    /// Engine completion of the last transfer.
+    pub last_end: Option<SimTime>,
+    /// Sum of pure engine service time for this app's transfers.
+    pub service_time: Dur,
+}
+
+impl TransferStats {
+    /// The paper's *effective memory transfer latency* `Le` (§III-B,
+    /// eq. 2): wall time from the start of the application's first
+    /// transfer to the completion of its last, in this direction —
+    /// inflated when other applications' transfers interleave.
+    pub fn effective_latency(&self) -> Option<Dur> {
+        match (self.first_start, self.last_end) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn note_service(&mut self, start: SimTime, end: SimTime) {
+        self.first_start = Some(self.first_start.map_or(start, |f| f.min(start)));
+        self.last_end = Some(self.last_end.map_or(end, |l| l.max(end)));
+        self.service_time += end - start;
+    }
+}
+
+/// Per-application results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Application id (host thread).
+    pub app: AppId,
+    /// Application label.
+    pub label: String,
+    /// Stream the application ran on.
+    pub stream: StreamId,
+    /// When the host thread started executing.
+    pub started: Option<SimTime>,
+    /// When the host thread finished its program (after final sync).
+    pub finished: Option<SimTime>,
+    /// HtoD transfer aggregates.
+    pub htod: TransferStats,
+    /// DtoH transfer aggregates.
+    pub dtoh: TransferStats,
+    /// Number of completed kernel launches.
+    pub kernels_completed: u32,
+    /// First kernel dispatch time.
+    pub first_kernel_start: Option<SimTime>,
+    /// Last kernel completion time.
+    pub last_kernel_end: Option<SimTime>,
+}
+
+impl AppStats {
+    pub(crate) fn new(app: AppId, label: String, stream: StreamId) -> Self {
+        AppStats {
+            app,
+            label,
+            stream,
+            started: None,
+            finished: None,
+            htod: TransferStats::default(),
+            dtoh: TransferStats::default(),
+            kernels_completed: 0,
+            first_kernel_start: None,
+            last_kernel_end: None,
+        }
+    }
+
+    /// Transfer stats for a direction.
+    pub fn transfers(&self, dir: Dir) -> &TransferStats {
+        match dir {
+            Dir::HtoD => &self.htod,
+            Dir::DtoH => &self.dtoh,
+        }
+    }
+
+    pub(crate) fn transfers_mut(&mut self, dir: Dir) -> &mut TransferStats {
+        match dir {
+            Dir::HtoD => &mut self.htod,
+            Dir::DtoH => &mut self.dtoh,
+        }
+    }
+
+    /// Wall time from thread start to thread finish.
+    pub fn turnaround(&self) -> Option<Dur> {
+        match (self.started, self.finished) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+}
+
+/// Errors a simulation run can report instead of panicking.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// Sum of application device allocations exceeds device memory.
+    DeviceMemoryExceeded {
+        /// Bytes requested across all applications.
+        requested: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// The event queue drained while host threads were still blocked —
+    /// e.g. a program locks a mutex and never unlocks it.
+    Deadlock {
+        /// Labels and states of the stuck threads.
+        stuck: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::DeviceMemoryExceeded {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "device memory exceeded: requested {requested} B of {capacity} B"
+            ),
+            SimError::Deadlock { stuck } => {
+                write!(f, "simulation deadlocked; stuck threads: {stuck:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Complete output of one simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Device configuration the run used.
+    pub device: DeviceConfig,
+    /// Wall-clock end of the run (last host thread finish).
+    pub makespan: SimTime,
+    /// Per-application statistics, in application-id order.
+    pub apps: Vec<AppStats>,
+    /// Timeline spans (empty if tracing was disabled).
+    pub trace: TraceLog,
+    /// Device-wide resident thread count over time (drives the power
+    /// model's occupancy term).
+    pub resident_threads: TimeSeries,
+    /// Number of non-idle SMX units over time.
+    pub active_smx: TimeSeries,
+    /// DMA busy indicator (0/1) per direction over time.
+    pub dma_busy: [TimeSeries; 2],
+    /// Number of discrete events processed (perf diagnostics).
+    pub events: u64,
+}
+
+impl SimResult {
+    /// Mean effective memory transfer latency across applications for a
+    /// direction (the per-stream/per-application average of eq. 2).
+    pub fn mean_effective_latency(&self, dir: Dir) -> Option<Dur> {
+        let vals: Vec<Dur> = self
+            .apps
+            .iter()
+            .filter_map(|a| a.transfers(dir).effective_latency())
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let total: u64 = vals.iter().map(|d| d.as_ns()).sum();
+        Some(Dur::from_ns(total / vals.len() as u64))
+    }
+
+    /// Device occupancy (resident threads / capacity) averaged over the
+    /// run.
+    pub fn mean_occupancy(&self) -> f64 {
+        let cap = self.device.max_resident_threads() as f64;
+        if cap == 0.0 || self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        self.resident_threads
+            .mean_over(SimTime::ZERO, self.makespan)
+            / cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_latency_requires_both_ends() {
+        let mut ts = TransferStats::default();
+        assert_eq!(ts.effective_latency(), None);
+        ts.note_service(SimTime::from_ns(100), SimTime::from_ns(150));
+        ts.note_service(SimTime::from_ns(300), SimTime::from_ns(400));
+        assert_eq!(ts.effective_latency(), Some(Dur::from_ns(300)));
+        assert_eq!(ts.service_time, Dur::from_ns(150));
+    }
+
+    #[test]
+    fn note_service_keeps_extremes() {
+        let mut ts = TransferStats::default();
+        ts.note_service(SimTime::from_ns(200), SimTime::from_ns(250));
+        ts.note_service(SimTime::from_ns(50), SimTime::from_ns(80));
+        assert_eq!(ts.first_start, Some(SimTime::from_ns(50)));
+        assert_eq!(ts.last_end, Some(SimTime::from_ns(250)));
+    }
+
+    #[test]
+    fn turnaround() {
+        let mut a = AppStats::new(AppId(0), "x".into(), StreamId(0));
+        assert_eq!(a.turnaround(), None);
+        a.started = Some(SimTime::from_ns(10));
+        a.finished = Some(SimTime::from_ns(110));
+        assert_eq!(a.turnaround(), Some(Dur::from_ns(100)));
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::DeviceMemoryExceeded {
+            requested: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("device memory exceeded"));
+        let d = SimError::Deadlock {
+            stuck: vec!["a".into()],
+        };
+        assert!(d.to_string().contains("deadlock"));
+    }
+}

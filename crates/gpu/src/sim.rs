@@ -1,0 +1,666 @@
+//! The device + host co-simulation.
+//!
+//! [`GpuSim`] owns every component — SMX array, grid management unit,
+//! DMA engines, streams, host threads and mutexes — and advances them
+//! through a single deterministic event loop. The public surface is
+//! deliberately CUDA-shaped: create streams, add applications (host
+//! threads running [`Program`]s), run, and collect a [`SimResult`].
+//!
+//! ```
+//! use hq_gpu::prelude::*;
+//! use hq_des::time::Dur;
+//!
+//! let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 42);
+//! let s = sim.create_stream();
+//! let program = Program::builder("demo")
+//!     .htod(1 << 20, "input")
+//!     .launch(KernelDesc::new("k", 64u32, 256u32, Dur::from_us(20)))
+//!     .dtoh(1 << 20, "output")
+//!     .build();
+//! sim.add_app(program, s);
+//! let result = sim.run().expect("run succeeds");
+//! assert_eq!(result.apps.len(), 1);
+//! assert!(result.makespan.as_ns() > 0);
+//! ```
+
+use crate::config::{AdmissionPolicy, DeviceConfig, HostConfig};
+use crate::dma::Engine;
+use crate::gmu::{Gmu, GridState, ResourceTotals};
+use crate::host::{HostState, HostThread, SimMutex};
+use crate::kernel::KernelDesc;
+use crate::program::{HostOp, Program};
+use crate::result::{AppStats, SimError, SimResult};
+use crate::smx::Smx;
+use crate::stream::Stream;
+use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
+use hq_des::prelude::*;
+use hq_des::time::{Dur, SimTime};
+use std::collections::VecDeque;
+
+/// Discrete events driving the co-simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A host thread begins executing its program.
+    ThreadStart(AppId),
+    /// A host thread resumes after a timed operation.
+    HostResume(AppId),
+    /// The DMA engine for a direction finished its service slice.
+    CopyDone(Dir),
+    /// A grid finished its GMU launch latency and is dispatchable.
+    GridReady(GridId),
+    /// A block group on an SMX ran to completion.
+    GroupDone { smx: u32, token: u64 },
+}
+
+/// Device-side operation kinds held in the op arena.
+#[derive(Debug)]
+enum OpKind {
+    Copy { dir: Dir, bytes: u64 },
+    Kernel { desc: KernelDesc },
+}
+
+#[derive(Debug)]
+struct OpState {
+    app: AppId,
+    stream: StreamId,
+    /// Global host-issue sequence number (engine service order).
+    seq: u64,
+    kind: OpKind,
+    label: String,
+}
+
+/// The simulator. See the module docs for an end-to-end example.
+pub struct GpuSim {
+    dev: DeviceConfig,
+    host: HostConfig,
+    rng: DetRng,
+    q: EventQueue<Ev>,
+    smxs: Vec<Smx>,
+    engines: [Engine; 2],
+    streams: Vec<Stream>,
+    gmu: Gmu,
+    admission_wait: VecDeque<GridId>,
+    ops: Vec<OpState>,
+    threads: Vec<HostThread>,
+    mutexes: Vec<SimMutex>,
+    stats: Vec<AppStats>,
+    trace: TraceLog,
+    resident_threads: TimeSeries,
+    active_smx: TimeSeries,
+    enq_seq: u64,
+    group_token: u64,
+    finished_threads: usize,
+}
+
+impl GpuSim {
+    /// Create a simulator with tracing enabled.
+    pub fn new(dev: DeviceConfig, host: HostConfig, seed: u64) -> Self {
+        Self::with_trace(dev, host, seed, true)
+    }
+
+    /// Create a simulator, choosing whether to record timeline spans
+    /// (disable for large parameter sweeps).
+    pub fn with_trace(dev: DeviceConfig, host: HostConfig, seed: u64, trace: bool) -> Self {
+        let smxs = (0..dev.num_smx).map(|_| Smx::new(dev.smx)).collect();
+        GpuSim {
+            engines: [
+                Engine::new(Dir::HtoD, dev.dma),
+                Engine::new(Dir::DtoH, dev.dma),
+            ],
+            gmu: Gmu::new(dev.hw_queues),
+            smxs,
+            dev,
+            host,
+            rng: DetRng::seed_from_u64(seed),
+            q: EventQueue::new(),
+            streams: Vec::new(),
+            admission_wait: VecDeque::new(),
+            ops: Vec::new(),
+            threads: Vec::new(),
+            mutexes: Vec::new(),
+            stats: Vec::new(),
+            trace: if trace {
+                TraceLog::enabled()
+            } else {
+                TraceLog::disabled()
+            },
+            resident_threads: TimeSeries::new(),
+            active_smx: TimeSeries::new(),
+            enq_seq: 0,
+            group_token: 0,
+            finished_threads: 0,
+        }
+    }
+
+    /// Create one CUDA stream; returns its id (also the trace lane).
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(Stream::new());
+        id
+    }
+
+    /// Create `n` streams.
+    pub fn create_streams(&mut self, n: u32) -> Vec<StreamId> {
+        (0..n).map(|_| self.create_stream()).collect()
+    }
+
+    /// Create a host-side mutex for the memory-sync technique.
+    pub fn create_mutex(&mut self) -> MutexId {
+        let id = MutexId(self.mutexes.len() as u32);
+        self.mutexes.push(SimMutex::new());
+        id
+    }
+
+    /// Add an application (one host thread running `program` against
+    /// `stream`). The order of `add_app` calls is the launch order: the
+    /// parent staggers thread starts by
+    /// [`HostConfig::thread_launch_stagger`].
+    pub fn add_app(&mut self, program: Program, stream: StreamId) -> AppId {
+        assert!(
+            stream.index() < self.streams.len(),
+            "unknown stream {stream}"
+        );
+        let app = AppId(self.threads.len() as u32);
+        self.stats
+            .push(AppStats::new(app, program.label.clone(), stream));
+        self.threads.push(HostThread::new(app, stream, program));
+        app
+    }
+
+    /// Make `app` start only after `dep` finishes (serialized baseline).
+    pub fn set_start_after(&mut self, app: AppId, dep: AppId) {
+        assert_ne!(app, dep, "thread cannot wait on itself");
+        self.threads[app.index()].start_after = Some(dep);
+    }
+
+    /// Number of applications added so far.
+    pub fn app_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        // Place every application's device footprint through the
+        // allocator, exactly as the paper's parent thread cudaMallocs
+        // everything before launching children.
+        let mut pool = crate::memory::MemoryPool::new(self.dev.device_mem_bytes);
+        for t in &self.threads {
+            if t.program.device_bytes > 0
+                && pool.alloc(t.program.device_bytes, Some(t.app)).is_err()
+            {
+                let requested: u64 = self.threads.iter().map(|t| t.program.device_bytes).sum();
+                return Err(SimError::DeviceMemoryExceeded {
+                    requested,
+                    capacity: self.dev.device_mem_bytes,
+                });
+            }
+        }
+
+        // Parent thread launches independent children with a stagger, in
+        // add order; dependent children start when their dependency
+        // finishes.
+        let mut at = SimTime::ZERO;
+        for i in 0..self.threads.len() {
+            if self.threads[i].start_after.is_none() {
+                let jit = self.jitter();
+                self.q
+                    .schedule_at(at + jit, Ev::ThreadStart(AppId(i as u32)));
+                at += self.host.thread_launch_stagger;
+            }
+        }
+
+        while let Some((_, ev)) = self.q.pop() {
+            self.handle(ev);
+        }
+
+        if self.finished_threads != self.threads.len() {
+            let stuck = self
+                .threads
+                .iter()
+                .filter(|t| !t.is_done())
+                .map(|t| format!("{} ({:?})", t.program.label, t.state))
+                .collect();
+            return Err(SimError::Deadlock { stuck });
+        }
+
+        let makespan = self
+            .threads
+            .iter()
+            .filter_map(|t| t.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok(SimResult {
+            device: self.dev,
+            makespan,
+            apps: self.stats,
+            trace: self.trace,
+            resident_threads: self.resident_threads,
+            active_smx: self.active_smx,
+            dma_busy: [
+                self.engines[0].util.series().clone(),
+                self.engines[1].util.series().clone(),
+            ],
+            events: self.q.popped(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::ThreadStart(app) => {
+                let now = self.q.now();
+                let t = &mut self.threads[app.index()];
+                debug_assert_eq!(t.state, HostState::NotStarted);
+                t.state = HostState::Running;
+                t.started = Some(now);
+                self.stats[app.index()].started = Some(now);
+                self.host_step(app);
+            }
+            Ev::HostResume(app) => self.host_step(app),
+            Ev::CopyDone(dir) => self.on_copy_done(dir),
+            Ev::GridReady(grid) => self.on_grid_ready(grid),
+            Ev::GroupDone { smx, token } => self.on_group_done(smx as usize, token),
+        }
+    }
+
+    fn jitter(&mut self) -> Dur {
+        let mean = self.host.jitter_mean.as_secs_f64();
+        if mean == 0.0 {
+            Dur::ZERO
+        } else {
+            Dur::from_secs_f64(self.rng.gen_exp(mean))
+        }
+    }
+
+    /// Execute the host thread's current op. Exactly one of three things
+    /// happens: a resume event is scheduled (timed op), the thread
+    /// blocks (mutex / sync), or the thread finishes.
+    fn host_step(&mut self, app: AppId) {
+        let idx = app.index();
+        if self.threads[idx].pc >= self.threads[idx].program.ops.len() {
+            self.finish_thread(app);
+            return;
+        }
+        let op = self.threads[idx].program.ops[self.threads[idx].pc].clone();
+        match op {
+            HostOp::HostWork { dur } => {
+                self.threads[idx].pc += 1;
+                let jit = self.jitter();
+                self.q.schedule_in(dur + jit, Ev::HostResume(app));
+            }
+            HostOp::MemcpyAsync { dir, bytes, label } => {
+                self.enqueue_device_op(app, OpKind::Copy { dir, bytes }, format!("{label} {dir}"));
+                self.threads[idx].pc += 1;
+                let cost = self.host.driver_call_overhead + self.jitter();
+                self.q.schedule_in(cost, Ev::HostResume(app));
+            }
+            HostOp::LaunchKernel { kernel } => {
+                let label = kernel.name.clone();
+                self.enqueue_device_op(app, OpKind::Kernel { desc: kernel }, label);
+                self.threads[idx].pc += 1;
+                let cost = self.host.driver_call_overhead + self.jitter();
+                self.q.schedule_in(cost, Ev::HostResume(app));
+            }
+            HostOp::StreamSync => {
+                let stream = self.threads[idx].stream;
+                if self.streams[stream.index()].add_sync_waiter(app) {
+                    self.threads[idx].state = HostState::BlockedOnSync;
+                } else {
+                    self.threads[idx].pc += 1;
+                    let cost = self.host.driver_call_overhead + self.jitter();
+                    self.q.schedule_in(cost, Ev::HostResume(app));
+                }
+            }
+            HostOp::MutexLock(m) => {
+                if self.mutexes[m.index()].lock(app) {
+                    self.threads[idx].pc += 1;
+                    let cost = self.host.mutex_overhead + self.jitter();
+                    self.q.schedule_in(cost, Ev::HostResume(app));
+                } else {
+                    self.threads[idx].state = HostState::BlockedOnMutex(m);
+                }
+            }
+            HostOp::MutexUnlock(m) => {
+                if let Some(next) = self.mutexes[m.index()].unlock(app) {
+                    // FIFO handoff: the woken thread's pending MutexLock
+                    // op completes now.
+                    let nt = &mut self.threads[next.index()];
+                    debug_assert_eq!(nt.state, HostState::BlockedOnMutex(m));
+                    nt.state = HostState::Running;
+                    nt.pc += 1;
+                    let cost = self.host.mutex_overhead + self.jitter();
+                    self.q.schedule_in(cost, Ev::HostResume(next));
+                }
+                self.threads[idx].pc += 1;
+                let cost = self.host.mutex_overhead + self.jitter();
+                self.q.schedule_in(cost, Ev::HostResume(app));
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, app: AppId) {
+        let now = self.q.now();
+        let t = &mut self.threads[app.index()];
+        debug_assert!(!t.is_done(), "thread finished twice");
+        t.state = HostState::Done;
+        t.finished = Some(now);
+        self.stats[app.index()].finished = Some(now);
+        self.finished_threads += 1;
+        // Start dependents (serialized baselines chain thread starts).
+        for i in 0..self.threads.len() {
+            if self.threads[i].start_after == Some(app) {
+                let d = self.host.thread_launch_stagger + self.jitter();
+                self.q.schedule_in(d, Ev::ThreadStart(AppId(i as u32)));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Device-op plumbing
+    // ------------------------------------------------------------------
+
+    fn enqueue_device_op(&mut self, app: AppId, kind: OpKind, label: String) {
+        let stream = self.threads[app.index()].stream;
+        let op = OpId(self.ops.len() as u32);
+        let seq = self.enq_seq;
+        self.enq_seq += 1;
+        self.ops.push(OpState {
+            app,
+            stream,
+            seq,
+            kind,
+            label,
+        });
+        if self.streams[stream.index()].enqueue(op) {
+            self.activate_op(op);
+        }
+    }
+
+    /// An op reached the head of its stream and may execute.
+    fn activate_op(&mut self, op: OpId) {
+        let now = self.q.now();
+        let o = &self.ops[op.index()];
+        match &o.kind {
+            OpKind::Copy { dir, bytes } => {
+                let (dir, bytes, seq, stream) = (*dir, *bytes, o.seq, o.stream);
+                self.engines[dir.index()].submit(seq, op, stream, bytes);
+                self.kick_engine(dir);
+            }
+            OpKind::Kernel { desc } => {
+                let desc = desc.clone();
+                let stream = o.stream;
+                let (gid, at_head) = self.gmu.push_grid(op, stream, desc);
+                if at_head {
+                    self.gmu.grids[gid.index()].state = GridState::Launching;
+                    self.q
+                        .schedule_at(now + self.dev.kernel_launch_latency, Ev::GridReady(gid));
+                }
+            }
+        }
+    }
+
+    fn kick_engine(&mut self, dir: Dir) {
+        let now = self.q.now();
+        if let Some(dur) = self.engines[dir.index()].try_start(now) {
+            self.q.schedule_in(dur, Ev::CopyDone(dir));
+        }
+    }
+
+    fn on_copy_done(&mut self, dir: Dir) {
+        let now = self.q.now();
+        let progress = self.engines[dir.index()].finish_current(now, &mut self.enq_seq);
+        let o = &self.ops[progress.op.index()];
+        let (app, stream, label) = (o.app, o.stream, o.label.clone());
+        let kind = match dir {
+            Dir::HtoD => SpanKind::CopyHtoD,
+            Dir::DtoH => SpanKind::CopyDtoH,
+        };
+        self.trace
+            .record(stream.0, kind, label, progress.started, now);
+        self.stats[app.index()]
+            .transfers_mut(dir)
+            .note_service(progress.started, now);
+        if progress.done {
+            let total = match self.ops[progress.op.index()].kind {
+                OpKind::Copy { bytes, .. } => bytes,
+                _ => unreachable!("copy completion for non-copy op"),
+            };
+            let st = self.stats[app.index()].transfers_mut(dir);
+            st.count += 1;
+            st.bytes += total;
+            self.complete_op(progress.op);
+        }
+        self.kick_engine(dir);
+    }
+
+    fn complete_op(&mut self, op: OpId) {
+        let now = self.q.now();
+        let stream = self.ops[op.index()].stream;
+        if let Some(next) = self.streams[stream.index()].complete_front(op) {
+            self.activate_op(next);
+        }
+        for app in self.streams[stream.index()].take_satisfied_waiters() {
+            let t = &mut self.threads[app.index()];
+            debug_assert_eq!(t.state, HostState::BlockedOnSync);
+            t.state = HostState::Running;
+            t.pc += 1;
+            // Waking from cudaStreamSynchronize costs a short hop back
+            // to user code.
+            let d = Dur::from_ns(500) + self.jitter();
+            self.q.schedule_at(now + d, Ev::HostResume(app));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grid management and block dispatch
+    // ------------------------------------------------------------------
+
+    fn on_grid_ready(&mut self, gid: GridId) {
+        self.gmu.grids[gid.index()].state = GridState::Dispatchable;
+        // A degenerate zero-block grid (empty Dim3) completes
+        // immediately — it must not sit in the dispatch queue forever.
+        if self.gmu.grids[gid.index()].is_finished() {
+            self.finish_grid(gid);
+            return;
+        }
+        match self.dev.admission {
+            AdmissionPolicy::Lazy => self.gmu.dispatchable.push_back(gid),
+            AdmissionPolicy::ConservativeFit => {
+                self.admission_wait.push_back(gid);
+                self.try_admit();
+            }
+        }
+        self.dispatch();
+    }
+
+    /// Conservative-fit gate: admit waiting grids FIFO while their *sum
+    /// total* resource request fits the device; an oversubscribing grid
+    /// is admitted only onto an empty device (i.e. serialized).
+    fn try_admit(&mut self) {
+        let cap = ResourceTotals::device_capacity(&self.dev);
+        while let Some(&gid) = self.admission_wait.front() {
+            let need = ResourceTotals::of_grid(&self.gmu.grids[gid.index()].desc);
+            let would = self.gmu.admitted_totals.plus(&need);
+            let device_empty = self.gmu.admitted_totals.blocks == 0;
+            if would.fits_in(&cap) || device_empty {
+                self.gmu.admitted_totals = would;
+                self.admission_wait.pop_front();
+                self.gmu.dispatchable.push_back(gid);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The LEFTOVER dispatcher: walk dispatchable grids in admission
+    /// order, packing blocks onto SMXs until resources are exhausted.
+    fn dispatch(&mut self) {
+        let now = self.q.now();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < self.gmu.dispatchable.len() {
+            let gid = self.gmu.dispatchable[i];
+            let desc = self.gmu.grids[gid.index()].desc.clone();
+            let mut to_dispatch = self.gmu.grids[gid.index()].to_dispatch;
+            let before = to_dispatch;
+            // The hardware thread-block scheduler distributes a grid's
+            // blocks across SMX units rather than filling one unit at a
+            // time; emulate that with placement rounds — each round
+            // spreads an even share over every SMX that still fits a
+            // block of this kernel.
+            while to_dispatch > 0 {
+                let fits: Vec<(usize, u32)> = self
+                    .smxs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(si, s)| {
+                        let fit = s.max_fit(&desc);
+                        (fit > 0).then_some((si, fit))
+                    })
+                    .collect();
+                if fits.is_empty() {
+                    break;
+                }
+                let share = to_dispatch.div_ceil(fits.len() as u32).max(1);
+                for (si, fit) in fits {
+                    if to_dispatch == 0 {
+                        break;
+                    }
+                    let n = fit.min(share).min(to_dispatch);
+                    let token = self.group_token;
+                    self.group_token += 1;
+                    let smx = &mut self.smxs[si];
+                    smx.advance(now);
+                    smx.place(now, token, gid, &desc, n);
+                    to_dispatch -= n;
+                    if !touched.contains(&si) {
+                        touched.push(si);
+                    }
+                }
+            }
+            let placed = before - to_dispatch;
+            if placed > 0 {
+                let grid = &mut self.gmu.grids[gid.index()];
+                grid.outstanding += placed;
+                grid.to_dispatch = to_dispatch;
+                if grid.first_dispatch.is_none() {
+                    grid.first_dispatch = Some(now);
+                }
+            }
+            if to_dispatch == 0 {
+                self.gmu.dispatchable.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        for si in touched.iter().copied() {
+            self.reschedule_smx(si);
+        }
+        if !touched.is_empty() {
+            self.record_occupancy(now);
+        }
+    }
+
+    /// (Re-)issue completion events for the groups on an SMX. If the
+    /// processor-sharing rate is unchanged since the last issue,
+    /// existing events are still exact (remaining work drains linearly
+    /// at that rate), so only groups without an event — new placements —
+    /// get one; otherwise every group's event is cancelled and
+    /// recomputed at the new rate.
+    fn reschedule_smx(&mut self, si: usize) {
+        let q = &mut self.q;
+        let smx = &mut self.smxs[si];
+        let rate = smx.rate();
+        let rate_changed = rate != smx.sched_rate;
+        smx.sched_rate = rate;
+        for g in smx.groups_mut() {
+            if !rate_changed && g.ev.is_some() {
+                continue;
+            }
+            if let Some(ev) = g.ev.take() {
+                q.cancel(ev);
+            }
+            let eta = Dur::from_ns((g.remaining_ns() / rate).ceil() as u64);
+            g.ev = Some(q.schedule_in(
+                eta,
+                Ev::GroupDone {
+                    smx: si as u32,
+                    token: g.token,
+                },
+            ));
+        }
+    }
+
+    fn on_group_done(&mut self, si: usize, token: u64) {
+        let now = self.q.now();
+        let smx = &mut self.smxs[si];
+        smx.advance(now);
+        let group = smx
+            .take_completed(token)
+            .expect("GroupDone for unknown group (stale event not cancelled?)");
+        // Remaining groups on this SMX speed up; re-issue their events.
+        self.reschedule_smx(si);
+        let gid = group.grid;
+        let grid = &mut self.gmu.grids[gid.index()];
+        grid.outstanding -= group.blocks;
+        let finished = grid.is_finished();
+        if finished {
+            self.finish_grid(gid);
+        }
+        // Freed residency: let waiting blocks (this grid's or others')
+        // take the leftover space.
+        self.dispatch();
+        self.record_occupancy(now);
+    }
+
+    fn finish_grid(&mut self, gid: GridId) {
+        let now = self.q.now();
+        let grid = &mut self.gmu.grids[gid.index()];
+        grid.state = GridState::Done;
+        let op = grid.op;
+        let stream = grid.stream;
+        let name = grid.desc.name.clone();
+        let start = grid.first_dispatch.unwrap_or(now);
+        let desc_totals = ResourceTotals::of_grid(&grid.desc);
+        self.trace
+            .record(stream.0, SpanKind::Kernel, name, start, now);
+        let app = self.ops[op.index()].app;
+        let st = &mut self.stats[app.index()];
+        st.kernels_completed += 1;
+        st.first_kernel_start = Some(st.first_kernel_start.map_or(start, |f| f.min(start)));
+        st.last_kernel_end = Some(st.last_kernel_end.map_or(now, |l| l.max(now)));
+        if self.dev.admission == AdmissionPolicy::ConservativeFit {
+            self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
+            self.try_admit();
+        }
+        // Next grid in this hardware work queue becomes visible.
+        if let Some(next) = self.gmu.pop_queue_head(gid) {
+            self.gmu.grids[next.index()].state = GridState::Launching;
+            self.q
+                .schedule_at(now + self.dev.kernel_launch_latency, Ev::GridReady(next));
+        }
+        self.complete_op(op);
+    }
+
+    fn record_occupancy(&mut self, now: SimTime) {
+        let resident: u32 = self.smxs.iter().map(|s| s.resident_threads()).sum();
+        let active = self.smxs.iter().filter(|s| !s.is_idle()).count();
+        self.resident_threads.set(now, resident as f64);
+        self.active_smx.set(now, active as f64);
+    }
+}
+
+/// Re-exports for a one-line import in downstream crates.
+pub mod prelude {
+    pub use crate::config::{
+        AdmissionPolicy, DeviceConfig, DmaConfig, HostConfig, ServiceOrder, SmxLimits,
+    };
+    pub use crate::kernel::{Dim3, KernelDesc};
+    pub use crate::program::{HostOp, Program, ProgramBuilder};
+    pub use crate::result::{AppStats, SimError, SimResult, TransferStats};
+    pub use crate::sim::GpuSim;
+    pub use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
+}

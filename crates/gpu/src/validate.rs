@@ -1,0 +1,181 @@
+//! Post-run result validation.
+//!
+//! [`validate`] checks a finished [`SimResult`] against the invariants
+//! every correct run must satisfy — in-stream serialization, metric
+//! ordering, conservation of work, device drain — and returns the list
+//! of violations. The test suites call it after every simulation;
+//! downstream users can call it as a cheap sanity gate after their own
+//! experiments.
+
+use crate::result::SimResult;
+use crate::types::Dir;
+use hq_des::time::SimTime;
+
+/// A single invariant violation (human-readable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Check every post-run invariant; empty result means the run is
+/// internally consistent.
+pub fn validate(result: &SimResult) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut fail = |msg: String| v.push(Violation(msg));
+
+    // 1. Every application finished, within the makespan.
+    for a in &result.apps {
+        match (a.started, a.finished) {
+            (Some(s), Some(f)) => {
+                if f < s {
+                    fail(format!("{}: finished before it started", a.label));
+                }
+                if f > result.makespan {
+                    fail(format!("{}: finished after the makespan", a.label));
+                }
+            }
+            _ => fail(format!("{}: did not run to completion", a.label)),
+        }
+        // 2. Metric ordering: Le >= engine service time per direction.
+        for dir in Dir::ALL {
+            let t = a.transfers(dir);
+            if let Some(le) = t.effective_latency() {
+                if le < t.service_time {
+                    fail(format!(
+                        "{}: {dir} effective latency {} below service time {}",
+                        a.label, le, t.service_time
+                    ));
+                }
+            } else if t.count > 0 {
+                fail(format!(
+                    "{}: {dir} transfers recorded but no latency window",
+                    a.label
+                ));
+            }
+        }
+        // 3. Kernel window ordering.
+        if let (Some(ks), Some(ke)) = (a.first_kernel_start, a.last_kernel_end) {
+            if ke < ks {
+                fail(format!("{}: kernel window inverted", a.label));
+            }
+        }
+    }
+
+    // 4. In-stream serialization: spans on one lane never overlap.
+    if result.trace.is_enabled() {
+        let lanes: std::collections::BTreeSet<u32> =
+            result.trace.spans().iter().map(|s| s.lane).collect();
+        for lane in lanes {
+            let spans = result.trace.lane_spans(lane);
+            for w in spans.windows(2) {
+                if w[0].end > w[1].start {
+                    fail(format!(
+                        "lane {lane}: spans '{}' and '{}' overlap",
+                        w[0].label, w[1].label
+                    ));
+                }
+            }
+        }
+    }
+
+    // 5. Device drained: occupancy back to zero at the makespan.
+    if result
+        .resident_threads
+        .value_at(result.makespan)
+        .unwrap_or(0.0)
+        != 0.0
+    {
+        fail("device still has resident threads at the makespan".into());
+    }
+    for (i, dma) in result.dma_busy.iter().enumerate() {
+        if dma.value_at(result.makespan).unwrap_or(0.0) > 0.5 {
+            fail(format!("DMA engine {i} still busy at the makespan"));
+        }
+    }
+
+    // 6. Occupancy never exceeds device capacity.
+    let cap = result.device.max_resident_threads() as f64;
+    if let Some(peak) = result
+        .resident_threads
+        .max_over(SimTime::ZERO, result.makespan)
+    {
+        if peak > cap {
+            fail(format!(
+                "resident threads peaked at {peak}, above capacity {cap}"
+            ));
+        }
+    }
+
+    v
+}
+
+/// Panic with a readable report if any invariant fails (test helper).
+pub fn assert_valid(result: &SimResult) {
+    let violations = validate(result);
+    assert!(
+        violations.is_empty(),
+        "simulation result violates {} invariant(s):\n  {}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.0.as_str())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use hq_des::time::Dur;
+
+    fn run_sample() -> SimResult {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+        let streams = sim.create_streams(2);
+        for i in 0..2u32 {
+            let p = Program::builder(format!("app{i}"))
+                .htod(512 << 10, "in")
+                .launch(KernelDesc::new("k", 32u32, 128u32, Dur::from_us(40)))
+                .dtoh(256 << 10, "out")
+                .build();
+            sim.add_app(p, streams[i as usize]);
+        }
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn healthy_run_validates_clean() {
+        let r = run_sample();
+        assert_eq!(validate(&r), Vec::new());
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn corrupted_result_is_caught() {
+        let mut r = run_sample();
+        // Sabotage: pretend the makespan ended earlier than app finishes.
+        r.makespan = SimTime::from_ns(1);
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("after the makespan")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unfinished_app_is_caught() {
+        let mut r = run_sample();
+        r.apps[0].finished = None;
+        let violations = validate(&r);
+        assert!(violations
+            .iter()
+            .any(|v| v.0.contains("did not run to completion")));
+    }
+}

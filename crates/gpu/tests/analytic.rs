@@ -1,0 +1,172 @@
+//! Analytic cross-validation: closed-form expectations for simple
+//! scenarios must match the simulator *exactly* (same arithmetic, no
+//! tolerance games). These tests pin the timing semantics so model
+//! refactors cannot silently shift results.
+
+use hq_des::time::Dur;
+use hq_gpu::prelude::*;
+
+fn det_sim() -> GpuSim {
+    GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 0)
+}
+
+#[test]
+fn dma_service_time_is_latency_plus_bandwidth() {
+    let dma = DeviceConfig::tesla_k20().dma;
+    let sizes: [u64; 3] = [4 << 10, 1 << 20, 7 << 20];
+    let mut sim = det_sim();
+    let s = sim.create_stream();
+    let mut b = Program::builder("xfer");
+    for (i, &bytes) in sizes.iter().enumerate() {
+        b = b.htod(bytes, format!("buf{i}"));
+    }
+    sim.add_app(b.build(), s);
+    let r = sim.run().unwrap();
+    let expect: Dur = sizes.iter().map(|&b| dma.transfer_time(b)).sum();
+    assert_eq!(
+        r.apps[0].htod.service_time, expect,
+        "engine service must be exactly Σ(latency + bytes/bw)"
+    );
+}
+
+#[test]
+fn uncontended_transfers_have_le_equal_to_busy_window() {
+    // One app alone: its effective latency is its own transfers plus
+    // the inter-issue driver gaps — never more than service + 2 gaps.
+    let host = HostConfig::deterministic();
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 0);
+    let s = sim.create_stream();
+    let p = Program::builder("solo")
+        .htod(1 << 20, "a")
+        .htod(1 << 20, "b")
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let svc = r.apps[0].htod.service_time;
+    let le = r.apps[0].htod.effective_latency().unwrap();
+    assert!(le >= svc);
+    let slack = le - svc;
+    assert!(
+        slack <= host.driver_call_overhead.mul_f64(2.0),
+        "uncontended Le should track service: slack {slack}"
+    );
+}
+
+#[test]
+fn single_wave_kernel_duration_matches_processor_sharing_formula() {
+    // 104 blocks of 256 threads: exactly 8 blocks on each of 13 SMXs in
+    // one wave. 8 blocks × 8 warps = 64 resident warps vs. an issue
+    // capacity of 8 → rate 1/8 → duration = 8 × work_per_block.
+    let work = Dur::from_us(10);
+    let mut sim = det_sim();
+    let s = sim.create_stream();
+    let p = Program::builder("wave")
+        .launch(KernelDesc::new("k", 104u32, 256u32, work))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let a = &r.apps[0];
+    let span = a.last_kernel_end.unwrap() - a.first_kernel_start.unwrap();
+    assert_eq!(span, work.mul_f64(8.0), "one wave at rate 1/8");
+}
+
+#[test]
+fn two_wave_kernel_runs_exactly_twice_as_long() {
+    let work = Dur::from_us(10);
+    let run_blocks = |blocks: u32| {
+        let mut sim = det_sim();
+        let s = sim.create_stream();
+        let p = Program::builder("wave")
+            .launch(KernelDesc::new("k", blocks, 256u32, work))
+            .build();
+        sim.add_app(p, s);
+        let r = sim.run().unwrap();
+        let a = &r.apps[0];
+        a.last_kernel_end.unwrap() - a.first_kernel_start.unwrap()
+    };
+    assert_eq!(run_blocks(208).as_ns(), 2 * run_blocks(104).as_ns());
+}
+
+#[test]
+fn sub_capacity_kernel_runs_at_full_rate() {
+    // 13 blocks of 32 threads: one 1-warp block per SMX, rate 1.0 —
+    // kernel span equals the nominal block duration exactly.
+    let work = Dur::from_us(25);
+    let mut sim = det_sim();
+    let s = sim.create_stream();
+    let p = Program::builder("tiny")
+        .launch(KernelDesc::new("k", 13u32, 32u32, work))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let a = &r.apps[0];
+    assert_eq!(
+        a.last_kernel_end.unwrap() - a.first_kernel_start.unwrap(),
+        work
+    );
+}
+
+#[test]
+fn kernel_start_is_launch_latency_after_issue() {
+    // With zero jitter the kernel's first dispatch is exactly
+    // thread-start + driver call + GMU launch latency.
+    let dev = DeviceConfig::tesla_k20();
+    let host = HostConfig::deterministic();
+    let mut sim = GpuSim::new(dev.clone(), host, 0);
+    let s = sim.create_stream();
+    let p = Program::builder("k-only")
+        .launch(KernelDesc::new("k", 1u32, 32u32, Dur::from_us(5)))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let start = r.apps[0].first_kernel_start.unwrap();
+    // Thread starts at t=0 (first thread, no jitter); the launch call
+    // enqueues at t=0 and the grid becomes dispatchable after the GMU
+    // latency.
+    assert_eq!(start.as_ns(), dev.kernel_launch_latency.as_ns());
+}
+
+#[test]
+fn serial_chain_makespan_is_sum_plus_stagger() {
+    // Two identical single-kernel apps chained: makespan equals
+    // 2 × app_time + stagger (thread 2 starts one stagger after thread
+    // 1 finishes).
+    let host = HostConfig::deterministic();
+    let mk = || {
+        Program::builder("app")
+            .launch(KernelDesc::new("k", 13u32, 32u32, Dur::from_us(100)))
+            .build()
+    };
+    let solo = {
+        let mut sim = det_sim();
+        let s = sim.create_stream();
+        sim.add_app(mk(), s);
+        sim.run().unwrap().makespan
+    };
+    let chained = {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 0);
+        let s = sim.create_stream();
+        let a = sim.add_app(mk(), s);
+        let b = sim.add_app(mk(), s);
+        sim.set_start_after(b, a);
+        sim.run().unwrap().makespan
+    };
+    assert_eq!(
+        chained.as_ns(),
+        2 * solo.as_ns() + host.thread_launch_stagger.as_ns()
+    );
+}
+
+#[test]
+fn stream_sync_completes_at_last_op_end_plus_wake() {
+    // The app's finish time is its last DtoH completion plus the fixed
+    // 500ns sync wake-up (no jitter in deterministic mode).
+    let mut sim = det_sim();
+    let s = sim.create_stream();
+    let p = Program::builder("app").htod(1 << 20, "in").build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let a = &r.apps[0];
+    let end = a.htod.last_end.unwrap();
+    assert_eq!(a.finished.unwrap().as_ns(), end.as_ns() + 500);
+}

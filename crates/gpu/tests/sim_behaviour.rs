@@ -1,0 +1,411 @@
+//! Behavioural tests of the device model: each test checks one
+//! mechanism the paper's techniques rely on.
+
+use hq_des::time::Dur;
+use hq_gpu::prelude::*;
+
+fn small_kernel(name: &str, blocks: u32, tpb: u32, work_us: u64) -> KernelDesc {
+    KernelDesc::new(name, blocks, tpb, Dur::from_us(work_us))
+}
+
+/// A compute-only app: `n_launches` kernels back to back.
+fn compute_app(label: &str, blocks: u32, tpb: u32, work_us: u64, launches: u32) -> Program {
+    let mut b = Program::builder(label);
+    for i in 0..launches {
+        b = b.launch(small_kernel(&format!("k{i}"), blocks, tpb, work_us));
+    }
+    b.build()
+}
+
+/// A transfer-then-compute app (the paper's canonical pattern).
+fn standard_app(label: &str, htod: &[u64], kernel: KernelDesc, dtoh: u64) -> Program {
+    let mut b = Program::builder(label);
+    for (i, &bytes) in htod.iter().enumerate() {
+        b = b.htod(bytes, format!("in{i}"));
+    }
+    b.launch(kernel).dtoh(dtoh, "out").build()
+}
+
+fn run_apps(
+    dev: DeviceConfig,
+    programs: Vec<Program>,
+    num_streams: u32,
+    serial: bool,
+    seed: u64,
+) -> SimResult {
+    let mut sim = GpuSim::new(dev, HostConfig::deterministic(), seed);
+    let streams = sim.create_streams(num_streams);
+    let mut prev: Option<AppId> = None;
+    for (i, p) in programs.into_iter().enumerate() {
+        let app = sim.add_app(p, streams[i % num_streams as usize]);
+        if serial {
+            if let Some(d) = prev {
+                sim.set_start_after(app, d);
+            }
+            prev = Some(app);
+        }
+    }
+    sim.run().expect("simulation completes")
+}
+
+#[test]
+fn single_app_timeline_is_ordered() {
+    let p = standard_app("a", &[1 << 20], small_kernel("k", 64, 256, 20), 1 << 20);
+    let r = run_apps(DeviceConfig::tesla_k20(), vec![p], 1, false, 1);
+    let a = &r.apps[0];
+    assert_eq!(a.htod.count, 1);
+    assert_eq!(a.dtoh.count, 1);
+    assert_eq!(a.kernels_completed, 1);
+    // HtoD completes before the kernel starts; kernel ends before DtoH.
+    assert!(a.htod.last_end.unwrap() <= a.first_kernel_start.unwrap());
+    assert!(a.last_kernel_end.unwrap() <= a.dtoh.first_start.unwrap());
+    assert!(a.finished.unwrap() >= a.dtoh.last_end.unwrap());
+}
+
+#[test]
+fn underutilizing_kernels_overlap_across_streams() {
+    // Each app's kernel uses 4 blocks of 64 threads — a sliver of the
+    // device. Eight concurrent apps should take far less than 8x the
+    // serial time.
+    let mk = |i: u32| compute_app(&format!("app{i}"), 4, 64, 200, 10);
+    let programs: Vec<Program> = (0..8).map(mk).collect();
+    let serial = run_apps(DeviceConfig::tesla_k20(), programs.clone(), 1, true, 1);
+    let conc = run_apps(DeviceConfig::tesla_k20(), programs, 8, false, 1);
+    let speedup = serial.makespan.as_ns() as f64 / conc.makespan.as_ns() as f64;
+    assert!(
+        speedup > 3.0,
+        "tiny kernels should overlap heavily: speedup {speedup}"
+    );
+}
+
+#[test]
+fn saturating_kernels_gain_little_from_concurrency() {
+    // 256-block grids of 256 threads saturate the K20 (104 resident);
+    // total throughput is fixed, so concurrency ≈ serialization.
+    let mk = |i: u32| compute_app(&format!("app{i}"), 256, 256, 50, 4);
+    let programs: Vec<Program> = (0..4).map(mk).collect();
+    let serial = run_apps(DeviceConfig::tesla_k20(), programs.clone(), 1, true, 1);
+    let conc = run_apps(DeviceConfig::tesla_k20(), programs, 4, false, 1);
+    let speedup = serial.makespan.as_ns() as f64 / conc.makespan.as_ns() as f64;
+    assert!(
+        speedup < 1.35,
+        "saturating kernels can't speed up much: {speedup}"
+    );
+    assert!(
+        speedup > 0.95,
+        "concurrency must not be slower than serial (LEFTOVER does no worse): {speedup}"
+    );
+}
+
+#[test]
+fn copy_engine_interleaves_concurrent_transfer_stages() {
+    // Four apps, each issuing four 256 KB HtoD transfers concurrently.
+    // Because the engine serves in issue order and issues interleave,
+    // each app's effective transfer latency spans most of the combined
+    // stage — several times its private service time.
+    let mk = |i: u32| {
+        standard_app(
+            &format!("app{i}"),
+            &[256 << 10; 4],
+            small_kernel("k", 8, 128, 100),
+            64 << 10,
+        )
+    };
+    let programs: Vec<Program> = (0..4).map(mk).collect();
+    let r = run_apps(DeviceConfig::tesla_k20(), programs, 4, false, 7);
+    for a in &r.apps {
+        let le = a.htod.effective_latency().unwrap();
+        let svc = a.htod.service_time;
+        assert!(
+            le.as_ns() > 2 * svc.as_ns(),
+            "{}: Le {le} should be inflated well beyond service {svc}",
+            a.label
+        );
+    }
+}
+
+#[test]
+fn htod_mutex_restores_burst_transfers() {
+    let mk = |i: u32| {
+        standard_app(
+            &format!("app{i}"),
+            &[256 << 10; 4],
+            small_kernel("k", 8, 128, 100),
+            64 << 10,
+        )
+    };
+    // Same workload as above, but each app's HtoD stage holds a mutex.
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 7);
+    let streams = sim.create_streams(4);
+    let mutex = sim.create_mutex();
+    for i in 0..4u32 {
+        let p = mk(i).with_htod_mutex(mutex, true);
+        sim.add_app(p, streams[i as usize]);
+    }
+    let r = sim.run().unwrap();
+    for a in &r.apps {
+        let le = a.htod.effective_latency().unwrap();
+        let svc = a.htod.service_time;
+        let ratio = le.as_ns() as f64 / svc.as_ns() as f64;
+        assert!(
+            ratio < 1.25,
+            "{}: with the mutex Le {le} should track service {svc} (ratio {ratio})",
+            a.label
+        );
+    }
+}
+
+#[test]
+fn lazy_policy_overlaps_oversubscribing_grids() {
+    // Two 1024-block grids: each alone oversubscribes the 208-block
+    // device. Under the lazy policy they interleave; under
+    // conservative fit they serialize. Throughput is resource-bound
+    // either way, so makespans are close — instead check *overlap*:
+    // under Lazy, both kernels are running simultaneously at some
+    // point; under ConservativeFit, never.
+    let mk = |i: u32| compute_app(&format!("app{i}"), 1024, 256, 30, 1);
+    let programs: Vec<Program> = (0..2).map(mk).collect();
+
+    let lazy = run_apps(DeviceConfig::tesla_k20(), programs.clone(), 2, false, 3);
+    let fit_cfg = DeviceConfig {
+        admission: AdmissionPolicy::ConservativeFit,
+        ..DeviceConfig::tesla_k20()
+    };
+    let fit = run_apps(fit_cfg, programs, 2, false, 3);
+
+    let overlap = |r: &SimResult| {
+        let a = &r.apps[0];
+        let b = &r.apps[1];
+        let s = a
+            .first_kernel_start
+            .unwrap()
+            .max(b.first_kernel_start.unwrap());
+        let e = a.last_kernel_end.unwrap().min(b.last_kernel_end.unwrap());
+        e.checked_since(s).map(|d| d.as_ns()).unwrap_or(0)
+    };
+    assert!(
+        overlap(&lazy) > 0,
+        "lazy policy should overlap oversubscribing grids"
+    );
+    assert_eq!(
+        overlap(&fit),
+        0,
+        "conservative fit must serialize oversubscribing grids"
+    );
+    // And lazy is never slower.
+    assert!(lazy.makespan <= fit.makespan);
+}
+
+#[test]
+fn fermi_single_queue_serializes_independent_kernels() {
+    let mk = |i: u32| compute_app(&format!("app{i}"), 4, 64, 500, 1);
+    let programs: Vec<Program> = (0..2).map(mk).collect();
+    let hyperq = run_apps(DeviceConfig::tesla_k20(), programs.clone(), 2, false, 5);
+    let fermi = run_apps(DeviceConfig::fermi_like(), programs, 2, false, 5);
+
+    let overlap = |r: &SimResult| {
+        let a = &r.apps[0];
+        let b = &r.apps[1];
+        let s = a
+            .first_kernel_start
+            .unwrap()
+            .max(b.first_kernel_start.unwrap());
+        let e = a.last_kernel_end.unwrap().min(b.last_kernel_end.unwrap());
+        e.checked_since(s).map(|d| d.as_ns()).unwrap_or(0)
+    };
+    assert!(overlap(&hyperq) > 0, "Hyper-Q overlaps independent kernels");
+    assert_eq!(overlap(&fermi), 0, "single queue falsely serializes them");
+    assert!(fermi.makespan > hyperq.makespan);
+}
+
+#[test]
+fn htod_and_dtoh_use_independent_engines() {
+    // One app only uploads, another only downloads: the two directions
+    // must overlap almost entirely.
+    let up = Program::builder("up").htod(8 << 20, "big_in").build();
+    let down = Program::builder("down")
+        .launch(small_kernel("prep", 1, 32, 1))
+        .dtoh(8 << 20, "big_out")
+        .build();
+    let r = run_apps(DeviceConfig::tesla_k20(), vec![up, down], 2, false, 9);
+    let a = &r.apps[0].htod;
+    let b = &r.apps[1].dtoh;
+    let s = a.first_start.unwrap().max(b.first_start.unwrap());
+    let e = a.last_end.unwrap().min(b.last_end.unwrap());
+    assert!(
+        e.checked_since(s)
+            .map(|d| d.as_ns() > 1_000_000)
+            .unwrap_or(false),
+        "HtoD and DtoH should overlap on separate engines"
+    );
+}
+
+#[test]
+fn deadlock_is_reported_not_hung() {
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+    let s = sim.create_stream();
+    let m = sim.create_mutex();
+    // App 0 locks and never unlocks; app 1 waits forever.
+    let p0 = Program {
+        label: "locker".into(),
+        ops: vec![HostOp::MutexLock(m)],
+        device_bytes: 0,
+    };
+    let p1 = Program {
+        label: "waiter".into(),
+        ops: vec![HostOp::MutexLock(m)],
+        device_bytes: 0,
+    };
+    sim.add_app(p0, s);
+    sim.add_app(p1, s);
+    match sim.run() {
+        Err(SimError::Deadlock { stuck }) => {
+            assert_eq!(stuck.len(), 1);
+            assert!(stuck[0].contains("waiter"));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_memory_overcommit_is_rejected() {
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+    let s = sim.create_stream();
+    let p = Program::builder("hog")
+        .device_alloc(6 * 1024 * 1024 * 1024)
+        .build();
+    sim.add_app(p, s);
+    match sim.run() {
+        Err(SimError::DeviceMemoryExceeded {
+            requested,
+            capacity,
+        }) => {
+            assert!(requested > capacity);
+        }
+        other => panic!("expected memory error, got {other:?}"),
+    }
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let mk = |i: u32| {
+        standard_app(
+            &format!("app{i}"),
+            &[128 << 10; 3],
+            small_kernel("k", 32, 128, 80),
+            64 << 10,
+        )
+    };
+    let host = HostConfig::default(); // jitter enabled
+    let run = |seed| {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, seed);
+        let streams = sim.create_streams(4);
+        for i in 0..4u32 {
+            sim.add_app(mk(i), streams[i as usize]);
+        }
+        sim.run().unwrap().makespan
+    };
+    assert_eq!(run(11), run(11), "same seed, same makespan");
+    assert_ne!(run(11), run(12), "jitter differs across seeds");
+}
+
+#[test]
+fn trace_records_all_op_kinds() {
+    let p = standard_app(
+        "traced",
+        &[1 << 20],
+        small_kernel("k", 64, 256, 20),
+        1 << 20,
+    );
+    let r = run_apps(DeviceConfig::tesla_k20(), vec![p], 1, false, 1);
+    let kinds: Vec<_> = r.trace.spans().iter().map(|s| s.kind).collect();
+    use hq_des::trace::SpanKind;
+    assert!(kinds.contains(&SpanKind::CopyHtoD));
+    assert!(kinds.contains(&SpanKind::CopyDtoH));
+    assert!(kinds.contains(&SpanKind::Kernel));
+    assert_eq!(r.trace.makespan(), r.apps[0].dtoh.last_end.unwrap());
+}
+
+#[test]
+fn occupancy_series_rises_and_returns_to_zero() {
+    let p = compute_app("occ", 208, 256, 100, 2);
+    let r = run_apps(DeviceConfig::tesla_k20(), vec![p], 1, false, 1);
+    let peak = r
+        .resident_threads
+        .max_over(hq_des::time::SimTime::ZERO, r.makespan)
+        .unwrap();
+    assert!(peak > 0.0);
+    // After the run the device must be empty.
+    assert_eq!(r.resident_threads.value_at(r.makespan), Some(0.0));
+    assert_eq!(r.active_smx.value_at(r.makespan), Some(0.0));
+}
+
+#[test]
+fn mean_occupancy_bounded() {
+    let p = compute_app("occ", 104, 256, 100, 4);
+    let r = run_apps(DeviceConfig::tesla_k20(), vec![p], 1, false, 1);
+    let occ = r.mean_occupancy();
+    assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ} out of range");
+}
+
+#[test]
+fn zero_block_grid_completes_without_deadlock() {
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+    let s = sim.create_stream();
+    let degenerate = KernelDesc::new("empty", Dim3 { x: 0, y: 1, z: 1 }, 32u32, Dur::from_us(5));
+    let p = Program::builder("degenerate")
+        .launch(degenerate)
+        .launch(small_kernel("real", 4, 64, 10))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().expect("no deadlock on empty grid");
+    assert_eq!(r.apps[0].kernels_completed, 2);
+}
+
+#[test]
+fn zero_byte_transfer_costs_only_latency() {
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+    let s = sim.create_stream();
+    let p = Program::builder("tiny").htod(0, "empty").build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    let svc = r.apps[0].htod.service_time;
+    assert_eq!(svc, DeviceConfig::tesla_k20().dma.latency);
+}
+
+#[test]
+fn streams_beyond_hw_queue_count_falsely_serialize() {
+    // 33 streams on a 32-queue device: streams 0 and 32 share queue 0,
+    // so their kernels serialize even though the streams are distinct.
+    let mk = || compute_app("app", 4, 64, 500, 1);
+    let run_with_streams = |s_a: u32, s_b: u32| {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 3);
+        let streams = sim.create_streams(33);
+        sim.add_app(mk(), streams[s_a as usize]);
+        sim.add_app(mk(), streams[s_b as usize]);
+        let r = sim.run().unwrap();
+        let a = &r.apps[0];
+        let b = &r.apps[1];
+        let s = a
+            .first_kernel_start
+            .unwrap()
+            .max(b.first_kernel_start.unwrap());
+        let e = a.last_kernel_end.unwrap().min(b.last_kernel_end.unwrap());
+        e.checked_since(s).map(|d| d.as_ns()).unwrap_or(0)
+    };
+    assert!(run_with_streams(0, 1) > 0, "distinct queues overlap");
+    assert_eq!(run_with_streams(0, 32), 0, "shared queue serializes");
+}
+
+#[test]
+fn host_work_only_program_completes() {
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 1);
+    let s = sim.create_stream();
+    let p = Program::builder("cpu-only")
+        .host_work(Dur::from_ms(2))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().unwrap();
+    assert!(r.makespan >= hq_des::time::SimTime::from_ns(2_000_000));
+    assert_eq!(r.apps[0].kernels_completed, 0);
+}

@@ -1,0 +1,22 @@
+//! # hq-power — GPU power model, PowerMonitor and energy accounting
+//!
+//! The paper measures board power through NVML at a 15 ms sensor period
+//! (oversampled at 66.7 Hz) and reports two findings (§III-D, §V-D):
+//!
+//! 1. power rises only *slightly* as concurrency grows, because a GPU
+//!    executing anything at all already pays clock/static power, and
+//!    dynamic power saturates in occupancy;
+//! 2. therefore energy (`E = ∫P dt`) falls roughly with makespan.
+//!
+//! [`PowerModel`] encodes that shape analytically; [`PowerMonitor`]
+//! reproduces the NVML sampling loop over a simulation's recorded
+//! occupancy/DMA series; [`PowerReport`] aggregates samples the way the
+//! paper's figures do.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod monitor;
+
+pub use model::PowerModel;
+pub use monitor::{PowerMonitor, PowerReport};

@@ -1,0 +1,51 @@
+//! Property-based tests of the power model.
+
+use hq_power::PowerModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Power is monotone non-decreasing in occupancy.
+    #[test]
+    fn power_monotone_in_occupancy(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let m = PowerModel::tesla_k20();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(m.power(lo, [false, false]) <= m.power(hi, [false, false]) + 1e-12);
+    }
+
+    /// Power always lies within [idle, TDP] for any valid inputs.
+    #[test]
+    fn power_bounded(u in -2.0f64..3.0, d0 in any::<bool>(), d1 in any::<bool>()) {
+        let m = PowerModel::tesla_k20();
+        let p = m.power(u, [d0, d1]);
+        prop_assert!(p >= m.p_idle);
+        prop_assert!(p <= 225.0, "{p} above K20 TDP");
+    }
+
+    /// Saturation: the marginal cost of occupancy shrinks — the upper
+    /// half of the occupancy range adds less power than the lower half.
+    #[test]
+    fn power_is_concave_in_occupancy(mid in 0.1f64..0.9) {
+        let m = PowerModel::tesla_k20();
+        let lower_gain = m.power(mid, [false, false]) - m.power(mid / 2.0, [false, false]);
+        let upper_gain =
+            m.power((mid + 1.0) / 2.0, [false, false]) - m.power(mid, [false, false]);
+        // Equal-width steps in u: the later step must add no more power.
+        // (mid/2 .. mid) and (mid .. (mid+1)/2) both have width mid/2
+        // only when mid = 1/2; compare per unit width instead.
+        let lower_rate = lower_gain / (mid / 2.0);
+        let upper_rate = upper_gain / ((1.0 - mid) / 2.0);
+        prop_assert!(upper_rate <= lower_rate + 1e-9,
+            "not saturating: upper {upper_rate} > lower {lower_rate}");
+    }
+
+    /// DMA terms add exactly p_dma each, independent of occupancy.
+    #[test]
+    fn dma_additivity(u in 0.0f64..1.0) {
+        let m = PowerModel::tesla_k20();
+        let base = m.power(u, [false, false]);
+        prop_assert!((m.power(u, [true, false]) - base - m.p_dma).abs() < 1e-12);
+        prop_assert!((m.power(u, [true, true]) - base - 2.0 * m.p_dma).abs() < 1e-12);
+    }
+}

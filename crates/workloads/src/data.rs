@@ -1,0 +1,104 @@
+//! Deterministic input generation.
+//!
+//! Rodinia ships input files (matrices, gene sequences, record sets);
+//! without the files we generate statistically equivalent inputs from a
+//! seeded generator, so every test and experiment is reproducible.
+
+use hq_des::rng::DetRng;
+
+/// A dense row-major `n × n` matrix of `f32`.
+pub fn random_matrix(rng: &mut DetRng, n: usize) -> Vec<f32> {
+    (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// A diagonally dominant `n × n` matrix — always non-singular and safe
+/// for Gaussian elimination *without pivoting*, which is what Rodinia's
+/// `gaussian` kernels implement.
+pub fn diagonally_dominant_matrix(rng: &mut DetRng, n: usize) -> Vec<f32> {
+    let mut a = random_matrix(rng, n);
+    for i in 0..n {
+        let off: f32 = (0..n).filter(|&j| j != i).map(|j| a[i * n + j].abs()).sum();
+        a[i * n + i] = off + 1.0 + rng.gen_range(0.0f32..1.0);
+    }
+    a
+}
+
+/// A random vector of length `n`.
+pub fn random_vector(rng: &mut DetRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// A random DNA-style sequence of values in `0..alphabet`.
+pub fn random_sequence(rng: &mut DetRng, n: usize, alphabet: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+/// A noisy grayscale image in `(0, 1]`, exponential of Gaussian-ish
+/// noise as SRAD expects (speckle is multiplicative).
+pub fn speckled_image(rng: &mut DetRng, rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|_| {
+            // Sum of uniforms approximates a normal; exponentiate for a
+            // strictly positive multiplicative-noise image.
+            let g: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+            (g * 0.5).exp()
+        })
+        .collect()
+}
+
+/// 2-D points (latitude/longitude style) for k-nearest-neighbours.
+pub fn random_points(rng: &mut DetRng, n: usize) -> Vec<(f32, f32)> {
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(-90.0f32..90.0),
+                rng.gen_range(-180.0f32..180.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_are_deterministic_per_seed() {
+        let a = random_matrix(&mut DetRng::seed_from_u64(1), 16);
+        let b = random_matrix(&mut DetRng::seed_from_u64(1), 16);
+        assert_eq!(a, b);
+        let c = random_matrix(&mut DetRng::seed_from_u64(2), 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diagonal_dominance_holds() {
+        let n = 64;
+        let a = diagonally_dominant_matrix(&mut DetRng::seed_from_u64(3), n);
+        for i in 0..n {
+            let off: f32 = (0..n).filter(|&j| j != i).map(|j| a[i * n + j].abs()).sum();
+            assert!(a[i * n + i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn sequences_respect_alphabet() {
+        let s = random_sequence(&mut DetRng::seed_from_u64(4), 1000, 4);
+        assert!(s.iter().all(|&x| x < 4));
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn speckled_image_positive() {
+        let img = speckled_image(&mut DetRng::seed_from_u64(5), 32, 32);
+        assert!(img.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn points_in_bounds() {
+        let pts = random_points(&mut DetRng::seed_from_u64(6), 100);
+        assert!(pts
+            .iter()
+            .all(|&(la, lo)| (-90.0..90.0).contains(&la) && (-180.0..180.0).contains(&lo)));
+    }
+}

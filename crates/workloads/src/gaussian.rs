@@ -1,0 +1,327 @@
+//! Rodinia `gaussian`: Gaussian elimination without pivoting.
+//!
+//! The CUDA benchmark solves `A·x = b` by forward elimination on the
+//! device and back substitution on the host. Each elimination step `t`
+//! launches two kernels (Table III):
+//!
+//! * `Fan1` — grid (1,1,1), block (512,1,1): computes the multiplier
+//!   column `m[i][t] = a[i][t] / a[t][t]` for rows `i > t`;
+//! * `Fan2` — grid (32,32,1), block (16,16,1): rank-1 update of the
+//!   trailing submatrix (and of `b` in column 0).
+//!
+//! For a 512×512 system that is 511 calls of each — a long chain of
+//! small dependent kernels, which is exactly why `gaussian` leaves GPU
+//! resources fragmented and benefits from Hyper-Q packing (paper §V-A,
+//! Fig. 5 shows `Fan1`, a *single-block* kernel, overlapping other
+//! applications' grids).
+
+use crate::cost::block_work;
+use crate::data;
+use hq_des::rng::DetRng;
+use hq_gpu::kernel::KernelDesc;
+use hq_gpu::program::Program;
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GaussianConfig {
+    /// Matrix dimension (the paper uses 512).
+    pub n: usize,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for GaussianConfig {
+    fn default() -> Self {
+        GaussianConfig {
+            n: 512,
+            seed: 0x6a55,
+        }
+    }
+}
+
+/// In-memory state mirroring the CUDA benchmark's buffers.
+#[derive(Clone, Debug)]
+pub struct Gaussian {
+    /// Matrix dimension.
+    pub n: usize,
+    /// The (mutated) coefficient matrix, row-major.
+    pub a: Vec<f32>,
+    /// The (mutated) right-hand side.
+    pub b: Vec<f32>,
+    /// The multiplier matrix written by `Fan1`.
+    pub m: Vec<f32>,
+    /// Pristine copy of `A` for residual checks.
+    pub a0: Vec<f32>,
+    /// Pristine copy of `b`.
+    pub b0: Vec<f32>,
+}
+
+impl Gaussian {
+    /// Generate a diagonally dominant system (safe without pivoting, as
+    /// the Rodinia kernels assume).
+    pub fn generate(cfg: GaussianConfig) -> Self {
+        let mut rng = DetRng::seed_from_u64(cfg.seed);
+        let a = data::diagonally_dominant_matrix(&mut rng, cfg.n);
+        let b = data::random_vector(&mut rng, cfg.n);
+        Gaussian {
+            n: cfg.n,
+            a0: a.clone(),
+            b0: b.clone(),
+            m: vec![0.0; cfg.n * cfg.n],
+            a,
+            b,
+        }
+    }
+
+    /// The `Fan1` kernel body for step `t`: multiplier column.
+    pub fn fan1(&mut self, t: usize) {
+        let n = self.n;
+        let pivot = self.a[n * t + t];
+        for i in 0..(n - 1 - t) {
+            self.m[n * (i + t + 1) + t] = self.a[n * (i + t + 1) + t] / pivot;
+        }
+    }
+
+    /// One `Fan2` thread block `(bx, by)` of 16×16 threads at step `t`.
+    ///
+    /// Exposed at block granularity so tests can verify the update is
+    /// independent of block execution order — the property the GPU's
+    /// arbitrary block scheduling relies on.
+    pub fn fan2_block(&mut self, t: usize, bx: usize, by: usize) {
+        let n = self.n;
+        for ty in 0..16 {
+            for tx in 0..16 {
+                let xidx = bx * 16 + tx; // row offset
+                let yidx = by * 16 + ty; // column offset
+                if xidx >= n - 1 - t || yidx >= n - t {
+                    continue;
+                }
+                let mult = self.m[n * (xidx + 1 + t) + t];
+                self.a[n * (xidx + 1 + t) + (yidx + t)] -= mult * self.a[n * t + (yidx + t)];
+                if yidx == 0 {
+                    self.b[xidx + 1 + t] -= mult * self.b[t];
+                }
+            }
+        }
+    }
+
+    /// The full `Fan2` launch at step `t` (all blocks, row-major order).
+    pub fn fan2(&mut self, t: usize) {
+        let blocks = self.n.div_ceil(16);
+        for bx in 0..blocks {
+            for by in 0..blocks {
+                self.fan2_block(t, bx, by);
+            }
+        }
+    }
+
+    /// Run the device phase: `Fan1`+`Fan2` for every elimination step.
+    pub fn forward_eliminate(&mut self) {
+        for t in 0..self.n - 1 {
+            self.fan1(t);
+            self.fan2(t);
+        }
+    }
+
+    /// Host-side back substitution, returning `x`.
+    pub fn back_substitute(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut x = vec![0.0f32; n];
+        for i in (0..n).rev() {
+            let mut s = self.b[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.a[n * i + j] * xj;
+            }
+            x[i] = s / self.a[n * i + i];
+        }
+        x
+    }
+
+    /// Solve end-to-end through the kernel decomposition.
+    pub fn solve(&mut self) -> Vec<f32> {
+        self.forward_eliminate();
+        self.back_substitute()
+    }
+
+    /// Independent reference: Gaussian elimination with partial
+    /// pivoting in `f64`, on the pristine inputs.
+    pub fn solve_reference(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut a: Vec<f64> = self.a0.iter().map(|&x| x as f64).collect();
+        let mut b: Vec<f64> = self.b0.iter().map(|&x| x as f64).collect();
+        for t in 0..n {
+            // partial pivot
+            let piv = (t..n)
+                .max_by(|&i, &j| {
+                    a[i * n + t]
+                        .abs()
+                        .partial_cmp(&a[j * n + t].abs())
+                        .expect("no NaN")
+                })
+                .expect("nonempty");
+            if piv != t {
+                for j in 0..n {
+                    a.swap(t * n + j, piv * n + j);
+                }
+                b.swap(t, piv);
+            }
+            for i in (t + 1)..n {
+                let f = a[i * n + t] / a[t * n + t];
+                for j in t..n {
+                    a[i * n + j] -= f * a[t * n + j];
+                }
+                b[i] -= f * b[t];
+            }
+        }
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= a[i * n + j] * xj;
+            }
+            x[i] = s / a[i * n + i];
+        }
+        x
+    }
+
+    /// Max-norm residual `‖A₀·x − b₀‖∞` of a candidate solution.
+    pub fn residual(&self, x: &[f32]) -> f64 {
+        let n = self.n;
+        (0..n)
+            .map(|i| {
+                let ax: f64 = (0..n)
+                    .map(|j| self.a0[i * n + j] as f64 * x[j] as f64)
+                    .sum();
+                (ax - self.b0[i] as f64).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `Fan1` launch descriptor (Table III row 1).
+pub fn fan1_kernel(n: usize) -> KernelDesc {
+    debug_assert!(n <= 512, "Table III geometry covers n <= 512");
+    KernelDesc::new("Fan1", 1u32, 512u32, block_work(8.0, 2.0, 0.0)).with_regs(10)
+}
+
+/// `Fan2` launch descriptor (Table III row 2).
+pub fn fan2_kernel(n: usize) -> KernelDesc {
+    let blocks = n.div_ceil(16) as u32;
+    KernelDesc::new(
+        "Fan2",
+        (blocks, blocks),
+        (16u32, 16u32),
+        block_work(4.0, 4.0, 0.0),
+    )
+    .with_regs(14)
+}
+
+/// Build the simulator program: the exact driver-call sequence the
+/// framework issues for one `gaussian` application.
+pub fn program(cfg: GaussianConfig, instance: usize) -> Program {
+    let n = cfg.n as u64;
+    let mat = n * n * 4;
+    let vec = n * 4;
+    let mut b = Program::builder(format!("gaussian#{instance}"))
+        .device_alloc(2 * mat + 2 * vec)
+        .htod(mat, "a")
+        .htod(vec, "b")
+        .htod(mat, "m");
+    for _ in 0..cfg.n - 1 {
+        b = b.launch(fan1_kernel(cfg.n)).launch(fan2_kernel(cfg.n));
+    }
+    b.dtoh(mat, "a").dtoh(vec, "b").build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_gpu::program::HostOp;
+    use hq_gpu::types::Dir;
+
+    fn small() -> GaussianConfig {
+        GaussianConfig { n: 64, seed: 7 }
+    }
+
+    #[test]
+    fn kernelized_solution_matches_reference() {
+        let mut g = Gaussian::generate(small());
+        let x = g.solve();
+        let xref = g.solve_reference();
+        for (xs, xr) in x.iter().zip(&xref) {
+            assert!(
+                (*xs as f64 - xr).abs() < 1e-3,
+                "solution mismatch: {xs} vs {xr}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let mut g = Gaussian::generate(small());
+        let x = g.solve();
+        let r = g.residual(&x);
+        assert!(r < 1e-2, "residual {r}");
+    }
+
+    #[test]
+    fn fan2_block_order_independent() {
+        // Run Fan2 blocks in reversed order at every step; the GPU may
+        // schedule blocks arbitrarily, so results must agree exactly.
+        let mut forward = Gaussian::generate(small());
+        let mut backward = forward.clone();
+        let blocks = forward.n.div_ceil(16);
+        for t in 0..forward.n - 1 {
+            forward.fan1(t);
+            backward.fan1(t);
+            forward.fan2(t);
+            for bx in (0..blocks).rev() {
+                for by in (0..blocks).rev() {
+                    backward.fan2_block(t, bx, by);
+                }
+            }
+        }
+        assert_eq!(forward.a, backward.a);
+        assert_eq!(forward.b, backward.b);
+    }
+
+    #[test]
+    fn table3_geometry() {
+        let f1 = fan1_kernel(512);
+        assert_eq!((f1.blocks(), f1.threads_per_block()), (1, 512));
+        let f2 = fan2_kernel(512);
+        assert_eq!((f2.blocks(), f2.threads_per_block()), (1024, 256));
+        assert_eq!(f2.grid.x, 32);
+        assert_eq!(f2.grid.y, 32);
+    }
+
+    #[test]
+    fn program_matches_table3_call_counts() {
+        let p = program(GaussianConfig::default(), 0);
+        // 511 calls of each kernel.
+        let launches: Vec<&str> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                HostOp::LaunchKernel { kernel } => Some(kernel.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(launches.iter().filter(|&&n| n == "Fan1").count(), 511);
+        assert_eq!(launches.iter().filter(|&&n| n == "Fan2").count(), 511);
+        // Fan1 strictly alternates before Fan2.
+        assert_eq!(launches[0], "Fan1");
+        assert_eq!(launches[1], "Fan2");
+        assert_eq!(p.transfer_count(Dir::HtoD), 3);
+        assert_eq!(p.transfer_bytes(Dir::HtoD), 2 * 512 * 512 * 4 + 512 * 4);
+        assert_eq!(p.transfer_count(Dir::DtoH), 2);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Gaussian::generate(small());
+        let b = Gaussian::generate(small());
+        assert_eq!(a.a0, b.a0);
+        assert_eq!(a.b0, b.b0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Rodinia `nn` (`knearest`): k-nearest neighbours by brute-force
+//! Euclidean distance.
+//!
+//! The `euclid` kernel computes the distance from every record to a
+//! query point in one launch — grid (168,1,1) × block (256,1,1) for the
+//! benchmark's 42,764 records (Table III) — and the host selects the k
+//! smallest. A single sub-millisecond kernel plus two small transfers
+//! makes `nn` the most latency-dominated application in the mix.
+
+use crate::cost::block_work;
+use crate::data;
+use hq_des::rng::DetRng;
+use hq_des::time::Dur;
+use hq_gpu::kernel::KernelDesc;
+use hq_gpu::program::Program;
+
+/// Threads per block in the `euclid` kernel (Table III).
+pub const BLOCK: usize = 256;
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KnearestConfig {
+    /// Number of records (42,764 in the paper — the hurricane data set).
+    pub records: usize,
+    /// Neighbours to report.
+    pub k: usize,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for KnearestConfig {
+    fn default() -> Self {
+        KnearestConfig {
+            records: 42_764,
+            k: 10,
+            seed: 0x4e4e,
+        }
+    }
+}
+
+/// Data set plus query, mirroring the CUDA buffers.
+#[derive(Clone, Debug)]
+pub struct Knearest {
+    /// Record coordinates (lat, lng).
+    pub points: Vec<(f32, f32)>,
+    /// Query point.
+    pub target: (f32, f32),
+    /// Output distances (one per record).
+    pub distances: Vec<f32>,
+    /// Neighbours to report.
+    pub k: usize,
+}
+
+impl Knearest {
+    /// Generate a random record set and query.
+    pub fn generate(cfg: KnearestConfig) -> Self {
+        let mut rng = DetRng::seed_from_u64(cfg.seed);
+        let points = data::random_points(&mut rng, cfg.records);
+        let target = (
+            rng.gen_range(-90.0f32..90.0),
+            rng.gen_range(-180.0f32..180.0),
+        );
+        Knearest {
+            points,
+            target,
+            distances: vec![0.0; cfg.records],
+            k: cfg.k,
+        }
+    }
+
+    /// Number of thread blocks in the `euclid` launch.
+    pub fn blocks(&self) -> usize {
+        self.points.len().div_ceil(BLOCK)
+    }
+
+    /// The work of one `euclid` thread block.
+    pub fn euclid_block(&mut self, b: usize) {
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(self.points.len());
+        for i in lo..hi {
+            let (la, lo_) = self.points[i];
+            let dx = la - self.target.0;
+            let dy = lo_ - self.target.1;
+            self.distances[i] = (dx * dx + dy * dy).sqrt();
+        }
+    }
+
+    /// The full `euclid` launch.
+    pub fn euclid(&mut self) {
+        for b in 0..self.blocks() {
+            self.euclid_block(b);
+        }
+    }
+
+    /// Host phase: indices of the k nearest records (ascending
+    /// distance; ties broken by index for determinism).
+    pub fn nearest(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.distances.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.distances[a]
+                .partial_cmp(&self.distances[b])
+                .expect("no NaN distances")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(self.k);
+        idx
+    }
+
+    /// Reference: recompute distances in f64 directly from the points.
+    pub fn reference_nearest(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.points.len()).collect();
+        let d = |i: usize| {
+            let (la, lo) = self.points[i];
+            let dx = (la - self.target.0) as f64;
+            let dy = (lo - self.target.1) as f64;
+            (dx * dx + dy * dy).sqrt()
+        };
+        idx.sort_by(|&a, &b| d(a).partial_cmp(&d(b)).expect("no NaN").then(a.cmp(&b)));
+        idx.truncate(self.k);
+        idx
+    }
+}
+
+/// `euclid` launch descriptor (Table III: 168 blocks × 256 threads for
+/// 42,764 records).
+pub fn euclid_kernel(records: usize) -> KernelDesc {
+    let blocks = records.div_ceil(BLOCK) as u32;
+    KernelDesc::new("euclid", blocks, BLOCK as u32, block_work(8.0, 3.0, 0.0)).with_regs(16)
+}
+
+/// Build the simulator program for one `nn` application.
+pub fn program(cfg: KnearestConfig, instance: usize) -> Program {
+    let recs = cfg.records as u64;
+    Program::builder(format!("knearest#{instance}"))
+        .device_alloc(recs * 8 + recs * 4)
+        .htod(recs * 8, "records")
+        .launch(euclid_kernel(cfg.records))
+        .dtoh(recs * 4, "distances")
+        // Host-side k-selection over the distances.
+        .host_work(Dur::from_ns(recs / 2))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KnearestConfig {
+        KnearestConfig {
+            records: 1000,
+            k: 5,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_selection() {
+        let mut knn = Knearest::generate(small());
+        knn.euclid();
+        assert_eq!(knn.nearest(), knn.reference_nearest());
+    }
+
+    #[test]
+    fn block_boundary_handled() {
+        // 1000 records → 4 blocks, last one partial (232 records).
+        let mut knn = Knearest::generate(small());
+        assert_eq!(knn.blocks(), 4);
+        knn.euclid();
+        assert!(knn.distances.iter().all(|&d| d >= 0.0));
+        // The final record's distance must have been written.
+        let (la, lo) = knn.points[999];
+        let dx = la - knn.target.0;
+        let dy = lo - knn.target.1;
+        assert!((knn.distances[999] - (dx * dx + dy * dy).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nearest_is_sorted_ascending() {
+        let mut knn = Knearest::generate(small());
+        knn.euclid();
+        let near = knn.nearest();
+        for w in near.windows(2) {
+            assert!(knn.distances[w[0]] <= knn.distances[w[1]]);
+        }
+        assert_eq!(near.len(), 5);
+    }
+
+    #[test]
+    fn table3_geometry() {
+        let k = euclid_kernel(42_764);
+        assert_eq!(k.blocks(), 168);
+        assert_eq!(k.threads_per_block(), 256);
+        let p = program(KnearestConfig::default(), 3);
+        assert_eq!(p.kernel_launches(), 1);
+        assert_eq!(p.label, "knearest#3");
+    }
+}

@@ -1,0 +1,35 @@
+//! # hq-workloads — Rodinia 3.0 workload ports
+//!
+//! The paper ports four Rodinia benchmarks into its framework
+//! (Table I): Gaussian Elimination (`gaussian`), k-Nearest Neighbors
+//! (`nn`), Needleman-Wunsch (`nw`/`needle`) and Speckle Reducing
+//! Anisotropic Diffusion (`srad_v2`). This crate ports the same four to
+//! Rust, each in two coupled forms:
+//!
+//! 1. **A real algorithm implementation** — actually computes Gaussian
+//!    elimination / sequence alignment / diffusion / nearest
+//!    neighbours, decomposed into the same per-kernel phases the CUDA
+//!    code uses (`Fan1`/`Fan2`, `needle_cuda_shared_1/2`,
+//!    `srad_cuda_1/2`, `euclid`), validated against straightforward
+//!    reference implementations.
+//! 2. **A simulator program** — the exact sequence of driver calls the
+//!    paper's framework issues for that benchmark (transfers, kernel
+//!    launches with Table III grid/block geometry, host work), which is
+//!    what the Hyper-Q management framework schedules on the simulated
+//!    K20.
+//!
+//! [`apps::AppKind`] is the top-level entry: it names a benchmark and
+//! builds either form.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod cost;
+pub mod data;
+pub mod gaussian;
+pub mod geometry;
+pub mod knearest;
+pub mod needle;
+pub mod srad;
+
+pub use apps::AppKind;

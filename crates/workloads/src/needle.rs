@@ -1,0 +1,300 @@
+//! Rodinia `nw` (`needle`): Needleman-Wunsch global sequence alignment.
+//!
+//! The DP recurrence
+//! `F[i][j] = max(F[i-1][j-1] + ref[i][j], F[i][j-1] − p, F[i-1][j] − p)`
+//! is tiled into 32×32 blocks processed along anti-diagonals:
+//! `needle_cuda_shared_1` sweeps the upper-left triangle with growing
+//! grids (1…16 blocks for a 512×512 matrix) and
+//! `needle_cuda_shared_2` the lower-right with shrinking grids (15…1) —
+//! the Table III geometry. Tiny 32-thread blocks make `needle` the
+//! archetypal *underutilizing* application: alone it cannot fill even
+//! one SMX's issue slots, so it gains the most from Hyper-Q
+//! co-residency (the paper pairs it in its best-case results).
+
+use crate::cost::block_work;
+use crate::data;
+use hq_des::rng::DetRng;
+use hq_gpu::kernel::KernelDesc;
+use hq_gpu::program::Program;
+
+/// Tile edge (threads per block in Table III).
+pub const TILE: usize = 32;
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NeedleConfig {
+    /// Sequence length (DP matrix is `(n+1)²`); the paper uses 512.
+    pub n: usize,
+    /// Gap penalty.
+    pub penalty: i32,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for NeedleConfig {
+    fn default() -> Self {
+        NeedleConfig {
+            n: 512,
+            penalty: 10,
+            seed: 0x9d1e,
+        }
+    }
+}
+
+/// DP state mirroring the CUDA benchmark's buffers.
+#[derive(Clone, Debug)]
+pub struct Needle {
+    /// Sequence length.
+    pub n: usize,
+    /// Gap penalty.
+    pub penalty: i32,
+    /// Substitution scores, `(n+1)²` row-major.
+    pub reference: Vec<i32>,
+    /// DP matrix (`input_itemsets`), `(n+1)²` row-major.
+    pub items: Vec<i32>,
+}
+
+impl Needle {
+    /// Generate two random sequences and the substitution matrix, and
+    /// initialize the DP boundary exactly as the benchmark does.
+    pub fn generate(cfg: NeedleConfig) -> Self {
+        let mut rng = DetRng::seed_from_u64(cfg.seed);
+        let n = cfg.n;
+        let w = n + 1;
+        let seq1 = data::random_sequence(&mut rng, n, 4);
+        let seq2 = data::random_sequence(&mut rng, n, 4);
+        let mut reference = vec![0i32; w * w];
+        for i in 1..=n {
+            for j in 1..=n {
+                // Simple match/mismatch scoring in place of BLOSUM62.
+                reference[i * w + j] = if seq1[i - 1] == seq2[j - 1] { 5 } else { -3 };
+            }
+        }
+        let mut items = vec![0i32; w * w];
+        for i in 1..=n {
+            items[i * w] = -(i as i32) * cfg.penalty;
+            items[i] = -(i as i32) * cfg.penalty;
+        }
+        Needle {
+            n,
+            penalty: cfg.penalty,
+            reference,
+            items,
+        }
+    }
+
+    /// Number of 32×32 tiles per matrix edge.
+    pub fn tiles(&self) -> usize {
+        self.n / TILE
+    }
+
+    /// Process one tile `(r, c)` (tile row, tile column) — the work of
+    /// one thread block. Cells inside the tile are updated row-major,
+    /// which respects the up/left/diagonal dependencies.
+    pub fn process_tile(&mut self, r: usize, c: usize) {
+        let w = self.n + 1;
+        for i in 0..TILE {
+            for j in 0..TILE {
+                let gi = r * TILE + i + 1;
+                let gj = c * TILE + j + 1;
+                let diag = self.items[(gi - 1) * w + (gj - 1)] + self.reference[gi * w + gj];
+                let left = self.items[gi * w + (gj - 1)] - self.penalty;
+                let up = self.items[(gi - 1) * w + gj] - self.penalty;
+                self.items[gi * w + gj] = diag.max(left).max(up);
+            }
+        }
+    }
+
+    /// Run the full tiled sweep: `shared_1` anti-diagonals (growing)
+    /// then `shared_2` anti-diagonals (shrinking), mirroring the two
+    /// kernels' launch sequence.
+    pub fn run_kernelized(&mut self) {
+        let nb = self.tiles();
+        // Upper-left triangle: diagonals with 1..=nb tiles.
+        for d in 0..nb {
+            for r in 0..=d {
+                self.process_tile(r, d - r);
+            }
+        }
+        // Lower-right triangle: diagonals with nb-1..=1 tiles.
+        for d in nb..(2 * nb - 1) {
+            for r in (d - nb + 1)..nb {
+                self.process_tile(r, d - r);
+            }
+        }
+    }
+
+    /// Straightforward full-matrix DP on pristine boundary state (the
+    /// golden reference).
+    pub fn reference_dp(cfg: NeedleConfig) -> Vec<i32> {
+        let mut fresh = Needle::generate(cfg);
+        let n = fresh.n;
+        let w = n + 1;
+        for i in 1..=n {
+            for j in 1..=n {
+                let diag = fresh.items[(i - 1) * w + (j - 1)] + fresh.reference[i * w + j];
+                let left = fresh.items[i * w + (j - 1)] - fresh.penalty;
+                let up = fresh.items[(i - 1) * w + j] - fresh.penalty;
+                fresh.items[i * w + j] = diag.max(left).max(up);
+            }
+        }
+        fresh.items
+    }
+
+    /// The final alignment score (bottom-right cell).
+    pub fn score(&self) -> i32 {
+        let w = self.n + 1;
+        self.items[w * w - 1]
+    }
+}
+
+/// Per-block work: a 32×32 tile swept by one warp through 63 wavefront
+/// steps in shared memory, after staging the tile from global memory.
+fn tile_work() -> hq_des::time::Dur {
+    block_work(200.0, 70.0, 190.0)
+}
+
+/// `needle_cuda_shared_1` at diagonal `i` (grid `(i,1,1)`, Table III).
+pub fn shared1_kernel(i: u32) -> KernelDesc {
+    KernelDesc::new("needle_cuda_shared_1", i, TILE as u32, tile_work())
+        .with_regs(20)
+        .with_smem(((TILE + 1) * (TILE + 1) * 4 * 2) as u32)
+}
+
+/// `needle_cuda_shared_2` at diagonal `i` (grid `(i,1,1)`, Table III).
+pub fn shared2_kernel(i: u32) -> KernelDesc {
+    KernelDesc::new("needle_cuda_shared_2", i, TILE as u32, tile_work())
+        .with_regs(20)
+        .with_smem(((TILE + 1) * (TILE + 1) * 4 * 2) as u32)
+}
+
+/// Build the simulator program for one `needle` application.
+pub fn program(cfg: NeedleConfig, instance: usize) -> Program {
+    let w = (cfg.n + 1) as u64;
+    let mat = w * w * 4;
+    let nb = (cfg.n / TILE) as u32;
+    let mut b = Program::builder(format!("needle#{instance}"))
+        .device_alloc(2 * mat)
+        .htod(mat, "reference")
+        .htod(mat, "input_itemsets");
+    for i in 1..=nb {
+        b = b.launch(shared1_kernel(i));
+    }
+    for i in (1..nb).rev() {
+        b = b.launch(shared2_kernel(i));
+    }
+    b.dtoh(mat, "input_itemsets").build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_gpu::program::HostOp;
+
+    fn small() -> NeedleConfig {
+        NeedleConfig {
+            n: 128,
+            penalty: 10,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn tiled_sweep_matches_reference_dp() {
+        let mut nd = Needle::generate(small());
+        nd.run_kernelized();
+        let reference = Needle::reference_dp(small());
+        assert_eq!(nd.items, reference);
+    }
+
+    #[test]
+    fn tile_order_within_diagonal_is_free() {
+        // Tiles on one anti-diagonal are independent (that is why the
+        // kernel can run them as concurrent blocks); process them in
+        // reverse and compare.
+        let mut fwd = Needle::generate(small());
+        let mut rev = fwd.clone();
+        let nb = fwd.tiles();
+        for d in 0..(2 * nb - 1) {
+            let lo = d.saturating_sub(nb - 1);
+            let hi = d.min(nb - 1);
+            for r in lo..=hi {
+                fwd.process_tile(r, d - r);
+            }
+            for r in (lo..=hi).rev() {
+                rev.process_tile(r, d - r);
+            }
+        }
+        assert_eq!(fwd.items, rev.items);
+    }
+
+    #[test]
+    fn alignment_score_is_sane() {
+        let mut nd = Needle::generate(small());
+        nd.run_kernelized();
+        // Score is bounded by perfect-match and all-gap extremes.
+        let n = nd.n as i32;
+        assert!(nd.score() <= 5 * n);
+        assert!(nd.score() >= -2 * 10 * n);
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let mut nd = Needle::generate(small());
+        // Overwrite reference with all-match scores: identical inputs.
+        for v in nd.reference.iter_mut() {
+            if *v != 0 {
+                *v = 5;
+            }
+        }
+        let w = nd.n + 1;
+        for i in 1..=nd.n {
+            for j in 1..=nd.n {
+                nd.reference[i * w + j] = 5;
+            }
+        }
+        nd.run_kernelized();
+        assert_eq!(nd.score(), 5 * nd.n as i32);
+    }
+
+    #[test]
+    fn table3_geometry_and_call_counts() {
+        let p = program(NeedleConfig::default(), 0);
+        let launches: Vec<(String, u32)> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                HostOp::LaunchKernel { kernel } => Some((kernel.name.clone(), kernel.blocks())),
+                _ => None,
+            })
+            .collect();
+        let s1: Vec<u32> = launches
+            .iter()
+            .filter(|(n, _)| n == "needle_cuda_shared_1")
+            .map(|&(_, b)| b)
+            .collect();
+        let s2: Vec<u32> = launches
+            .iter()
+            .filter(|(n, _)| n == "needle_cuda_shared_2")
+            .map(|&(_, b)| b)
+            .collect();
+        assert_eq!(s1, (1..=16).collect::<Vec<u32>>(), "grids grow 1..16");
+        assert_eq!(
+            s2,
+            (1..16).rev().collect::<Vec<u32>>(),
+            "grids shrink 15..1"
+        );
+        let k = shared1_kernel(16);
+        assert_eq!(k.threads_per_block(), 32);
+        assert_eq!(k.warps_per_block(), 1);
+    }
+
+    #[test]
+    fn boundary_initialization_matches_benchmark() {
+        let nd = Needle::generate(small());
+        let w = nd.n + 1;
+        assert_eq!(nd.items[0], 0);
+        assert_eq!(nd.items[3], -30, "row boundary is -i*penalty");
+        assert_eq!(nd.items[3 * w], -30, "column boundary is -i*penalty");
+    }
+}

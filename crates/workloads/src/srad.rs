@@ -1,0 +1,314 @@
+//! Rodinia `srad_v2`: Speckle Reducing Anisotropic Diffusion.
+//!
+//! SRAD smooths multiplicative (speckle) noise in an image while
+//! preserving edges. Each iteration:
+//!
+//! 1. the **host** computes the ROI mean/variance to derive the
+//!    diffusion threshold `q0²`,
+//! 2. `srad_cuda_1` (grid 32×32 of 16×16 blocks for 512², Table III)
+//!    computes per-pixel directional derivatives and the diffusion
+//!    coefficient `c`,
+//! 3. `srad_cuda_2` applies the divergence update
+//!    `J += λ/4 · (cN·dN + cS·dS + cW·dW + cE·dE)`.
+//!
+//! Crucially, Rodinia's `srad_v2` copies the image **to the device and
+//! back on every iteration** (the host needs `J` for the statistics).
+//! That makes `srad` the paper's §III-C archetype: *"a pattern which
+//! consists of an iteration over a sequence of kernels, with HtoD and
+//! DtoH memory transfers inside the iteration loop"* — ideal for
+//! overlapping with compute-heavy applications.
+
+use crate::cost::block_work;
+use crate::data;
+use hq_des::rng::DetRng;
+use hq_des::time::Dur;
+use hq_gpu::kernel::KernelDesc;
+use hq_gpu::program::Program;
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SradConfig {
+    /// Image rows (512 in the paper).
+    pub rows: usize,
+    /// Image columns (512 in the paper).
+    pub cols: usize,
+    /// Diffusion iterations (10 in Table III: 10 calls per kernel).
+    pub iters: usize,
+    /// Update rate λ.
+    pub lambda: f32,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for SradConfig {
+    fn default() -> Self {
+        SradConfig {
+            rows: 512,
+            cols: 512,
+            iters: 10,
+            lambda: 0.5,
+            seed: 0x5ead,
+        }
+    }
+}
+
+/// Diffusion state mirroring the CUDA buffers.
+#[derive(Clone, Debug)]
+pub struct Srad {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Update rate λ.
+    pub lambda: f32,
+    /// The image being diffused.
+    pub j: Vec<f32>,
+    /// Diffusion coefficient (output of `srad_cuda_1`).
+    pub c: Vec<f32>,
+    dn: Vec<f32>,
+    ds: Vec<f32>,
+    dw: Vec<f32>,
+    de: Vec<f32>,
+}
+
+impl Srad {
+    /// Generate a speckled image.
+    pub fn generate(cfg: SradConfig) -> Self {
+        let mut rng = DetRng::seed_from_u64(cfg.seed);
+        let n = cfg.rows * cfg.cols;
+        Srad {
+            rows: cfg.rows,
+            cols: cfg.cols,
+            lambda: cfg.lambda,
+            j: data::speckled_image(&mut rng, cfg.rows, cfg.cols),
+            c: vec![0.0; n],
+            dn: vec![0.0; n],
+            ds: vec![0.0; n],
+            dw: vec![0.0; n],
+            de: vec![0.0; n],
+        }
+    }
+
+    /// Host phase: ROI statistics → `q0²` (coefficient of variation of
+    /// the whole image, as the benchmark's default ROI).
+    pub fn q0_sqr(&self) -> f32 {
+        let n = self.j.len() as f32;
+        let sum: f32 = self.j.iter().sum();
+        let sum2: f32 = self.j.iter().map(|&x| x * x).sum();
+        let mean = sum / n;
+        let var = (sum2 / n) - mean * mean;
+        var / (mean * mean)
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// `srad_cuda_1`: derivatives and diffusion coefficient for every
+    /// pixel (clamped boundary, as the benchmark indexes it).
+    pub fn kernel1(&mut self, q0sqr: f32) {
+        let (rows, cols) = (self.rows, self.cols);
+        for r in 0..rows {
+            for cl in 0..cols {
+                let i = self.idx(r, cl);
+                let jc = self.j[i];
+                let n = self.j[self.idx(r.saturating_sub(1), cl)];
+                let s = self.j[self.idx((r + 1).min(rows - 1), cl)];
+                let w = self.j[self.idx(r, cl.saturating_sub(1))];
+                let e = self.j[self.idx(r, (cl + 1).min(cols - 1))];
+                let dn = n - jc;
+                let ds = s - jc;
+                let dw = w - jc;
+                let de = e - jc;
+                let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+                let l = (dn + ds + dw + de) / jc;
+                let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                let den = 1.0 + 0.25 * l;
+                let qsqr = num / (den * den);
+                let cden = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+                let cval = (1.0 / (1.0 + cden)).clamp(0.0, 1.0);
+                self.dn[i] = dn;
+                self.ds[i] = ds;
+                self.dw[i] = dw;
+                self.de[i] = de;
+                self.c[i] = cval;
+            }
+        }
+    }
+
+    /// `srad_cuda_2`: divergence update of `J`.
+    pub fn kernel2(&mut self) {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = self.j.clone();
+        for r in 0..rows {
+            for cl in 0..cols {
+                let i = self.idx(r, cl);
+                let cn = self.c[i];
+                let cs = self.c[self.idx((r + 1).min(rows - 1), cl)];
+                let cw = self.c[i];
+                let ce = self.c[self.idx(r, (cl + 1).min(cols - 1))];
+                let d = cn * self.dn[i] + cs * self.ds[i] + cw * self.dw[i] + ce * self.de[i];
+                out[i] = self.j[i] + 0.25 * self.lambda * d;
+            }
+        }
+        self.j = out;
+    }
+
+    /// One full iteration (host stats + both kernels).
+    pub fn step(&mut self) {
+        let q0 = self.q0_sqr();
+        self.kernel1(q0);
+        self.kernel2();
+    }
+
+    /// Run `iters` iterations.
+    pub fn run(&mut self, iters: usize) {
+        for _ in 0..iters {
+            self.step();
+        }
+    }
+
+    /// Image variance (smoothing metric).
+    pub fn variance(&self) -> f32 {
+        let n = self.j.len() as f32;
+        let mean: f32 = self.j.iter().sum::<f32>() / n;
+        self.j.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n
+    }
+
+    /// Image mean.
+    pub fn mean(&self) -> f32 {
+        self.j.iter().sum::<f32>() / self.j.len() as f32
+    }
+}
+
+/// `srad_cuda_1` launch descriptor (Table III).
+pub fn srad1_kernel(rows: usize, cols: usize) -> KernelDesc {
+    KernelDesc::new(
+        "srad_cuda_1",
+        ((cols / 16) as u32, (rows / 16) as u32),
+        (16u32, 16u32),
+        block_work(25.0, 6.0, 10.0),
+    )
+    .with_regs(24)
+    .with_smem(5 * 16 * 16 * 4)
+}
+
+/// `srad_cuda_2` launch descriptor (Table III).
+pub fn srad2_kernel(rows: usize, cols: usize) -> KernelDesc {
+    KernelDesc::new(
+        "srad_cuda_2",
+        ((cols / 16) as u32, (rows / 16) as u32),
+        (16u32, 16u32),
+        block_work(12.0, 6.0, 8.0),
+    )
+    .with_regs(20)
+    .with_smem(3 * 16 * 16 * 4)
+}
+
+/// Host-side time per iteration for the ROI statistics pass over the
+/// image (two reads + multiply-accumulate per pixel on one core).
+fn stats_work(rows: usize, cols: usize) -> Dur {
+    Dur::from_ns((rows * cols) as u64 / 4)
+}
+
+/// Build the simulator program for one `srad` application: per
+/// iteration — host stats, HtoD upload, two kernels, DtoH download.
+pub fn program(cfg: SradConfig, instance: usize) -> Program {
+    let img = (cfg.rows * cfg.cols * 4) as u64;
+    let mut b = Program::builder(format!("srad#{instance}")).device_alloc(6 * img);
+    for _ in 0..cfg.iters {
+        b = b
+            .host_work(stats_work(cfg.rows, cfg.cols))
+            .htod(img, "J")
+            .launch(srad1_kernel(cfg.rows, cfg.cols))
+            .launch(srad2_kernel(cfg.rows, cfg.cols))
+            .dtoh(img, "J");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hq_gpu::program::HostOp;
+    use hq_gpu::types::Dir;
+
+    fn small() -> SradConfig {
+        SradConfig {
+            rows: 64,
+            cols: 64,
+            iters: 10,
+            lambda: 0.5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn diffusion_reduces_variance_monotonically() {
+        let mut s = Srad::generate(small());
+        let mut prev = s.variance();
+        for _ in 0..5 {
+            s.step();
+            let v = s.variance();
+            assert!(v < prev, "variance must fall: {v} !< {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_preserved() {
+        let mut s = Srad::generate(small());
+        let m0 = s.mean();
+        s.run(10);
+        let m1 = s.mean();
+        assert!((m1 - m0).abs() / m0 < 0.05, "mean drifted {m0} -> {m1}");
+    }
+
+    #[test]
+    fn output_stays_finite_and_positive() {
+        let mut s = Srad::generate(small());
+        s.run(10);
+        assert!(s.j.iter().all(|x| x.is_finite()));
+        assert!(s.j.iter().all(|&x| x > 0.0), "positivity preserved");
+    }
+
+    #[test]
+    fn coefficients_clamped_to_unit_interval() {
+        let mut s = Srad::generate(small());
+        let q0 = s.q0_sqr();
+        s.kernel1(q0);
+        assert!(s.c.iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Srad::generate(small());
+        let mut b = Srad::generate(small());
+        a.run(3);
+        b.run(3);
+        assert_eq!(a.j, b.j);
+    }
+
+    #[test]
+    fn table3_geometry_and_loop_shape() {
+        let p = program(SradConfig::default(), 0);
+        let k = srad1_kernel(512, 512);
+        assert_eq!((k.blocks(), k.threads_per_block()), (1024, 256));
+        // 10 calls of each kernel; HtoD and DtoH inside the loop.
+        let launches = p.kernel_launches();
+        assert_eq!(launches, 20);
+        assert_eq!(p.transfer_count(Dir::HtoD), 10);
+        assert_eq!(p.transfer_count(Dir::DtoH), 10);
+        // Pattern per iteration: HostWork, HtoD, k1, k2, DtoH.
+        assert!(matches!(p.ops[0], HostOp::HostWork { .. }));
+        assert!(matches!(
+            &p.ops[1],
+            HostOp::MemcpyAsync { dir: Dir::HtoD, .. }
+        ));
+        assert!(matches!(
+            &p.ops[4],
+            HostOp::MemcpyAsync { dir: Dir::DtoH, .. }
+        ));
+    }
+}

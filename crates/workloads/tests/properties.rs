@@ -1,0 +1,75 @@
+//! Property-based tests of the Rodinia algorithm ports: the kernel
+//! decompositions must agree with straightforward reference
+//! implementations for arbitrary seeds and (tile-aligned) sizes.
+
+use hq_des::rng::DetRng;
+use hq_workloads::gaussian::{Gaussian, GaussianConfig};
+use hq_workloads::knearest::{Knearest, KnearestConfig};
+use hq_workloads::needle::{Needle, NeedleConfig};
+use hq_workloads::srad::{Srad, SradConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gaussian elimination through Fan1/Fan2 solves the system: the
+    /// residual against the pristine inputs stays small.
+    #[test]
+    fn gaussian_solves_for_any_seed(seed in any::<u64>(), n_pow in 4usize..7) {
+        let n = 1 << n_pow; // 16..64
+        let mut g = Gaussian::generate(GaussianConfig { n, seed });
+        let x = g.solve();
+        let r = g.residual(&x);
+        prop_assert!(r < 1e-2, "residual {r} for n={n} seed={seed}");
+    }
+
+    /// The tiled needle sweep equals the full DP for any seed and any
+    /// tile-aligned size.
+    #[test]
+    fn needle_tiling_exact(seed in any::<u64>(), tiles in 1usize..5, penalty in 1i32..20) {
+        let cfg = NeedleConfig { n: tiles * 32, penalty, seed };
+        let mut nd = Needle::generate(cfg);
+        nd.run_kernelized();
+        prop_assert_eq!(nd.items, Needle::reference_dp(cfg));
+    }
+
+    /// SRAD smooths monotonically and preserves finiteness for any
+    /// seed.
+    #[test]
+    fn srad_smooths_for_any_seed(seed in any::<u64>()) {
+        let mut s = Srad::generate(SradConfig {
+            rows: 32,
+            cols: 32,
+            iters: 4,
+            lambda: 0.5,
+            seed,
+        });
+        let v0 = s.variance();
+        s.run(4);
+        prop_assert!(s.variance() < v0);
+        prop_assert!(s.j.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+
+    /// The euclid kernel + host selection matches the f64 reference
+    /// selection for any seed and k.
+    #[test]
+    fn knearest_matches_reference(seed in any::<u64>(), records in 64usize..512, k in 1usize..16) {
+        let mut knn = Knearest::generate(KnearestConfig { records, k, seed });
+        knn.euclid();
+        prop_assert_eq!(knn.nearest(), knn.reference_nearest());
+    }
+
+    /// Workload data generation is a pure function of the seed.
+    #[test]
+    fn generation_deterministic(seed in any::<u64>()) {
+        let a = Gaussian::generate(GaussianConfig { n: 32, seed });
+        let b = Gaussian::generate(GaussianConfig { n: 32, seed });
+        prop_assert_eq!(a.a0, b.a0);
+        let mut r1 = DetRng::seed_from_u64(seed);
+        let mut r2 = DetRng::seed_from_u64(seed);
+        prop_assert_eq!(
+            hq_workloads::data::random_points(&mut r1, 10),
+            hq_workloads::data::random_points(&mut r2, 10)
+        );
+    }
+}

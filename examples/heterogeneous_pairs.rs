@@ -1,0 +1,41 @@
+//! Heterogeneous pairing study: run every pair of the four Rodinia
+//! ports and report the concurrency improvement over serialized
+//! execution — a small-scale rendition of the paper's Figure 4.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_pairs
+//! ```
+
+use hyperq_repro::hyperq::harness::{pair_workload, run_workload, RunConfig};
+use hyperq_repro::hyperq::metrics::improvement;
+use hyperq_repro::hyperq::report::{pct, Table};
+use hyperq_repro::workloads::apps::AppKind;
+
+fn main() {
+    let na = 8;
+    let mut table = Table::new(vec![
+        "pair",
+        "serial",
+        "half-concurrent",
+        "full-concurrent",
+        "half gain",
+        "full gain",
+    ]);
+    for (x, y) in AppKind::pairs() {
+        let kinds = pair_workload(x, y, na);
+        let serial = run_workload(&RunConfig::serial(), &kinds).expect("serial");
+        let half = run_workload(&RunConfig::concurrent(na as u32 / 2), &kinds).expect("half");
+        let full = run_workload(&RunConfig::concurrent(na as u32), &kinds).expect("full");
+        table.row(vec![
+            format!("{x}+{y}"),
+            serial.makespan().to_string(),
+            half.makespan().to_string(),
+            full.makespan().to_string(),
+            pct(improvement(serial.makespan(), half.makespan())),
+            pct(improvement(serial.makespan(), full.makespan())),
+        ]);
+    }
+    println!("NA = {na} applications per workload, Tesla K20 (simulated)\n");
+    println!("{}", table.to_text());
+    println!("Run `cargo run --release -p hq-bench --bin fig04_lazy_policy` for the full paper-scale sweep.");
+}

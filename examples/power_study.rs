@@ -1,0 +1,87 @@
+//! Power and energy study: sample the simulated NVML sensor while the
+//! {gaussian, needle} workload runs serialized, half-concurrent and
+//! full-concurrent (the paper's Figure 9 view), and show that the
+//! memory-synchronization technique adds no measurable power cost
+//! (Figure 10).
+//!
+//! ```text
+//! cargo run --release --example power_study
+//! ```
+
+use hyperq_repro::hyperq::harness::{
+    pair_workload, run_workload, MemsyncMode, RunConfig, RunOutcome,
+};
+use hyperq_repro::hyperq::report::{joules, pct, watts, Table};
+use hyperq_repro::workloads::apps::AppKind;
+
+fn sparkline(out: &RunOutcome, width: usize) -> String {
+    // Downsample the power trace into a unicode sparkline.
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let samples = &out.power.samples;
+    if samples.is_empty() {
+        return String::new();
+    }
+    let max = out.power.peak_w.max(1.0);
+    (0..width)
+        .map(|i| {
+            let idx = i * samples.len() / width;
+            let v = samples[idx].1 / max;
+            glyphs[((v * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let na = 8u32;
+    let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
+
+    let mut cfg_serial = RunConfig::serial();
+    cfg_serial.sample_period = hyperq_repro::des::time::Dur::from_us(200);
+    let mut cfg = |ns: u32, memsync| {
+        let mut c = RunConfig::concurrent(ns).with_memsync(memsync);
+        c.sample_period = hyperq_repro::des::time::Dur::from_us(200);
+        c
+    };
+
+    let runs: Vec<(&str, RunOutcome)> = vec![
+        ("serial", run_workload(&cfg_serial, &kinds).unwrap()),
+        (
+            "half-concurrent",
+            run_workload(&cfg(na / 2, MemsyncMode::Off), &kinds).unwrap(),
+        ),
+        (
+            "full-concurrent",
+            run_workload(&cfg(na, MemsyncMode::Off), &kinds).unwrap(),
+        ),
+        (
+            "full + memsync",
+            run_workload(&cfg(na, MemsyncMode::Synced), &kinds).unwrap(),
+        ),
+    ];
+
+    let base_energy = runs[0].1.energy_j();
+    let mut table = Table::new(vec![
+        "scenario",
+        "makespan",
+        "avg power",
+        "peak power",
+        "energy",
+        "energy vs serial",
+    ]);
+    for (name, out) in &runs {
+        table.row(vec![
+            name.to_string(),
+            out.makespan().to_string(),
+            watts(out.avg_power_w()),
+            watts(out.power.peak_w),
+            joules(out.energy_j()),
+            pct((base_energy - out.energy_j()) / base_energy),
+        ]);
+    }
+    println!("{{gaussian, needle}}, NA = {na}, sensor oversampled at 5 kHz\n");
+    println!("{}", table.to_text());
+    println!("power traces (normalized to each run's peak):");
+    for (name, out) in &runs {
+        println!("  {name:<16} {}", sparkline(out, 72));
+    }
+}

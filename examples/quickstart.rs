@@ -1,0 +1,65 @@
+//! Quickstart: schedule a small heterogeneous workload on the simulated
+//! Tesla K20, compare serialized vs. Hyper-Q concurrent execution, and
+//! apply the paper's two techniques (memory-transfer synchronization
+//! and launch reordering).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hyperq_repro::hyperq::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use hyperq_repro::hyperq::metrics::improvement;
+use hyperq_repro::hyperq::ordering::ScheduleOrder;
+use hyperq_repro::hyperq::report::pct;
+use hyperq_repro::workloads::apps::AppKind;
+
+fn main() {
+    // 8 applications: 4x gaussian + 4x needle (paper Fig. 3's Ω).
+    let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, 8);
+
+    // 1. Serialized baseline: one stream, one application at a time.
+    let serial = run_workload(&RunConfig::serial(), &kinds).expect("serial run");
+    println!("serialized execution:        {}", serial.makespan());
+
+    // 2. Full-concurrent: one stream per application; Hyper-Q and the
+    //    LEFTOVER policy pack the fragments.
+    let conc = run_workload(&RunConfig::concurrent(8), &kinds).expect("concurrent run");
+    println!(
+        "full-concurrent (Hyper-Q):   {}   ({} vs serial)",
+        conc.makespan(),
+        pct(improvement(serial.makespan(), conc.makespan()))
+    );
+
+    // 3. Add memory-transfer synchronization (the pseudo-burst mutex).
+    let sync = run_workload(
+        &RunConfig::concurrent(8).with_memsync(MemsyncMode::Synced),
+        &kinds,
+    )
+    .expect("memsync run");
+    println!(
+        "+ memory synchronization:    {}   ({} vs serial)",
+        sync.makespan(),
+        pct(improvement(serial.makespan(), sync.makespan()))
+    );
+
+    // 4. Try a different launch order on top.
+    let ordered = run_workload(
+        &RunConfig::concurrent(8)
+            .with_memsync(MemsyncMode::Synced)
+            .with_order(ScheduleOrder::RoundRobin),
+        &kinds,
+    )
+    .expect("ordered run");
+    println!(
+        "+ round-robin launch order:  {}   ({} vs serial)",
+        ordered.makespan(),
+        pct(improvement(serial.makespan(), ordered.makespan()))
+    );
+
+    println!(
+        "\nenergy: serial {:.2} J -> best concurrent {:.2} J ({})",
+        serial.energy_j(),
+        ordered.energy_j().min(sync.energy_j()),
+        pct((serial.energy_j() - ordered.energy_j().min(sync.energy_j())) / serial.energy_j())
+    );
+}

@@ -1,0 +1,280 @@
+//! Hand-rolled argument parsing for the `hyperq` CLI.
+
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::MemsyncMode;
+use hyperq_core::ordering::ScheduleOrder;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+hyperq — Hyper-Q management framework on a simulated Tesla K20
+
+USAGE:
+  hyperq run       --workload SPEC [--streams N] [--order ORDER]
+                   [--memsync off|enqueue|synced] [--serial] [--seed N]
+                   [--device k20|k40|fermi] [--gantt] [--chrome FILE]
+                   [--json FILE]
+  hyperq compare   --workload SPEC [--streams N] [--seed N]
+  hyperq trace     --workload SPEC [--streams N] [--chrome FILE] [--seed N]
+  hyperq autosched --workload SPEC [--streams N] [--objective makespan|energy]
+                   [--budget N] [--seed N]
+  hyperq table3
+  hyperq devices
+  hyperq help
+
+SPEC:    e.g. 'gaussian*4+needle*4' (aliases: nn, nw, srad_v2)
+ORDER:   fifo | round-robin | shuffle | reverse-fifo | reverse-round-robin";
+
+/// Which device preset to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DevicePreset {
+    /// Tesla K20 (the paper's testbed).
+    K20,
+    /// Tesla K40 (larger Kepler part).
+    K40,
+    /// Fermi-class single-work-queue device.
+    Fermi,
+}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run one configuration and report metrics.
+    Run,
+    /// Serial vs concurrent vs +memsync comparison table.
+    Compare,
+    /// Emit the timeline (ASCII Gantt and optionally Chrome JSON).
+    Trace,
+    /// Greedy dynamic-order search (§VI).
+    Autosched,
+    /// Print Table III.
+    Table3,
+    /// List device presets.
+    Devices,
+    /// Print usage.
+    Help,
+}
+
+/// Fully parsed CLI invocation.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+    /// Application multiset (empty for table3/devices/help).
+    pub workload: Vec<AppKind>,
+    /// Stream count `NS`.
+    pub streams: u32,
+    /// Launch order.
+    pub order: ScheduleOrder,
+    /// Memory-synchronization mode.
+    pub memsync: MemsyncMode,
+    /// Serialized baseline instead of concurrent execution.
+    pub serial: bool,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Device preset.
+    pub device: DevicePreset,
+    /// Print the ASCII Gantt timeline after a `run`.
+    pub gantt: bool,
+    /// Write a Chrome trace JSON to this path.
+    pub chrome: Option<String>,
+    /// Write a RunSummary JSON to this path.
+    pub json: Option<String>,
+    /// Autosched objective: `true` = energy, `false` = makespan.
+    pub objective_energy: bool,
+    /// Autosched swap budget.
+    pub budget: usize,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            command: Command::Help,
+            workload: Vec::new(),
+            streams: 8,
+            order: ScheduleOrder::NaiveFifo,
+            memsync: MemsyncMode::Off,
+            serial: false,
+            seed: 0xC0FFEE,
+            device: DevicePreset::K20,
+            gantt: false,
+            chrome: None,
+            json: None,
+            objective_energy: false,
+            budget: 20,
+        }
+    }
+}
+
+fn parse_order(s: &str) -> Result<ScheduleOrder, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "fifo" | "naive-fifo" | "naive" => Ok(ScheduleOrder::NaiveFifo),
+        "round-robin" | "rr" => Ok(ScheduleOrder::RoundRobin),
+        "shuffle" | "random" | "random-shuffle" => Ok(ScheduleOrder::RandomShuffle),
+        "reverse-fifo" | "rfifo" => Ok(ScheduleOrder::ReverseFifo),
+        "reverse-round-robin" | "rrr" => Ok(ScheduleOrder::ReverseRoundRobin),
+        other => Err(format!("unknown order '{other}'")),
+    }
+}
+
+fn parse_memsync(s: &str) -> Result<MemsyncMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Ok(MemsyncMode::Off),
+        "enqueue" => Ok(MemsyncMode::Enqueue),
+        "synced" | "sync" | "on" => Ok(MemsyncMode::Synced),
+        other => Err(format!("unknown memsync mode '{other}'")),
+    }
+}
+
+fn parse_device(s: &str) -> Result<DevicePreset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "k20" => Ok(DevicePreset::K20),
+        "k40" => Ok(DevicePreset::K40),
+        "fermi" => Ok(DevicePreset::Fermi),
+        other => Err(format!("unknown device '{other}'")),
+    }
+}
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Err("missing subcommand".into());
+    };
+    cli.command = match cmd.as_str() {
+        "run" => Command::Run,
+        "compare" => Command::Compare,
+        "trace" => Command::Trace,
+        "autosched" => Command::Autosched,
+        "table3" => Command::Table3,
+        "devices" => Command::Devices,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown subcommand '{other}'")),
+    };
+    let value = |it: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+                 flag: &str|
+     -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                cli.workload =
+                    crate::cli::workload_spec::parse_workload(&value(&mut it, "--workload")?)?;
+            }
+            "--streams" | "-s" => {
+                cli.streams = value(&mut it, "--streams")?
+                    .parse()
+                    .map_err(|_| "--streams needs an integer".to_string())?;
+                if cli.streams == 0 || cli.streams > 1024 {
+                    return Err("--streams must be in 1..=1024".into());
+                }
+            }
+            "--order" | "-o" => cli.order = parse_order(&value(&mut it, "--order")?)?,
+            "--memsync" | "-m" => cli.memsync = parse_memsync(&value(&mut it, "--memsync")?)?,
+            "--serial" => cli.serial = true,
+            "--seed" => {
+                cli.seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--device" | "-d" => cli.device = parse_device(&value(&mut it, "--device")?)?,
+            "--gantt" => cli.gantt = true,
+            "--chrome" => cli.chrome = Some(value(&mut it, "--chrome")?),
+            "--json" => cli.json = Some(value(&mut it, "--json")?),
+            "--objective" => {
+                cli.objective_energy = match value(&mut it, "--objective")?.as_str() {
+                    "energy" | "power" => true,
+                    "makespan" | "time" | "performance" => false,
+                    other => return Err(format!("unknown objective '{other}'")),
+                };
+            }
+            "--budget" => {
+                cli.budget = value(&mut it, "--budget")?
+                    .parse()
+                    .map_err(|_| "--budget needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let needs_workload = matches!(
+        cli.command,
+        Command::Run | Command::Compare | Command::Trace | Command::Autosched
+    );
+    if needs_workload && cli.workload.is_empty() {
+        return Err("this subcommand requires --workload".into());
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_run_command() {
+        let cli = parse_args(argv(
+            "run --workload gaussian*2+nn*2 --streams 4 --order rr --memsync synced --seed 9 --device k40 --gantt",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.workload.len(), 4);
+        assert_eq!(cli.streams, 4);
+        assert_eq!(cli.order, ScheduleOrder::RoundRobin);
+        assert_eq!(cli.memsync, MemsyncMode::Synced);
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.device, DevicePreset::K40);
+        assert!(cli.gantt);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cli = parse_args(argv("run -w needle")).unwrap();
+        assert_eq!(cli.streams, 8);
+        assert_eq!(cli.order, ScheduleOrder::NaiveFifo);
+        assert_eq!(cli.memsync, MemsyncMode::Off);
+        assert!(!cli.serial);
+    }
+
+    #[test]
+    fn workload_required_for_run_commands() {
+        assert!(parse_args(argv("run")).is_err());
+        assert!(parse_args(argv("compare")).is_err());
+        assert!(parse_args(argv("table3")).is_ok());
+        assert!(parse_args(argv("devices")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(parse_args(argv("frobnicate")).is_err());
+        assert!(parse_args(argv("run -w needle --order sideways")).is_err());
+        assert!(parse_args(argv("run -w needle --what")).is_err());
+        assert!(parse_args(argv("run -w needle --streams 0")).is_err());
+        assert!(parse_args(argv("run -w needle --streams")).is_err());
+    }
+
+    #[test]
+    fn all_order_aliases() {
+        for (alias, want) in [
+            ("fifo", ScheduleOrder::NaiveFifo),
+            ("rr", ScheduleOrder::RoundRobin),
+            ("shuffle", ScheduleOrder::RandomShuffle),
+            ("reverse-fifo", ScheduleOrder::ReverseFifo),
+            ("rrr", ScheduleOrder::ReverseRoundRobin),
+        ] {
+            let cli = parse_args(argv(&format!("run -w nn --order {alias}"))).unwrap();
+            assert_eq!(cli.order, want, "{alias}");
+        }
+    }
+
+    #[test]
+    fn autosched_flags() {
+        let cli = parse_args(argv("autosched -w nn*4 --objective energy --budget 7")).unwrap();
+        assert!(cli.objective_energy);
+        assert_eq!(cli.budget, 7);
+    }
+}

@@ -1,0 +1,257 @@
+//! Command implementations for the `hyperq` CLI.
+
+use crate::cli::args::{Cli, Command, DevicePreset, USAGE};
+use crate::cli::workload_spec::format_workload;
+use hq_gpu::prelude::*;
+use hq_gpu::types::Dir;
+use hq_workloads::geometry;
+use hyperq_core::autosched::{AutoScheduler, Objective};
+use hyperq_core::harness::{run_workload, MemsyncMode, RunConfig, RunOutcome};
+use hyperq_core::metrics::improvement;
+use hyperq_core::report::{joules, pct, watts, Table};
+
+fn device_for(preset: DevicePreset) -> DeviceConfig {
+    match preset {
+        DevicePreset::K20 => DeviceConfig::tesla_k20(),
+        DevicePreset::K40 => DeviceConfig::tesla_k40(),
+        DevicePreset::Fermi => DeviceConfig::fermi_like(),
+    }
+}
+
+fn config_from(cli: &Cli, trace: bool) -> RunConfig {
+    let mut cfg = if cli.serial {
+        RunConfig::serial()
+    } else {
+        RunConfig::concurrent(cli.streams)
+    };
+    cfg.device = device_for(cli.device);
+    cfg = cfg
+        .with_order(cli.order)
+        .with_memsync(cli.memsync)
+        .with_seed(cli.seed)
+        .with_trace(trace);
+    cfg
+}
+
+fn outcome_summary(out: &RunOutcome) -> String {
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["makespan".to_string(), out.makespan().to_string()]);
+    t.row(vec!["avg power".to_string(), watts(out.avg_power_w())]);
+    t.row(vec!["peak power".to_string(), watts(out.power.peak_w)]);
+    t.row(vec!["energy".to_string(), joules(out.energy_j())]);
+    if let Some(le) = out.mean_le(Dir::HtoD) {
+        t.row(vec!["mean Le (HtoD)".to_string(), le.to_string()]);
+    }
+    if let Some(le) = out.mean_le(Dir::DtoH) {
+        t.row(vec!["mean Le (DtoH)".to_string(), le.to_string()]);
+    }
+    t.to_text()
+}
+
+fn cmd_run(cli: &Cli) -> Result<String, String> {
+    let want_trace = cli.gantt || cli.chrome.is_some();
+    let cfg = config_from(cli, want_trace);
+    let out = run_workload(&cfg, &cli.workload).map_err(|e| e.to_string())?;
+    let mut s = format!(
+        "workload: {}\nschedule: {}\n\n{}",
+        format_workload(&cli.workload),
+        out.schedule.join(", "),
+        outcome_summary(&out)
+    );
+    if cli.gantt {
+        s.push_str("\ntimeline:\n");
+        s.push_str(&out.result.trace.render_gantt(100));
+    }
+    if let Some(path) = &cli.json {
+        let summary = hyperq_core::summary::RunSummary::from(&out);
+        std::fs::write(path, summary.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        s.push_str(&format!("\nrun summary written to {path}\n"));
+    }
+    if let Some(path) = &cli.chrome {
+        std::fs::write(path, out.result.trace.to_chrome_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        s.push_str(&format!("\nchrome trace written to {path}\n"));
+    }
+    Ok(s)
+}
+
+fn cmd_compare(cli: &Cli) -> Result<String, String> {
+    let mut serial_cfg = config_from(cli, false);
+    serial_cfg.serialize = true;
+    serial_cfg.num_streams = 1;
+    serial_cfg.memsync = MemsyncMode::Off;
+    let serial = run_workload(&serial_cfg, &cli.workload).map_err(|e| e.to_string())?;
+
+    let mut rows: Vec<(&str, RunOutcome)> = vec![("serial", serial)];
+    for (name, memsync) in [
+        ("concurrent", MemsyncMode::Off),
+        ("concurrent+memsync", MemsyncMode::Synced),
+    ] {
+        let mut cfg = config_from(cli, false);
+        cfg.serialize = false;
+        cfg.memsync = memsync;
+        rows.push((
+            name,
+            run_workload(&cfg, &cli.workload).map_err(|e| e.to_string())?,
+        ));
+    }
+    let base_mk = rows[0].1.makespan();
+    let base_e = rows[0].1.energy_j();
+    let mut t = Table::new(vec![
+        "configuration",
+        "makespan",
+        "vs serial",
+        "energy",
+        "energy vs serial",
+    ]);
+    for (name, out) in &rows {
+        t.row(vec![
+            name.to_string(),
+            out.makespan().to_string(),
+            pct(improvement(base_mk, out.makespan())),
+            joules(out.energy_j()),
+            pct((base_e - out.energy_j()) / base_e),
+        ]);
+    }
+    Ok(format!(
+        "workload: {} on {} streams ({})\n\n{}",
+        format_workload(&cli.workload),
+        cli.streams,
+        device_for(cli.device).name,
+        t.to_text()
+    ))
+}
+
+fn cmd_trace(cli: &Cli) -> Result<String, String> {
+    let mut cli2 = cli.clone();
+    cli2.gantt = true;
+    cmd_run(&cli2)
+}
+
+fn cmd_autosched(cli: &Cli) -> Result<String, String> {
+    let cfg = config_from(cli, false);
+    let sched = AutoScheduler {
+        objective: if cli.objective_energy {
+            Objective::Energy
+        } else {
+            Objective::Makespan
+        },
+        swap_budget: cli.budget,
+        seed: cli.seed,
+    };
+    let res = sched.optimize(&cfg, &cli.workload);
+    let labels: Vec<String> = res
+        .schedule
+        .iter()
+        .map(|(k, i)| format!("{}#{i}", k.name()))
+        .collect();
+    Ok(format!(
+        "objective: {:?}\nevaluations: {}\nbest canonical score: {:.3}\nbest found score:     {:.3} ({} better)\nschedule: {}\n\n{}",
+        sched.objective,
+        res.evaluations,
+        res.canonical_score,
+        res.best_score,
+        pct((res.canonical_score - res.best_score) / res.canonical_score),
+        labels.join(", "),
+        outcome_summary(&res.outcome)
+    ))
+}
+
+fn cmd_devices() -> String {
+    let mut t = Table::new(vec![
+        "preset",
+        "name",
+        "SMX",
+        "max resident blocks",
+        "hw queues",
+        "memory",
+    ]);
+    for (flag, dev) in [
+        ("k20", DeviceConfig::tesla_k20()),
+        ("k40", DeviceConfig::tesla_k40()),
+        ("fermi", DeviceConfig::fermi_like()),
+    ] {
+        t.row(vec![
+            flag.to_string(),
+            dev.name.clone(),
+            dev.num_smx.to_string(),
+            dev.max_resident_blocks().to_string(),
+            dev.hw_queues.to_string(),
+            format!("{} GiB", dev.device_mem_bytes >> 30),
+        ]);
+    }
+    t.to_text()
+}
+
+/// Execute a parsed CLI invocation, returning the text to print.
+pub fn execute(cli: Cli) -> Result<String, String> {
+    match cli.command {
+        Command::Run => cmd_run(&cli),
+        Command::Compare => cmd_compare(&cli),
+        Command::Trace => cmd_trace(&cli),
+        Command::Autosched => cmd_autosched(&cli),
+        Command::Table3 => {
+            geometry::validate_against_builders();
+            Ok(geometry::render_markdown())
+        }
+        Command::Devices => Ok(cmd_devices()),
+        Command::Help => Ok(USAGE.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::parse_args;
+
+    fn run(s: &str) -> Result<String, String> {
+        let args = s.split_whitespace().map(String::from).collect();
+        execute(parse_args(args).expect("parse"))
+    }
+
+    #[test]
+    fn run_command_reports_metrics() {
+        let out = run("run -w nn*2+needle*2 --streams 4 --seed 3").unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains("energy"));
+        assert!(out.contains("schedule: knearest#0"));
+    }
+
+    #[test]
+    fn run_with_gantt_renders_lanes() {
+        let out = run("run -w nn*2 --streams 2 --gantt").unwrap();
+        assert!(out.contains("lane"));
+    }
+
+    #[test]
+    fn compare_shows_three_configurations() {
+        let out = run("compare -w nn*2+needle*2 --streams 4").unwrap();
+        assert!(out.contains("serial"));
+        assert!(out.contains("concurrent+memsync"));
+        assert!(out.contains("vs serial"));
+    }
+
+    #[test]
+    fn table3_and_devices_render() {
+        assert!(run("table3").unwrap().contains("Fan2"));
+        let d = run("devices").unwrap();
+        assert!(d.contains("k20") && d.contains("208"));
+    }
+
+    #[test]
+    fn autosched_runs_small_budget() {
+        let out = run("autosched -w nn*2+needle*2 --streams 4 --budget 2").unwrap();
+        assert!(out.contains("best found score"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn fermi_device_flag_works() {
+        let out = run("run -w needle*2 --streams 2 --device fermi").unwrap();
+        assert!(out.contains("makespan"));
+    }
+}

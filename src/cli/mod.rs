@@ -1,0 +1,42 @@
+//! The `hyperq` command-line interface.
+//!
+//! A small, dependency-free CLI over the management framework:
+//!
+//! ```text
+//! hyperq run      --workload gaussian*4+needle*4 --streams 8 --order round-robin
+//! hyperq compare  --workload nn*8+srad*8 --streams 16
+//! hyperq trace    --workload gaussian*2+needle*2 --streams 4 --chrome out.json
+//! hyperq autosched --workload nn*4+needle*4 --objective energy
+//! hyperq table3
+//! hyperq devices
+//! ```
+//!
+//! Argument parsing is hand-rolled (the whole grammar is a dozen flags)
+//! and fully unit-tested; command logic lives in [`commands`].
+
+pub mod args;
+pub mod commands;
+pub mod workload_spec;
+
+pub use args::{parse_args, Cli, Command};
+
+/// Entry point used by `src/main.rs`; returns the process exit code.
+pub fn main_with(args: Vec<String>) -> i32 {
+    match parse_args(args) {
+        Ok(cli) => match commands::execute(cli) {
+            Ok(output) => {
+                println!("{output}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The workload mini-language: `gaussian*4+needle*4` (or `nn`, `nw`,
+//! `srad` aliases; a bare name means one instance).
+
+use hq_workloads::apps::AppKind;
+use hyperq_core as _; // workload specs feed the hyperq-core harness
+
+/// Parse a workload specification into the application multiset.
+///
+/// Grammar: `term ("+" term)*` where `term := name ("*" count)?`.
+pub fn parse_workload(spec: &str) -> Result<Vec<AppKind>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err("empty workload specification".into());
+    }
+    let mut kinds = Vec::new();
+    for term in spec.split('+') {
+        let term = term.trim();
+        let (name, count) = match term.split_once('*') {
+            Some((n, c)) => {
+                let count: usize = c
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad count in term '{term}'"))?;
+                (n.trim(), count)
+            }
+            None => (term, 1),
+        };
+        if count == 0 {
+            return Err(format!("zero count in term '{term}'"));
+        }
+        if count > 512 {
+            return Err(format!(
+                "count {count} too large in term '{term}' (max 512)"
+            ));
+        }
+        let kind = AppKind::parse(name).ok_or_else(|| {
+            format!("unknown benchmark '{name}' (expected gaussian, needle/nw, srad, knearest/nn)")
+        })?;
+        kinds.extend(std::iter::repeat_n(kind, count));
+    }
+    Ok(kinds)
+}
+
+/// Render a workload multiset back into canonical spec form.
+pub fn format_workload(kinds: &[AppKind]) -> String {
+    let mut parts: Vec<(AppKind, usize)> = Vec::new();
+    for &k in kinds {
+        match parts.iter_mut().find(|(p, _)| *p == k) {
+            Some((_, n)) => *n += 1,
+            None => parts.push((k, 1)),
+        }
+    }
+    parts
+        .iter()
+        .map(|(k, n)| {
+            if *n == 1 {
+                k.name().to_string()
+            } else {
+                format!("{}*{}", k.name(), n)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counts_and_aliases() {
+        let w = parse_workload("gaussian*2+nn*3").unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.iter().filter(|&&k| k == AppKind::Gaussian).count(), 2);
+        assert_eq!(w.iter().filter(|&&k| k == AppKind::Knearest).count(), 3);
+    }
+
+    #[test]
+    fn bare_name_is_one_instance() {
+        assert_eq!(parse_workload("srad").unwrap(), vec![AppKind::Srad]);
+        assert_eq!(parse_workload("nw").unwrap(), vec![AppKind::Needle]);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let w = parse_workload("  needle * 2 + srad ").unwrap();
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_workload("").is_err());
+        assert!(parse_workload("bogus*2").is_err());
+        assert!(parse_workload("needle*x").is_err());
+        assert!(parse_workload("needle*0").is_err());
+        assert!(parse_workload("needle*99999").is_err());
+    }
+
+    #[test]
+    fn roundtrip_format() {
+        let w = parse_workload("gaussian*2+needle").unwrap();
+        assert_eq!(format_workload(&w), "gaussian*2+needle");
+        let w2 = parse_workload(&format_workload(&w)).unwrap();
+        assert_eq!(w, w2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the Hyper-Q reproduction workspace,
+//! plus the `hyperq` command-line interface.
+//!
+//! See [`hyperq_core`] for the management framework (the paper's
+//! contribution), [`hq_gpu`] for the simulated Kepler-class device, and
+//! [`hq_workloads`] for the Rodinia workload ports.
+
+pub mod cli;
+
+pub use hq_des as des;
+pub use hq_gpu as gpu;
+pub use hq_power as power;
+pub use hq_workloads as workloads;
+pub use hyperq_core as hyperq;

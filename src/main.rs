@@ -1,0 +1,6 @@
+//! `hyperq` — command-line interface to the Hyper-Q reproduction.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hyperq_repro::cli::main_with(args));
+}

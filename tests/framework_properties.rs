@@ -1,0 +1,95 @@
+//! Property-based tests at the framework level: any workload mix,
+//! order, stream count and memsync mode must complete, preserve the
+//! application multiset, and obey basic metric sanity.
+//!
+//! `gaussian` is excluded from the generated mixes — its 1022-launch
+//! programs are exercised by the release-mode experiments and would
+//! dominate debug-mode test time here.
+
+use hyperq_repro::des::time::Dur;
+use hyperq_repro::gpu::types::Dir;
+use hyperq_repro::hyperq::harness::{run_workload, MemsyncMode, RunConfig};
+use hyperq_repro::hyperq::ordering::ScheduleOrder;
+use hyperq_repro::workloads::apps::AppKind;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = AppKind> {
+    prop_oneof![
+        Just(AppKind::Needle),
+        Just(AppKind::Srad),
+        Just(AppKind::Knearest),
+    ]
+}
+
+fn order_strategy() -> impl Strategy<Value = ScheduleOrder> {
+    proptest::sample::select(ScheduleOrder::ALL.to_vec())
+}
+
+fn memsync_strategy() -> impl Strategy<Value = MemsyncMode> {
+    prop_oneof![
+        Just(MemsyncMode::Off),
+        Just(MemsyncMode::Enqueue),
+        Just(MemsyncMode::Synced),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_configuration_completes(
+        kinds in proptest::collection::vec(kind_strategy(), 1..6),
+        order in order_strategy(),
+        memsync in memsync_strategy(),
+        ns in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = RunConfig::concurrent(ns)
+            .with_order(order)
+            .with_memsync(memsync)
+            .with_seed(seed);
+        let out = run_workload(&cfg, &kinds).expect("workload completes");
+
+        // The schedule is a permutation of the requested kinds.
+        prop_assert_eq!(out.schedule.len(), kinds.len());
+        for kind in [AppKind::Needle, AppKind::Srad, AppKind::Knearest] {
+            let want = kinds.iter().filter(|&&k| k == kind).count();
+            let got = out
+                .schedule
+                .iter()
+                .filter(|l| l.starts_with(kind.name()))
+                .count();
+            prop_assert_eq!(got, want, "{} multiset mismatch", kind);
+        }
+
+        // Metric sanity.
+        prop_assert!(out.makespan() > Dur::ZERO);
+        prop_assert!(out.energy_j() > 0.0);
+        prop_assert!(out.avg_power_w() >= 25.0, "below idle power");
+        prop_assert!(out.power.peak_w <= 225.0, "above TDP");
+        for app in &out.result.apps {
+            prop_assert!(app.finished.is_some());
+            prop_assert!(app.kernels_completed > 0);
+        }
+        // Every generated kind moves data, so Le must be defined.
+        prop_assert!(out.mean_le(Dir::HtoD).is_some());
+    }
+
+    #[test]
+    fn serial_is_upper_bound_for_these_kinds(
+        kinds in proptest::collection::vec(kind_strategy(), 2..5),
+        seed in 0u64..64,
+    ) {
+        let serial =
+            run_workload(&RunConfig::serial().with_seed(seed), &kinds).expect("serial");
+        let conc = run_workload(
+            &RunConfig::concurrent(kinds.len() as u32).with_seed(seed),
+            &kinds,
+        )
+        .expect("concurrent");
+        // Underutilizing kinds: concurrency may never lose more than a
+        // few percent to scheduling noise.
+        let ratio = conc.makespan().as_ns() as f64 / serial.makespan().as_ns() as f64;
+        prop_assert!(ratio < 1.05, "concurrent/serial ratio {ratio}");
+    }
+}
