@@ -75,7 +75,7 @@ fn bench_dma(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             let mut served = 0;
             while let Some(d) = e.try_start(now) {
-                now = now + d;
+                now += d;
                 e.finish_current(now, &mut seq);
                 served += 1;
             }

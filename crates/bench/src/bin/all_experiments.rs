@@ -34,6 +34,7 @@ fn main() {
         ("extension: device scaling", extensions::device_scaling),
         ("extension: heterogeneity", extensions::heterogeneity_study),
         ("extension: autosched", extensions::autosched_study),
+        ("extension: fault sweep", extensions::fault_sweep),
     ];
     for (name, run) in suite {
         eprintln!("== running {name} (elapsed {:?}) ==", t0.elapsed());

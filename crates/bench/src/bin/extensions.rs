@@ -13,6 +13,7 @@ fn main() {
         extensions::device_scaling(scale),
         extensions::heterogeneity_study(scale),
         extensions::autosched_study(scale),
+        extensions::fault_sweep(scale),
     ] {
         report.save_and_print();
         println!();

@@ -19,7 +19,7 @@ use hq_gpu::prelude::*;
 use hq_workloads::apps::AppKind;
 use hyperq_core::autosched::{AutoScheduler, Objective};
 use hyperq_core::harness::{
-    homogeneous_workload, pair_workload, run_schedule, run_workload, RunConfig,
+    homogeneous_workload, pair_workload, run_schedule, run_workload, RecoveryPolicy, RunConfig,
 };
 use hyperq_core::metrics::improvement;
 use hyperq_core::ordering::ScheduleOrder;
@@ -262,6 +262,90 @@ pub fn autosched_study(scale: Scale) -> ExperimentReport {
     }
 }
 
+/// Reliability extension: makespan vs injected kernel-fault rate under
+/// each recovery policy. Quantifies what each policy pays to keep the
+/// workload's results: FailFast loses apps but no time, Retry buys the
+/// failures back with serial re-runs, Degrade pays a full serialized
+/// second pass.
+pub fn fault_sweep(scale: Scale) -> ExperimentReport {
+    let na = scale.pick(8, 4);
+    let kinds = pair_workload(AppKind::Needle, AppKind::Knearest, na as usize);
+    let rates: Vec<f64> = scale.pick(
+        vec![0.0, 0.02, 0.05, 0.10, 0.20],
+        vec![0.0, 0.05, 0.20],
+    );
+    let policies = [
+        ("failfast", RecoveryPolicy::FailFast),
+        (
+            "retry(2)",
+            RecoveryPolicy::Retry {
+                max_attempts: 2,
+                backoff: Dur::from_us(100),
+            },
+        ),
+        ("degrade", RecoveryPolicy::Degrade),
+    ];
+    let jobs: Vec<(f64, &str, RecoveryPolicy)> = rates
+        .iter()
+        .flat_map(|&r| policies.iter().map(move |&(n, p)| (r, n, p)))
+        .collect();
+    let baseline = run_workload(&RunConfig::concurrent(na), &kinds)
+        .expect("baseline")
+        .makespan();
+    let rows = par_map(jobs, |&(rate, name, policy)| {
+        let plan = FaultPlan::none()
+            .with_rate(FaultKind::KernelFault, rate)
+            .with_rate(FaultKind::CopyFail, rate / 2.0)
+            .with_seed(0xfa);
+        let cfg = RunConfig::concurrent(na)
+            .with_faults(plan)
+            .with_recovery(policy);
+        let out = run_workload(&cfg, &kinds).expect("faulty run drains");
+        let failed = out
+            .result
+            .apps
+            .iter()
+            .filter(|a| a.outcome.is_failed())
+            .count();
+        (rate, name, out.makespan(), failed, out.retries, out.degraded)
+    });
+    let mut table = Table::new(vec![
+        "fault rate",
+        "policy",
+        "makespan",
+        "vs fault-free",
+        "failed apps",
+        "retries",
+        "degraded",
+    ]);
+    for &(rate, name, mk, failed, retries, degraded) in &rows {
+        let cost = (mk.as_ns() as f64 - baseline.as_ns() as f64) / baseline.as_ns() as f64;
+        // Normalize -0.0 so identical makespans print "+0.0%".
+        let cost = if cost == 0.0 { 0.0 } else { cost };
+        table.row(vec![
+            format!("{rate:.2}"),
+            name.to_string(),
+            mk.to_string(),
+            pct(cost),
+            failed.to_string(),
+            retries.to_string(),
+            degraded.to_string(),
+        ]);
+    }
+    ExperimentReport {
+        id: "ext_fault_sweep".into(),
+        title: "Extension — makespan vs fault rate under each recovery policy".into(),
+        markdown: format!(
+            "{{needle, knearest}}, NA = NS = {na}; kernel faults injected at \
+             the listed rate (copy faults at half of it, fault seed fixed). \
+             'vs fault-free' is the makespan cost relative to the clean \
+             baseline {baseline}.\n\n{}",
+            table.to_markdown()
+        ),
+        csv: Some(table.to_csv()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +362,18 @@ mod tests {
     fn shuffle_study_spread_is_ordered() {
         let r = shuffle_study(Scale::Quick);
         assert!(r.markdown.contains("best shuffle"));
+    }
+
+    #[test]
+    fn fault_sweep_zero_rate_matches_baseline() {
+        let r = fault_sweep(Scale::Quick);
+        assert!(r.markdown.contains("failfast"));
+        assert!(r.markdown.contains("retry(2)"));
+        assert!(r.markdown.contains("degrade"));
+        // The 0.00-rate rows must pay nothing vs the clean baseline.
+        for line in r.markdown.lines().filter(|l| l.contains("| 0.00 |")) {
+            assert!(line.contains("+0.0%"), "fault-free row costs time: {line}");
+        }
     }
 
     #[test]

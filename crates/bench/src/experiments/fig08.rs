@@ -44,7 +44,7 @@ mod tests {
     fn memsync_plus_ordering_never_catastrophic() {
         // Smoke: the composed report renders with all six pairs.
         let r = run(Scale::Quick);
-        assert_eq!(r.markdown.matches('+').count() >= 1, true);
+        assert!(r.markdown.matches('+').count() >= 1);
         assert!(r.markdown.contains("gaussian+needle"));
     }
 }

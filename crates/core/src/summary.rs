@@ -5,6 +5,7 @@
 //! the full trace payload.
 
 use crate::harness::RunOutcome;
+use hq_gpu::prelude::{AppOutcome, FaultCounters};
 use hq_gpu::types::Dir;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,10 @@ pub struct AppSummary {
     pub htod_bytes: u64,
     /// Bytes moved device-to-host.
     pub dtoh_bytes: u64,
+    /// How the application ended (completed, failed, or retried).
+    pub outcome: AppOutcome,
+    /// Injected faults that hit this application.
+    pub faults: u32,
 }
 
 /// Whole-run summary (the JSON artifact schema).
@@ -42,6 +47,12 @@ pub struct RunSummary {
     pub peak_power_w: f64,
     /// Mean device occupancy over the run, in `[0, 1]`.
     pub mean_occupancy: f64,
+    /// Fault and recovery counters for the whole run.
+    pub faults: FaultCounters,
+    /// Retry attempts spent recovering failed applications.
+    pub retries: u32,
+    /// True when the Degrade policy re-ran the workload serialized.
+    pub degraded: bool,
     /// Per-application rows, in application order.
     pub apps: Vec<AppSummary>,
 }
@@ -55,6 +66,9 @@ impl From<&RunOutcome> for RunSummary {
             avg_power_w: out.avg_power_w(),
             peak_power_w: out.power.peak_w,
             mean_occupancy: out.result.mean_occupancy(),
+            faults: out.result.faults,
+            retries: out.retries,
+            degraded: out.degraded,
             apps: out
                 .result
                 .apps
@@ -73,6 +87,8 @@ impl From<&RunOutcome> for RunSummary {
                     kernels: a.kernels_completed,
                     htod_bytes: a.htod.bytes,
                     dtoh_bytes: a.dtoh.bytes,
+                    outcome: a.outcome,
+                    faults: a.faults,
                 })
                 .collect(),
         }

@@ -261,7 +261,7 @@ mod tests {
         }
         assert_eq!(h.count(), 8);
         let q50 = h.quantile(0.5).unwrap();
-        assert!(q50 >= 3 && q50 < 8, "median bucket edge, got {q50}");
+        assert!((3..8).contains(&q50), "median bucket edge, got {q50}");
         assert!(h.quantile(1.0).unwrap() >= 1_000_000);
         assert_eq!(Histogram::new().quantile(0.5), None);
     }

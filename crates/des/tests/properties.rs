@@ -90,11 +90,8 @@ proptest! {
         for (t, v) in &sorted {
             s.set(SimTime::from_ns(*t), *v);
         }
-        let expected = sorted
-            .iter()
-            .filter(|&&(t, _)| t <= query)
-            .next_back()  // last change at or before query (sorted, last write wins)
-            .map(|&(_, v)| v);
+        // Last change at or before query (sorted, last write wins).
+        let expected = sorted.iter().rfind(|&&(t, _)| t <= query).map(|&(_, v)| v);
         // The series compacts redundant values, but the *value* must match.
         prop_assert_eq!(s.value_at(SimTime::from_ns(query)), expected);
     }

@@ -199,6 +199,13 @@ pub struct HostConfig {
     pub jitter_mean: Dur,
     /// Cost of a mutex lock/unlock operation on the host.
     pub mutex_overhead: Dur,
+    /// Kernel watchdog timeout. When set, every dispatchable grid is
+    /// checked on this period: a grid that completed no thread block
+    /// since the previous check is killed — its residency and admission
+    /// totals are reclaimed and its stream takes a sticky error (see
+    /// [`crate::fault`]). `None` (the default) disables the watchdog and
+    /// leaves runs bit-identical to a build without it.
+    pub watchdog_timeout: Option<Dur>,
 }
 
 impl Default for HostConfig {
@@ -208,6 +215,7 @@ impl Default for HostConfig {
             thread_launch_stagger: Dur::from_us(20),
             jitter_mean: Dur::from_ns(500),
             mutex_overhead: Dur::from_ns(100),
+            watchdog_timeout: None,
         }
     }
 }
@@ -220,6 +228,12 @@ impl HostConfig {
             jitter_mean: Dur::ZERO,
             ..Self::default()
         }
+    }
+
+    /// Builder-style watchdog timeout override.
+    pub fn with_watchdog(mut self, timeout: Dur) -> Self {
+        self.watchdog_timeout = Some(timeout);
+        self
     }
 }
 

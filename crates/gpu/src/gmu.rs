@@ -18,8 +18,10 @@
 //! running grids plus the candidate fits the device.
 
 use crate::config::DeviceConfig;
+use crate::fault::GridFault;
 use crate::kernel::KernelDesc;
 use crate::types::{GridId, OpId, StreamId};
+use hq_des::engine::EventId;
 use hq_des::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -35,6 +37,9 @@ pub enum GridState {
     Dispatchable,
     /// All blocks dispatched and completed.
     Done,
+    /// Killed by an injected fault or the watchdog; remaining blocks
+    /// were discarded and the stream took a sticky error.
+    Failed,
 }
 
 /// One launched kernel grid.
@@ -58,6 +63,16 @@ pub struct Grid {
     pub state: GridState,
     /// First block dispatch time (kernel span start).
     pub first_dispatch: Option<SimTime>,
+    /// Blocks that have run to completion (watchdog progress signal and
+    /// abort-threshold trigger).
+    pub completed_blocks: u32,
+    /// Injected doom, decided when the launch activated.
+    pub fault: Option<GridFault>,
+    /// True once the conservative-fit gate admitted this grid (its
+    /// totals are in [`Gmu::admitted_totals`] and must be returned).
+    pub admitted: bool,
+    /// Pending watchdog event, cancelled when the grid retires.
+    pub watchdog: Option<EventId>,
 }
 
 impl Grid {
@@ -182,6 +197,10 @@ impl Gmu {
             outstanding: 0,
             state: GridState::Queued,
             first_dispatch: None,
+            completed_blocks: 0,
+            fault: None,
+            admitted: false,
+            watchdog: None,
         });
         self.hw_queues[hwq].push_back(id);
         let at_head = self.hw_queues[hwq].len() == 1;

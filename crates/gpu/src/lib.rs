@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod dma;
+pub mod fault;
 pub mod gmu;
 pub mod host;
 pub mod kernel;

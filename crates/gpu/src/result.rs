@@ -1,6 +1,7 @@
 //! Simulation outputs: per-application statistics and device series.
 
 use crate::config::DeviceConfig;
+use crate::fault::FaultKind;
 use crate::types::{AppId, Dir, StreamId};
 use hq_des::record::TimeSeries;
 use hq_des::time::{Dur, SimTime};
@@ -39,6 +40,81 @@ impl TransferStats {
         self.last_end = Some(self.last_end.map_or(end, |l| l.max(end)));
         self.service_time += end - start;
     }
+
+    fn shift(&mut self, offset: Dur) {
+        self.first_start = self.first_start.map(|t| t + offset);
+        self.last_end = self.last_end.map(|t| t + offset);
+    }
+}
+
+/// Terminal status of one application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum AppOutcome {
+    /// Every device operation completed normally.
+    #[default]
+    Completed,
+    /// A fault struck (injected or watchdog-detected); the remaining
+    /// stream operations completed with a sticky error.
+    Failed {
+        /// The first fault that poisoned the application's stream.
+        reason: FaultKind,
+    },
+    /// The harness re-ran the application after a failure and the retry
+    /// completed. `attempts` counts every run, including the first.
+    Retried {
+        /// Total runs of this application.
+        attempts: u32,
+    },
+}
+
+impl AppOutcome {
+    /// True when the application ended in failure.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, AppOutcome::Failed { .. })
+    }
+}
+
+/// Run-wide reliability counters (all zero for fault-free runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Injected DMA copy failures.
+    pub copy_faults: u32,
+    /// Injected kernel aborts that fired.
+    pub kernel_faults: u32,
+    /// Grids killed by the watchdog (hangs and starvation kills).
+    pub watchdog_kills: u32,
+    /// Watchdog checks that observed progress and re-armed.
+    pub watchdog_rearms: u32,
+    /// Ops completed-with-error through sticky stream poisoning.
+    pub ops_errored: u64,
+    /// Mutexes force-released because their holder's thread terminated
+    /// while still holding them.
+    pub forced_mutex_releases: u32,
+    /// Threads still resident on SMXs after the event queue drained
+    /// (must be zero; checked by [`crate::validate`]).
+    pub leaked_residency: u64,
+    /// Mutexes still held after the event queue drained (must be zero).
+    pub held_mutexes: u32,
+}
+
+impl FaultCounters {
+    /// Total faults that actually fired during the run.
+    pub fn injected(&self) -> u32 {
+        self.copy_faults + self.kernel_faults + self.watchdog_kills
+    }
+
+    /// Accumulate another run's counters (used when the harness merges
+    /// retry or degraded epochs into one outcome).
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.copy_faults += other.copy_faults;
+        self.kernel_faults += other.kernel_faults;
+        self.watchdog_kills += other.watchdog_kills;
+        self.watchdog_rearms += other.watchdog_rearms;
+        self.ops_errored += other.ops_errored;
+        self.forced_mutex_releases += other.forced_mutex_releases;
+        self.leaked_residency += other.leaked_residency;
+        self.held_mutexes += other.held_mutexes;
+    }
 }
 
 /// Per-application results.
@@ -64,6 +140,11 @@ pub struct AppStats {
     pub first_kernel_start: Option<SimTime>,
     /// Last kernel completion time.
     pub last_kernel_end: Option<SimTime>,
+    /// Terminal status ([`AppOutcome::Completed`] unless a fault struck;
+    /// the harness upgrades recovered apps to [`AppOutcome::Retried`]).
+    pub outcome: AppOutcome,
+    /// Faults injected into this application's operations.
+    pub faults: u32,
 }
 
 impl AppStats {
@@ -79,7 +160,20 @@ impl AppStats {
             kernels_completed: 0,
             first_kernel_start: None,
             last_kernel_end: None,
+            outcome: AppOutcome::Completed,
+            faults: 0,
         }
+    }
+
+    /// Shift every timestamp by `offset`. The harness uses this to place
+    /// a retry epoch's statistics after the primary run on one clock.
+    pub fn shift(&mut self, offset: Dur) {
+        self.started = self.started.map(|t| t + offset);
+        self.finished = self.finished.map(|t| t + offset);
+        self.htod.shift(offset);
+        self.dtoh.shift(offset);
+        self.first_kernel_start = self.first_kernel_start.map(|t| t + offset);
+        self.last_kernel_end = self.last_kernel_end.map(|t| t + offset);
     }
 
     /// Transfer stats for a direction.
@@ -111,6 +205,10 @@ impl AppStats {
 pub enum SimError {
     /// Sum of application device allocations exceeds device memory.
     DeviceMemoryExceeded {
+        /// Label of the application whose allocation failed.
+        app: String,
+        /// Bytes that application requested.
+        app_requested: u64,
         /// Bytes requested across all applications.
         requested: u64,
         /// Device capacity.
@@ -128,11 +226,14 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::DeviceMemoryExceeded {
+                app,
+                app_requested,
                 requested,
                 capacity,
             } => write!(
                 f,
-                "device memory exceeded: requested {requested} B of {capacity} B"
+                "device memory exceeded: allocation of {app_requested} B for '{app}' failed \
+                 (total requested {requested} B of {capacity} B)"
             ),
             SimError::Deadlock { stuck } => {
                 write!(f, "simulation deadlocked; stuck threads: {stuck:?}")
@@ -163,6 +264,8 @@ pub struct SimResult {
     pub dma_busy: [TimeSeries; 2],
     /// Number of discrete events processed (perf diagnostics).
     pub events: u64,
+    /// Reliability counters (all zero for fault-free runs).
+    pub faults: FaultCounters,
 }
 
 impl SimResult {
@@ -229,13 +332,65 @@ mod tests {
     #[test]
     fn sim_error_display() {
         let e = SimError::DeviceMemoryExceeded {
+            app: "hog#0".into(),
+            app_requested: 7,
             requested: 10,
             capacity: 5,
         };
-        assert!(e.to_string().contains("device memory exceeded"));
+        let msg = e.to_string();
+        assert!(msg.contains("device memory exceeded"));
+        assert!(msg.contains("hog#0"), "names the failing app: {msg}");
+        assert!(msg.contains('7'), "names the failing request: {msg}");
         let d = SimError::Deadlock {
             stuck: vec!["a".into()],
         };
         assert!(d.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn app_stats_shift_moves_every_timestamp() {
+        let mut a = AppStats::new(AppId(0), "x".into(), StreamId(0));
+        a.started = Some(SimTime::from_ns(10));
+        a.finished = Some(SimTime::from_ns(110));
+        a.htod.note_service(SimTime::from_ns(20), SimTime::from_ns(30));
+        a.first_kernel_start = Some(SimTime::from_ns(40));
+        a.last_kernel_end = Some(SimTime::from_ns(90));
+        a.shift(Dur::from_ns(1000));
+        assert_eq!(a.started, Some(SimTime::from_ns(1010)));
+        assert_eq!(a.finished, Some(SimTime::from_ns(1110)));
+        assert_eq!(a.htod.first_start, Some(SimTime::from_ns(1020)));
+        assert_eq!(a.htod.last_end, Some(SimTime::from_ns(1030)));
+        assert_eq!(a.first_kernel_start, Some(SimTime::from_ns(1040)));
+        assert_eq!(a.last_kernel_end, Some(SimTime::from_ns(1090)));
+        assert_eq!(a.turnaround(), Some(Dur::from_ns(100)), "durations keep");
+        assert_eq!(
+            a.htod.service_time,
+            Dur::from_ns(10),
+            "service time is a duration, not shifted"
+        );
+    }
+
+    #[test]
+    fn fault_counters_absorb_and_injected() {
+        let mut a = FaultCounters {
+            copy_faults: 1,
+            ops_errored: 3,
+            ..FaultCounters::default()
+        };
+        let b = FaultCounters {
+            kernel_faults: 2,
+            watchdog_kills: 1,
+            ops_errored: 4,
+            ..FaultCounters::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.injected(), 4);
+        assert_eq!(a.ops_errored, 7);
+        assert!(AppOutcome::Failed {
+            reason: FaultKind::CopyFail
+        }
+        .is_failed());
+        assert!(!AppOutcome::Retried { attempts: 2 }.is_failed());
+        assert_eq!(AppOutcome::default(), AppOutcome::Completed);
     }
 }

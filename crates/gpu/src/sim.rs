@@ -25,11 +25,12 @@
 
 use crate::config::{AdmissionPolicy, DeviceConfig, HostConfig};
 use crate::dma::Engine;
+use crate::fault::{FaultKind, FaultPlan, FaultState, GridFault};
 use crate::gmu::{Gmu, GridState, ResourceTotals};
 use crate::host::{HostState, HostThread, SimMutex};
 use crate::kernel::KernelDesc;
 use crate::program::{HostOp, Program};
-use crate::result::{AppStats, SimError, SimResult};
+use crate::result::{AppOutcome, AppStats, FaultCounters, SimError, SimResult};
 use crate::smx::Smx;
 use crate::stream::Stream;
 use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
@@ -50,6 +51,11 @@ enum Ev {
     GridReady(GridId),
     /// A block group on an SMX ran to completion.
     GroupDone { smx: u32, token: u64 },
+    /// An injected DMA fault surfaces for a stream's head copy op.
+    CopyFault(OpId),
+    /// Watchdog check: kill `grid` if it completed no block since the
+    /// check was armed (`mark` is the completed-block count back then).
+    WatchdogFire { grid: GridId, mark: u32 },
 }
 
 /// Device-side operation kinds held in the op arena.
@@ -90,6 +96,8 @@ pub struct GpuSim {
     enq_seq: u64,
     group_token: u64,
     finished_threads: usize,
+    faults: FaultState,
+    fault_stats: FaultCounters,
 }
 
 impl GpuSim {
@@ -129,7 +137,18 @@ impl GpuSim {
             enq_seq: 0,
             group_token: 0,
             finished_threads: 0,
+            faults: FaultState::new(FaultPlan::none()),
+            fault_stats: FaultCounters::default(),
         }
+    }
+
+    /// Install a fault plan (see [`crate::fault`]). Call before
+    /// [`GpuSim::run`]. An empty plan leaves the run bit-identical to a
+    /// simulator without the reliability layer: fault decisions draw
+    /// from a dedicated RNG forked from the plan seed, never from the
+    /// simulation RNG.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
     }
 
     /// Create one CUDA stream; returns its id (also the trace lane).
@@ -190,6 +209,8 @@ impl GpuSim {
             {
                 let requested: u64 = self.threads.iter().map(|t| t.program.device_bytes).sum();
                 return Err(SimError::DeviceMemoryExceeded {
+                    app: t.program.label.clone(),
+                    app_requested: t.program.device_bytes,
                     requested,
                     capacity: self.dev.device_mem_bytes,
                 });
@@ -218,10 +239,24 @@ impl GpuSim {
                 .threads
                 .iter()
                 .filter(|t| !t.is_done())
-                .map(|t| format!("{} ({:?})", t.program.label, t.state))
+                .map(|t| self.describe_stuck(t))
                 .collect();
             return Err(SimError::Deadlock { stuck });
         }
+
+        // Post-run reliability accounting: residency or mutexes still
+        // held at drain time indicate a reclamation bug (validate()
+        // flags either as a violation).
+        self.fault_stats.leaked_residency = self
+            .smxs
+            .iter()
+            .map(|s| s.resident_threads() as u64)
+            .sum();
+        self.fault_stats.held_mutexes = self
+            .mutexes
+            .iter()
+            .filter(|m| m.holder().is_some())
+            .count() as u32;
 
         let makespan = self
             .threads
@@ -241,7 +276,26 @@ impl GpuSim {
                 self.engines[1].util.series().clone(),
             ],
             events: self.q.popped(),
+            faults: self.fault_stats,
         })
+    }
+
+    /// Diagnostic line for a thread that never finished: names the mutex
+    /// (and its current holder) or the stream the thread is stuck on.
+    fn describe_stuck(&self, t: &HostThread) -> String {
+        match t.state {
+            HostState::BlockedOnMutex(m) => {
+                let holder = match self.mutexes[m.index()].holder() {
+                    Some(h) => self.threads[h.index()].program.label.clone(),
+                    None => "nobody".to_string(),
+                };
+                format!("{} (blocked on {m} held by {holder})", t.program.label)
+            }
+            HostState::BlockedOnSync => {
+                format!("{} (blocked syncing {})", t.program.label, t.stream)
+            }
+            _ => format!("{} ({:?})", t.program.label, t.state),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -263,6 +317,8 @@ impl GpuSim {
             Ev::CopyDone(dir) => self.on_copy_done(dir),
             Ev::GridReady(grid) => self.on_grid_ready(grid),
             Ev::GroupDone { smx, token } => self.on_group_done(smx as usize, token),
+            Ev::CopyFault(op) => self.on_copy_fault(op),
+            Ev::WatchdogFire { grid, mark } => self.on_watchdog_fire(grid, mark),
         }
     }
 
@@ -349,11 +405,33 @@ impl GpuSim {
         t.finished = Some(now);
         self.stats[app.index()].finished = Some(now);
         self.finished_threads += 1;
+        self.force_release_mutexes(app);
         // Start dependents (serialized baselines chain thread starts).
         for i in 0..self.threads.len() {
             if self.threads[i].start_after == Some(app) {
                 let d = self.host.thread_launch_stagger + self.jitter();
                 self.q.schedule_in(d, Ev::ThreadStart(AppId(i as u32)));
+            }
+        }
+    }
+
+    /// Safety net mirroring robust-mutex semantics: a thread that ends
+    /// while still holding a mutex (e.g. its program faulted past the
+    /// unlock) releases it so FIFO waiters are not stranded forever.
+    fn force_release_mutexes(&mut self, app: AppId) {
+        for mi in 0..self.mutexes.len() {
+            if self.mutexes[mi].holder() != Some(app) {
+                continue;
+            }
+            self.fault_stats.forced_mutex_releases += 1;
+            if let Some(next) = self.mutexes[mi].unlock(app) {
+                let m = MutexId(mi as u32);
+                let nt = &mut self.threads[next.index()];
+                debug_assert_eq!(nt.state, HostState::BlockedOnMutex(m));
+                nt.state = HostState::Running;
+                nt.pc += 1;
+                let cost = self.host.mutex_overhead + self.jitter();
+                self.q.schedule_in(cost, Ev::HostResume(next));
             }
         }
     }
@@ -375,7 +453,35 @@ impl GpuSim {
             label,
         });
         if self.streams[stream.index()].enqueue(op) {
-            self.activate_op(op);
+            if self.streams[stream.index()].is_poisoned() {
+                self.error_op(op);
+            } else {
+                self.activate_op(op);
+            }
+        }
+    }
+
+    /// Drain an op as completed-with-error on a poisoned stream: it does
+    /// no device work and finishes immediately (CUDA sticky-error
+    /// semantics — the host thread keeps running and every call returns
+    /// the error).
+    fn error_op(&mut self, op: OpId) {
+        self.mark_errored(op);
+        self.complete_op(op);
+    }
+
+    /// Account an op that completed with the stream's sticky error: its
+    /// owning app observed the failure even if the original fault hit
+    /// another app sharing the stream.
+    fn mark_errored(&mut self, op: OpId) {
+        self.fault_stats.ops_errored += 1;
+        let app = self.ops[op.index()].app;
+        let stream = self.ops[op.index()].stream;
+        if let Some(reason) = self.streams[stream.index()].error() {
+            let st = &mut self.stats[app.index()];
+            if !st.outcome.is_failed() {
+                st.outcome = AppOutcome::Failed { reason };
+            }
         }
     }
 
@@ -385,14 +491,23 @@ impl GpuSim {
         let o = &self.ops[op.index()];
         match &o.kind {
             OpKind::Copy { dir, bytes } => {
-                let (dir, bytes, seq, stream) = (*dir, *bytes, o.seq, o.stream);
+                let (dir, bytes, seq, stream, app) = (*dir, *bytes, o.seq, o.stream, o.app);
+                if self.faults.next_copy_fails(app) {
+                    // The failure surfaces after the bus latency, like a
+                    // real aborted transfer.
+                    self.q.schedule_in(self.dev.dma.latency, Ev::CopyFault(op));
+                    return;
+                }
                 self.engines[dir.index()].submit(seq, op, stream, bytes);
                 self.kick_engine(dir);
             }
             OpKind::Kernel { desc } => {
                 let desc = desc.clone();
                 let stream = o.stream;
+                let app = o.app;
+                let fate = self.faults.next_kernel_fate(app, desc.blocks());
                 let (gid, at_head) = self.gmu.push_grid(op, stream, desc);
+                self.gmu.grids[gid.index()].fault = fate;
                 if at_head {
                     self.gmu.grids[gid.index()].state = GridState::Launching;
                     self.q
@@ -436,10 +551,43 @@ impl GpuSim {
         self.kick_engine(dir);
     }
 
+    /// An injected DMA fault surfaces: record the aborted slice, poison
+    /// the stream, fail the app, and complete the op with error.
+    fn on_copy_fault(&mut self, op: OpId) {
+        let now = self.q.now();
+        let o = &self.ops[op.index()];
+        let (app, stream, label) = (o.app, o.stream, o.label.clone());
+        let dir = match o.kind {
+            OpKind::Copy { dir, .. } => dir,
+            _ => unreachable!("copy fault for non-copy op"),
+        };
+        let start = SimTime::from_ns(now.as_ns().saturating_sub(self.dev.dma.latency.as_ns()));
+        let kind = match dir {
+            Dir::HtoD => SpanKind::CopyHtoD,
+            Dir::DtoH => SpanKind::CopyDtoH,
+        };
+        self.trace
+            .record(stream.0, kind, format!("{label} !copy-fail"), start, now);
+        self.fault_stats.copy_faults += 1;
+        self.fail_app(app, FaultKind::CopyFail);
+        self.streams[stream.index()].poison(FaultKind::CopyFail);
+        self.complete_op(op);
+    }
+
     fn complete_op(&mut self, op: OpId) {
         let now = self.q.now();
         let stream = self.ops[op.index()].stream;
-        if let Some(next) = self.streams[stream.index()].complete_front(op) {
+        let mut next = self.streams[stream.index()].complete_front(op);
+        // Sticky-error drain: once the stream is poisoned, every queued
+        // op completes immediately with the error instead of executing.
+        while let Some(n) = next {
+            if !self.streams[stream.index()].is_poisoned() {
+                break;
+            }
+            self.mark_errored(n);
+            next = self.streams[stream.index()].complete_front(n);
+        }
+        if let Some(next) = next {
             self.activate_op(next);
         }
         for app in self.streams[stream.index()].take_satisfied_waiters() {
@@ -466,6 +614,14 @@ impl GpuSim {
             self.finish_grid(gid);
             return;
         }
+        // A grid doomed to abort before any block completes dies at
+        // activation (a device-side exception on kernel entry).
+        if let Some(GridFault::Abort { after_blocks: 0 }) = self.gmu.grids[gid.index()].fault {
+            self.fault_stats.kernel_faults += 1;
+            self.kill_grid(gid, FaultKind::KernelFault);
+            return;
+        }
+        self.arm_watchdog(gid);
         match self.dev.admission {
             AdmissionPolicy::Lazy => self.gmu.dispatchable.push_back(gid),
             AdmissionPolicy::ConservativeFit => {
@@ -487,6 +643,7 @@ impl GpuSim {
             let device_empty = self.gmu.admitted_totals.blocks == 0;
             if would.fits_in(&cap) || device_empty {
                 self.gmu.admitted_totals = would;
+                self.gmu.grids[gid.index()].admitted = true;
                 self.admission_wait.pop_front();
                 self.gmu.dispatchable.push_back(gid);
             } else {
@@ -572,11 +729,22 @@ impl GpuSim {
     /// recomputed at the new rate.
     fn reschedule_smx(&mut self, si: usize) {
         let q = &mut self.q;
+        let gmu = &self.gmu;
         let smx = &mut self.smxs[si];
         let rate = smx.rate();
         let rate_changed = rate != smx.sched_rate;
         smx.sched_rate = rate;
         for g in smx.groups_mut() {
+            // A hung grid's blocks never complete: cancel any pending
+            // completion and let the group squat on its residency (and
+            // drag the processor-sharing rate) until the watchdog evicts
+            // the grid.
+            if gmu.grids[g.grid.index()].fault == Some(GridFault::Hang) {
+                if let Some(ev) = g.ev.take() {
+                    q.cancel(ev);
+                }
+                continue;
+            }
             if !rate_changed && g.ev.is_some() {
                 continue;
             }
@@ -606,8 +774,18 @@ impl GpuSim {
         let gid = group.grid;
         let grid = &mut self.gmu.grids[gid.index()];
         grid.outstanding -= group.blocks;
-        let finished = grid.is_finished();
-        if finished {
+        grid.completed_blocks += group.blocks;
+        // An aborting grid dies the moment its completed-block count
+        // crosses the fault threshold — even if those were its last
+        // blocks (the exception beats the completion signal).
+        if let Some(GridFault::Abort { after_blocks }) = grid.fault {
+            if grid.completed_blocks >= after_blocks {
+                self.fault_stats.kernel_faults += 1;
+                self.kill_grid(gid, FaultKind::KernelFault);
+                return;
+            }
+        }
+        if grid.is_finished() {
             self.finish_grid(gid);
         }
         // Freed residency: let waiting blocks (this grid's or others')
@@ -625,6 +803,11 @@ impl GpuSim {
         let name = grid.desc.name.clone();
         let start = grid.first_dispatch.unwrap_or(now);
         let desc_totals = ResourceTotals::of_grid(&grid.desc);
+        let admitted = grid.admitted;
+        let watchdog = grid.watchdog.take();
+        if let Some(ev) = watchdog {
+            self.q.cancel(ev);
+        }
         self.trace
             .record(stream.0, SpanKind::Kernel, name, start, now);
         let app = self.ops[op.index()].app;
@@ -632,7 +815,7 @@ impl GpuSim {
         st.kernels_completed += 1;
         st.first_kernel_start = Some(st.first_kernel_start.map_or(start, |f| f.min(start)));
         st.last_kernel_end = Some(st.last_kernel_end.map_or(now, |l| l.max(now)));
-        if self.dev.admission == AdmissionPolicy::ConservativeFit {
+        if self.dev.admission == AdmissionPolicy::ConservativeFit && admitted {
             self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
             self.try_admit();
         }
@@ -643,6 +826,126 @@ impl GpuSim {
                 .schedule_at(now + self.dev.kernel_launch_latency, Ev::GridReady(next));
         }
         self.complete_op(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Watchdog and grid kill
+    // ------------------------------------------------------------------
+
+    /// Arm (or re-arm) the watchdog for a dispatchable grid, remembering
+    /// its completed-block count so the firing can detect progress.
+    fn arm_watchdog(&mut self, gid: GridId) {
+        let Some(timeout) = self.host.watchdog_timeout else {
+            return;
+        };
+        let mark = self.gmu.grids[gid.index()].completed_blocks;
+        let ev = self
+            .q
+            .schedule_in(timeout, Ev::WatchdogFire { grid: gid, mark });
+        self.gmu.grids[gid.index()].watchdog = Some(ev);
+    }
+
+    /// Watchdog check: a dispatchable grid that completed no block over
+    /// a whole timeout window is declared hung and killed; a grid that
+    /// made progress gets the watchdog re-armed.
+    fn on_watchdog_fire(&mut self, gid: GridId, mark: u32) {
+        if self.gmu.grids[gid.index()].state != GridState::Dispatchable {
+            return; // grid retired between scheduling and firing
+        }
+        // This firing consumed the armed event.
+        self.gmu.grids[gid.index()].watchdog = None;
+        if self.gmu.grids[gid.index()].completed_blocks != mark {
+            self.fault_stats.watchdog_rearms += 1;
+            self.arm_watchdog(gid);
+            return;
+        }
+        self.fault_stats.watchdog_kills += 1;
+        self.kill_grid(gid, FaultKind::KernelHang);
+    }
+
+    /// Kill a grid: evict its resident block groups, reclaim admission
+    /// totals, fail the owning app, poison its stream, and let the next
+    /// grid in the hardware work queue through.
+    fn kill_grid(&mut self, gid: GridId, reason: FaultKind) {
+        let now = self.q.now();
+        if matches!(
+            self.gmu.grids[gid.index()].state,
+            GridState::Done | GridState::Failed
+        ) {
+            return;
+        }
+        // Evict every resident group belonging to this grid; survivors
+        // on the same SMX speed up.
+        for si in 0..self.smxs.len() {
+            let tokens: Vec<u64> = self.smxs[si]
+                .groups()
+                .filter(|g| g.grid == gid)
+                .map(|g| g.token)
+                .collect();
+            if tokens.is_empty() {
+                continue;
+            }
+            self.smxs[si].advance(now);
+            for token in tokens {
+                if let Some(group) = self.smxs[si].evict(token) {
+                    if let Some(ev) = group.ev {
+                        self.q.cancel(ev);
+                    }
+                }
+            }
+            self.reschedule_smx(si);
+        }
+        self.gmu.dispatchable.retain(|&g| g != gid);
+        self.admission_wait.retain(|&g| g != gid);
+        let grid = &mut self.gmu.grids[gid.index()];
+        let op = grid.op;
+        let stream = grid.stream;
+        let name = grid.desc.name.clone();
+        let start = grid.first_dispatch;
+        let desc_totals = ResourceTotals::of_grid(&grid.desc);
+        let admitted = grid.admitted;
+        let watchdog = grid.watchdog.take();
+        grid.state = GridState::Failed;
+        grid.outstanding = 0;
+        grid.to_dispatch = 0;
+        if let Some(ev) = watchdog {
+            self.q.cancel(ev);
+        }
+        if let Some(start) = start {
+            self.trace.record(
+                stream.0,
+                SpanKind::Kernel,
+                format!("{name} !{reason}"),
+                start,
+                now,
+            );
+        }
+        if self.dev.admission == AdmissionPolicy::ConservativeFit && admitted {
+            self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
+            self.try_admit();
+        }
+        let app = self.ops[op.index()].app;
+        self.fail_app(app, reason);
+        self.streams[stream.index()].poison(reason);
+        // Next grid in this hardware work queue becomes visible.
+        if let Some(next) = self.gmu.pop_queue_head(gid) {
+            self.gmu.grids[next.index()].state = GridState::Launching;
+            self.q
+                .schedule_at(now + self.dev.kernel_launch_latency, Ev::GridReady(next));
+        }
+        self.complete_op(op);
+        self.dispatch();
+        self.record_occupancy(now);
+    }
+
+    /// Record a fault against an app's stats; the first fault decides
+    /// the reported failure reason.
+    fn fail_app(&mut self, app: AppId, reason: FaultKind) {
+        let st = &mut self.stats[app.index()];
+        st.faults += 1;
+        if !st.outcome.is_failed() {
+            st.outcome = AppOutcome::Failed { reason };
+        }
     }
 
     fn record_occupancy(&mut self, now: SimTime) {
@@ -658,9 +961,12 @@ pub mod prelude {
     pub use crate::config::{
         AdmissionPolicy, DeviceConfig, DmaConfig, HostConfig, ServiceOrder, SmxLimits,
     };
+    pub use crate::fault::{FaultKind, FaultPlan, FaultRates, FaultSpec, GridFault};
     pub use crate::kernel::{Dim3, KernelDesc};
     pub use crate::program::{HostOp, Program, ProgramBuilder};
-    pub use crate::result::{AppStats, SimError, SimResult, TransferStats};
+    pub use crate::result::{
+        AppOutcome, AppStats, FaultCounters, SimError, SimResult, TransferStats,
+    };
     pub use crate::sim::GpuSim;
     pub use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
 }

@@ -7,6 +7,7 @@
 //! stream so far has completed; because in-stream execution is strictly
 //! ordered, a completion *count* threshold implements this exactly.
 
+use crate::fault::FaultKind;
 use crate::types::{AppId, OpId};
 use std::collections::VecDeque;
 
@@ -23,6 +24,10 @@ pub struct Stream {
     /// Host threads blocked in `cudaStreamSynchronize`, with the
     /// completion count each is waiting for.
     waiters: Vec<(AppId, u64)>,
+    /// Sticky error, CUDA-style: once an op on this stream faults, every
+    /// subsequent op completes immediately with the error instead of
+    /// executing. The first fault wins.
+    error: Option<FaultKind>,
 }
 
 impl Stream {
@@ -103,6 +108,23 @@ impl Stream {
     pub fn waiter_count(&self) -> usize {
         self.waiters.len()
     }
+
+    /// Mark the stream with a sticky error (the first fault wins).
+    pub fn poison(&mut self, kind: FaultKind) {
+        if self.error.is_none() {
+            self.error = Some(kind);
+        }
+    }
+
+    /// The sticky error, if any.
+    pub fn error(&self) -> Option<FaultKind> {
+        self.error
+    }
+
+    /// True once a fault has poisoned the stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +190,16 @@ mod tests {
         s.enqueue(OpId(1)); // enqueued later; sync must not wait on it
         s.complete_front(OpId(0));
         assert_eq!(s.take_satisfied_waiters(), vec![AppId(1)]);
+    }
+
+    #[test]
+    fn first_poison_is_sticky() {
+        let mut s = Stream::new();
+        assert!(!s.is_poisoned());
+        s.poison(FaultKind::CopyFail);
+        s.poison(FaultKind::KernelHang);
+        assert_eq!(s.error(), Some(FaultKind::CopyFail), "first fault wins");
+        assert!(s.is_poisoned());
     }
 
     #[test]

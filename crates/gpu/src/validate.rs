@@ -27,7 +27,9 @@ pub fn validate(result: &SimResult) -> Vec<Violation> {
     let mut v = Vec::new();
     let mut fail = |msg: String| v.push(Violation(msg));
 
-    // 1. Every application finished, within the makespan.
+    // 1. Every application finished, within the makespan. Failed apps
+    // are exempt from the completion check (their device work was
+    // discarded), but not from the ordering checks when times exist.
     for a in &result.apps {
         match (a.started, a.finished) {
             (Some(s), Some(f)) => {
@@ -38,6 +40,7 @@ pub fn validate(result: &SimResult) -> Vec<Violation> {
                     fail(format!("{}: finished after the makespan", a.label));
                 }
             }
+            _ if a.outcome.is_failed() => {}
             _ => fail(format!("{}: did not run to completion", a.label)),
         }
         // 2. Metric ordering: Le >= engine service time per direction.
@@ -110,6 +113,25 @@ pub fn validate(result: &SimResult) -> Vec<Violation> {
         }
     }
 
+    // 7. Reliability accounting: a drained run holds no residual state,
+    // and apps only fail when a fault was actually injected.
+    if result.faults.leaked_residency != 0 {
+        fail(format!(
+            "{} resident threads leaked past the drain (kill path lost residency)",
+            result.faults.leaked_residency
+        ));
+    }
+    if result.faults.held_mutexes != 0 {
+        fail(format!(
+            "{} mutex(es) still held at the end of the run",
+            result.faults.held_mutexes
+        ));
+    }
+    let failed = result.apps.iter().filter(|a| a.outcome.is_failed()).count();
+    if failed > 0 && result.faults.injected() == 0 {
+        fail(format!("{failed} app(s) failed but no fault was injected"));
+    }
+
     v
 }
 
@@ -177,5 +199,32 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.0.contains("did not run to completion")));
+    }
+
+    #[test]
+    fn leaked_residency_and_held_mutexes_are_caught() {
+        let mut r = run_sample();
+        r.faults.leaked_residency = 64;
+        r.faults.held_mutexes = 1;
+        let violations = validate(&r);
+        assert!(violations.iter().any(|v| v.0.contains("leaked")));
+        assert!(violations.iter().any(|v| v.0.contains("still held")));
+    }
+
+    #[test]
+    fn spontaneous_failure_is_caught() {
+        let mut r = run_sample();
+        // An app marked failed with no injected fault on record is a
+        // simulator bug, not an experiment outcome.
+        r.apps[0].outcome = AppOutcome::Failed {
+            reason: FaultKind::KernelHang,
+        };
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("no fault was injected")),
+            "{violations:?}"
+        );
     }
 }

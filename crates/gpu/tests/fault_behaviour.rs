@@ -1,0 +1,212 @@
+//! Fault-injection and watchdog behaviour: every injected failure mode
+//! must drain the simulator cleanly — no deadlock, no leaked residency,
+//! no stranded host thread — with the damage visible in the result.
+
+use hq_des::time::Dur;
+use hq_gpu::prelude::*;
+use hq_gpu::validate::assert_valid;
+
+fn app(label: &str, kernel_blocks: u32, work_us: u64) -> Program {
+    Program::builder(label)
+        .htod(512 << 10, "in")
+        .launch(KernelDesc::new(
+            "k",
+            kernel_blocks,
+            128u32,
+            Dur::from_us(work_us),
+        ))
+        .dtoh(256 << 10, "out")
+        .build()
+}
+
+fn sim_with(plan: FaultPlan, watchdog: Option<Dur>) -> GpuSim {
+    let mut host = HostConfig::deterministic();
+    host.watchdog_timeout = watchdog;
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 42);
+    let streams = sim.create_streams(3);
+    for i in 0..3u32 {
+        sim.add_app(app(&format!("app{i}"), 32, 60), streams[i as usize]);
+    }
+    sim.set_fault_plan(plan);
+    sim
+}
+
+#[test]
+fn copy_fault_poisons_stream_and_drains() {
+    let plan = FaultPlan::none().with_fault(FaultKind::CopyFail, AppId(1), 0);
+    let r = sim_with(plan, None).run().expect("run drains");
+    assert_valid(&r);
+    assert_eq!(r.faults.copy_faults, 1);
+    let failed = &r.apps[1];
+    assert_eq!(
+        failed.outcome,
+        AppOutcome::Failed {
+            reason: FaultKind::CopyFail
+        }
+    );
+    // The kernel and DtoH behind the failed copy complete-with-error
+    // instead of executing.
+    assert!(r.faults.ops_errored >= 2, "{:?}", r.faults);
+    assert_eq!(failed.kernels_completed, 0);
+    // The healthy apps are untouched.
+    for i in [0usize, 2] {
+        assert_eq!(r.apps[i].outcome, AppOutcome::Completed);
+        assert_eq!(r.apps[i].kernels_completed, 1);
+    }
+}
+
+#[test]
+fn kernel_fault_aborts_partway_and_drains() {
+    let plan = FaultPlan::none().with_fault(FaultKind::KernelFault, AppId(0), 0);
+    let r = sim_with(plan, None).run().expect("run drains");
+    assert_valid(&r);
+    assert_eq!(r.faults.kernel_faults, 1);
+    assert_eq!(
+        r.apps[0].outcome,
+        AppOutcome::Failed {
+            reason: FaultKind::KernelFault
+        }
+    );
+    assert_eq!(r.apps[0].kernels_completed, 0, "aborted grid never counts");
+    assert_eq!(r.faults.leaked_residency, 0, "kill path reclaims residency");
+}
+
+#[test]
+fn hung_kernel_is_killed_by_watchdog() {
+    let plan = FaultPlan::none().with_fault(FaultKind::KernelHang, AppId(2), 0);
+    let r = sim_with(plan, Some(Dur::from_ms(5)))
+        .run()
+        .expect("watchdog reclaims the hang");
+    assert_valid(&r);
+    assert_eq!(r.faults.watchdog_kills, 1);
+    assert_eq!(
+        r.apps[2].outcome,
+        AppOutcome::Failed {
+            reason: FaultKind::KernelHang
+        }
+    );
+    assert_eq!(r.faults.leaked_residency, 0);
+    for i in [0usize, 1] {
+        assert_eq!(r.apps[i].outcome, AppOutcome::Completed);
+    }
+}
+
+#[test]
+fn hung_kernel_without_watchdog_is_reported_as_deadlock() {
+    let plan = FaultPlan::none().with_fault(FaultKind::KernelHang, AppId(2), 0);
+    match sim_with(plan, None).run() {
+        Err(SimError::Deadlock { stuck }) => {
+            assert_eq!(stuck.len(), 1);
+            assert!(stuck[0].contains("app2"), "{stuck:?}");
+            assert!(stuck[0].contains("blocked syncing"), "{stuck:?}");
+        }
+        other => panic!("expected deadlock without a watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_rearms_on_progress_and_never_kills_healthy_grids() {
+    // An oversubscribing grid completes its blocks in waves (208
+    // resident at a time); a watchdog window longer than one wave sees
+    // progress at every firing and must re-arm, never kill.
+    let mut host = HostConfig::deterministic();
+    host.watchdog_timeout = Some(Dur::from_us(300));
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 7);
+    let s = sim.create_stream();
+    let p = Program::builder("waves")
+        .launch(KernelDesc::new("k", 1024u32, 32u32, Dur::from_us(100)))
+        .build();
+    sim.add_app(p, s);
+    let r = sim.run().expect("healthy run");
+    assert_valid(&r);
+    assert_eq!(r.faults.watchdog_kills, 0);
+    assert!(r.faults.watchdog_rearms > 0, "{:?}", r.faults);
+    assert_eq!(r.apps[0].outcome, AppOutcome::Completed);
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_with_or_without_layer() {
+    // The reliability layer must be invisible to fault-free runs: same
+    // makespan and identical per-app stats whether or not a (no-op)
+    // plan is installed, and regardless of an armed watchdog.
+    let run = |plan: Option<FaultPlan>, watchdog: Option<Dur>| {
+        let host = HostConfig {
+            watchdog_timeout: watchdog,
+            ..HostConfig::default() // jitter on: stress RNG alignment
+        };
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 11);
+        let streams = sim.create_streams(4);
+        for i in 0..4u32 {
+            sim.add_app(app(&format!("app{i}"), 48, 120), streams[i as usize]);
+        }
+        if let Some(p) = plan {
+            sim.set_fault_plan(p);
+        }
+        sim.run().unwrap()
+    };
+    let base = run(None, None);
+    let with_plan = run(Some(FaultPlan::none()), None);
+    let with_dog = run(None, Some(Dur::from_ms(50)));
+    assert_eq!(base.makespan, with_plan.makespan);
+    assert_eq!(
+        format!("{:?}", base.apps),
+        format!("{:?}", with_plan.apps),
+        "empty plan must not perturb any statistic"
+    );
+    assert_eq!(base.makespan, with_dog.makespan);
+    assert_eq!(
+        format!("{:?}", base.apps),
+        format!("{:?}", with_dog.apps),
+        "an armed watchdog must not perturb a healthy run"
+    );
+}
+
+#[test]
+fn probabilistic_faults_drain_under_conservative_fit() {
+    // High fault rates against the admission-gated configuration: the
+    // kill path must return admitted totals or later grids starve.
+    let dev = DeviceConfig {
+        admission: AdmissionPolicy::ConservativeFit,
+        ..DeviceConfig::tesla_k20()
+    };
+    let mut host = HostConfig::deterministic();
+    host.watchdog_timeout = Some(Dur::from_ms(5));
+    let mut sim = GpuSim::new(dev, host, 3);
+    let streams = sim.create_streams(4);
+    for i in 0..4u32 {
+        sim.add_app(app(&format!("app{i}"), 32, 60), streams[i as usize]);
+    }
+    sim.set_fault_plan(
+        FaultPlan::none()
+            .with_rate(FaultKind::KernelFault, 0.4)
+            .with_rate(FaultKind::KernelHang, 0.3)
+            .with_rate(FaultKind::CopyFail, 0.2)
+            .with_seed(1),
+    );
+    let r = sim.run().expect("faulty run still drains");
+    assert_valid(&r);
+    assert!(r.faults.injected() > 0, "rates this high must fire: {:?}", r.faults);
+}
+
+#[test]
+fn faults_on_shared_stream_error_later_apps_ops() {
+    // Two apps share one stream; the first app's copy fault poisons the
+    // stream, so the second app's ops complete-with-error too (CUDA
+    // sticky-error semantics), yet both host threads finish.
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 9);
+    let s = sim.create_stream();
+    sim.add_app(app("first", 16, 40), s);
+    sim.add_app(app("second", 16, 40), s);
+    sim.set_fault_plan(FaultPlan::none().with_fault(FaultKind::CopyFail, AppId(0), 0));
+    let r = sim.run().expect("both threads finish");
+    assert_eq!(r.faults.copy_faults, 1);
+    assert_eq!(r.apps[1].kernels_completed, 0, "second app's work errored");
+    assert_eq!(
+        r.apps[1].outcome,
+        AppOutcome::Failed {
+            reason: FaultKind::CopyFail
+        },
+        "the sticky error is visible to the app sharing the stream"
+    );
+    assert!(r.apps[0].finished.is_some() && r.apps[1].finished.is_some());
+}

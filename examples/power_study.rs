@@ -37,7 +37,7 @@ fn main() {
 
     let mut cfg_serial = RunConfig::serial();
     cfg_serial.sample_period = hyperq_repro::des::time::Dur::from_us(200);
-    let mut cfg = |ns: u32, memsync| {
+    let cfg = |ns: u32, memsync| {
         let mut c = RunConfig::concurrent(ns).with_memsync(memsync);
         c.sample_period = hyperq_repro::des::time::Dur::from_us(200);
         c

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: run this before sending a PR.
+#
+#   scripts/ci.sh            # release build + full test suite + clippy
+#
+# Mirrors what the tier-1 check runs (build + test at the workspace
+# root) and adds clippy with warnings denied. Clippy is skipped with a
+# notice when the component is not installed (e.g. minimal toolchains).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint (rustup component add clippy)"
+fi
+
+echo "==> ci.sh: all checks passed"

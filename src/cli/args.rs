@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing for the `hyperq` CLI.
 
+use hq_gpu::prelude::FaultPlan;
 use hq_workloads::apps::AppKind;
 use hyperq_core::harness::MemsyncMode;
 use hyperq_core::ordering::ScheduleOrder;
@@ -17,12 +18,19 @@ USAGE:
   hyperq trace     --workload SPEC [--streams N] [--chrome FILE] [--seed N]
   hyperq autosched --workload SPEC [--streams N] [--objective makespan|energy]
                    [--budget N] [--seed N]
+  hyperq faults    [--workload SPEC] [--streams N] [--faults FAULTS]
+                   [--recovery failfast|retry|degrade] [--attempts N] [--seed N]
   hyperq table3
   hyperq devices
   hyperq help
 
 SPEC:    e.g. 'gaussian*4+needle*4' (aliases: nn, nw, srad_v2)
-ORDER:   fifo | round-robin | shuffle | reverse-fifo | reverse-round-robin";
+ORDER:   fifo | round-robin | shuffle | reverse-fifo | reverse-round-robin
+FAULTS:  comma-separated clauses, e.g. 'copy@1,kernel@0:2,hang%0.05,seed=7'
+         KIND@APP[:NTH] scripts the NTH (default 0) op of app APP;
+         KIND%RATE injects probabilistically; KIND is copy|kernel|hang;
+         seed=N / progress=F set the fault RNG seed and abort point.
+         `run` accepts --faults/--recovery/--attempts too.";
 
 /// Which device preset to simulate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,6 +54,8 @@ pub enum Command {
     Trace,
     /// Greedy dynamic-order search (§VI).
     Autosched,
+    /// Fault-injection demo: same workload under each recovery policy.
+    Faults,
     /// Print Table III.
     Table3,
     /// List device presets.
@@ -83,6 +93,24 @@ pub struct Cli {
     pub objective_energy: bool,
     /// Autosched swap budget.
     pub budget: usize,
+    /// Fault plan to inject (`--faults`), if any.
+    pub faults: Option<FaultPlan>,
+    /// Recovery policy selector (`--recovery`).
+    pub recovery: RecoveryChoice,
+    /// Max retry attempts per failed app (`--attempts`, retry policy).
+    pub attempts: u32,
+}
+
+/// Which recovery policy the harness should apply to failed apps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryChoice {
+    /// Surface failures without re-running anything.
+    #[default]
+    FailFast,
+    /// Re-run each failed app alone with backoff.
+    Retry,
+    /// Re-run the whole workload serialized on one hardware queue.
+    Degrade,
 }
 
 impl Default for Cli {
@@ -101,7 +129,19 @@ impl Default for Cli {
             json: None,
             objective_energy: false,
             budget: 20,
+            faults: None,
+            recovery: RecoveryChoice::FailFast,
+            attempts: 2,
         }
+    }
+}
+
+fn parse_recovery(s: &str) -> Result<RecoveryChoice, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "failfast" | "fail-fast" | "none" => Ok(RecoveryChoice::FailFast),
+        "retry" => Ok(RecoveryChoice::Retry),
+        "degrade" | "serialize" => Ok(RecoveryChoice::Degrade),
+        other => Err(format!("unknown recovery policy '{other}'")),
     }
 }
 
@@ -146,6 +186,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         "compare" => Command::Compare,
         "trace" => Command::Trace,
         "autosched" => Command::Autosched,
+        "faults" => Command::Faults,
         "table3" => Command::Table3,
         "devices" => Command::Devices,
         "help" | "--help" | "-h" => Command::Help,
@@ -193,6 +234,21 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 cli.budget = value(&mut it, "--budget")?
                     .parse()
                     .map_err(|_| "--budget needs an integer".to_string())?;
+            }
+            "--faults" | "-f" => {
+                cli.faults = Some(
+                    FaultPlan::parse(&value(&mut it, "--faults")?)
+                        .map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
+            "--recovery" | "-r" => cli.recovery = parse_recovery(&value(&mut it, "--recovery")?)?,
+            "--attempts" => {
+                cli.attempts = value(&mut it, "--attempts")?
+                    .parse()
+                    .map_err(|_| "--attempts needs an integer".to_string())?;
+                if cli.attempts == 0 || cli.attempts > 16 {
+                    return Err("--attempts must be in 1..=16".into());
+                }
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -276,5 +332,35 @@ mod tests {
         let cli = parse_args(argv("autosched -w nn*4 --objective energy --budget 7")).unwrap();
         assert!(cli.objective_energy);
         assert_eq!(cli.budget, 7);
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cli = parse_args(argv(
+            "run -w nn*2 --faults copy@1,kernel%0.1,seed=7 --recovery retry --attempts 3",
+        ))
+        .unwrap();
+        let plan = cli.faults.expect("plan parsed");
+        assert_eq!(plan.scripted.len(), 1);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(cli.recovery, RecoveryChoice::Retry);
+        assert_eq!(cli.attempts, 3);
+    }
+
+    #[test]
+    fn faults_subcommand_needs_no_workload() {
+        let cli = parse_args(argv("faults")).unwrap();
+        assert_eq!(cli.command, Command::Faults);
+        assert!(cli.workload.is_empty());
+        assert_eq!(cli.recovery, RecoveryChoice::FailFast);
+    }
+
+    #[test]
+    fn bad_fault_inputs_are_structured_errors() {
+        assert!(parse_args(argv("run -w nn --faults bogus@1")).is_err());
+        assert!(parse_args(argv("run -w nn --faults copy@oops")).is_err());
+        assert!(parse_args(argv("run -w nn --recovery sometimes")).is_err());
+        assert!(parse_args(argv("run -w nn --attempts 0")).is_err());
+        assert!(parse_args(argv("run -w nn --attempts many")).is_err());
     }
 }

@@ -1,12 +1,13 @@
 //! Command implementations for the `hyperq` CLI.
 
-use crate::cli::args::{Cli, Command, DevicePreset, USAGE};
+use crate::cli::args::{Cli, Command, DevicePreset, RecoveryChoice, USAGE};
 use crate::cli::workload_spec::format_workload;
+use hq_des::time::Dur;
 use hq_gpu::prelude::*;
 use hq_gpu::types::Dir;
 use hq_workloads::geometry;
 use hyperq_core::autosched::{AutoScheduler, Objective};
-use hyperq_core::harness::{run_workload, MemsyncMode, RunConfig, RunOutcome};
+use hyperq_core::harness::{run_workload, MemsyncMode, RecoveryPolicy, RunConfig, RunOutcome};
 use hyperq_core::metrics::improvement;
 use hyperq_core::report::{joules, pct, watts, Table};
 
@@ -15,6 +16,17 @@ fn device_for(preset: DevicePreset) -> DeviceConfig {
         DevicePreset::K20 => DeviceConfig::tesla_k20(),
         DevicePreset::K40 => DeviceConfig::tesla_k40(),
         DevicePreset::Fermi => DeviceConfig::fermi_like(),
+    }
+}
+
+fn recovery_for(cli: &Cli) -> RecoveryPolicy {
+    match cli.recovery {
+        RecoveryChoice::FailFast => RecoveryPolicy::FailFast,
+        RecoveryChoice::Retry => RecoveryPolicy::Retry {
+            max_attempts: cli.attempts,
+            backoff: Dur::from_us(100),
+        },
+        RecoveryChoice::Degrade => RecoveryPolicy::Degrade,
     }
 }
 
@@ -29,7 +41,11 @@ fn config_from(cli: &Cli, trace: bool) -> RunConfig {
         .with_order(cli.order)
         .with_memsync(cli.memsync)
         .with_seed(cli.seed)
-        .with_trace(trace);
+        .with_trace(trace)
+        .with_recovery(recovery_for(cli));
+    if let Some(plan) = &cli.faults {
+        cfg = cfg.with_faults(plan.clone());
+    }
     cfg
 }
 
@@ -45,7 +61,36 @@ fn outcome_summary(out: &RunOutcome) -> String {
     if let Some(le) = out.mean_le(Dir::DtoH) {
         t.row(vec!["mean Le (DtoH)".to_string(), le.to_string()]);
     }
-    t.to_text()
+    let f = &out.result.faults;
+    if f.injected() > 0 || out.retries > 0 || out.degraded {
+        t.row(vec![
+            "faults injected".to_string(),
+            format!(
+                "{} (copy {}, kernel {}, watchdog kills {})",
+                f.injected(),
+                f.copy_faults,
+                f.kernel_faults,
+                f.watchdog_kills
+            ),
+        ]);
+        t.row(vec!["ops errored".to_string(), f.ops_errored.to_string()]);
+        t.row(vec!["retries".to_string(), out.retries.to_string()]);
+        t.row(vec!["degraded".to_string(), out.degraded.to_string()]);
+    }
+    let mut s = t.to_text();
+    let troubled: Vec<String> = out
+        .result
+        .apps
+        .iter()
+        .filter(|a| a.outcome != AppOutcome::Completed)
+        .map(|a| format!("  {} -> {:?}", a.label, a.outcome))
+        .collect();
+    if !troubled.is_empty() {
+        s.push_str("\napp outcomes:\n");
+        s.push_str(&troubled.join("\n"));
+        s.push('\n');
+    }
+    s
 }
 
 fn cmd_run(cli: &Cli) -> Result<String, String> {
@@ -157,6 +202,59 @@ fn cmd_autosched(cli: &Cli) -> Result<String, String> {
     ))
 }
 
+/// Fault-injection demo: run one faulty workload under every recovery
+/// policy and tabulate how each one absorbs the damage.
+fn cmd_faults(cli: &Cli) -> Result<String, String> {
+    let mut cli = cli.clone();
+    if cli.workload.is_empty() {
+        cli.workload = crate::cli::workload_spec::parse_workload("nn*2+needle*2")?;
+    }
+    let plan = cli.faults.clone().unwrap_or_else(|| {
+        FaultPlan::none()
+            .with_fault(FaultKind::KernelFault, AppId(1), 0)
+            .with_fault(FaultKind::CopyFail, AppId(2), 0)
+            .with_seed(cli.seed)
+    });
+    let mut t = Table::new(vec![
+        "recovery",
+        "makespan",
+        "failed apps",
+        "retries",
+        "degraded",
+        "faults injected",
+    ]);
+    for choice in [
+        RecoveryChoice::FailFast,
+        RecoveryChoice::Retry,
+        RecoveryChoice::Degrade,
+    ] {
+        cli.recovery = choice;
+        let cfg = config_from(&cli, false).with_faults(plan.clone());
+        let out = run_workload(&cfg, &cli.workload).map_err(|e| e.to_string())?;
+        let failed = out
+            .result
+            .apps
+            .iter()
+            .filter(|a| a.outcome.is_failed())
+            .count();
+        t.row(vec![
+            format!("{choice:?}").to_ascii_lowercase(),
+            out.makespan().to_string(),
+            failed.to_string(),
+            out.retries.to_string(),
+            out.degraded.to_string(),
+            out.result.faults.injected().to_string(),
+        ]);
+    }
+    Ok(format!(
+        "workload: {} on {} streams, fault plan: {} scripted fault(s)\n\n{}",
+        format_workload(&cli.workload),
+        cli.streams,
+        plan.scripted.len(),
+        t.to_text()
+    ))
+}
+
 fn cmd_devices() -> String {
     let mut t = Table::new(vec![
         "preset",
@@ -190,6 +288,7 @@ pub fn execute(cli: Cli) -> Result<String, String> {
         Command::Compare => cmd_compare(&cli),
         Command::Trace => cmd_trace(&cli),
         Command::Autosched => cmd_autosched(&cli),
+        Command::Faults => cmd_faults(&cli),
         Command::Table3 => {
             geometry::validate_against_builders();
             Ok(geometry::render_markdown())
@@ -253,5 +352,33 @@ mod tests {
     fn fermi_device_flag_works() {
         let out = run("run -w needle*2 --streams 2 --device fermi").unwrap();
         assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn run_with_faults_reports_damage_and_retry_recovers() {
+        let failed = run("run -w nn*2 --streams 2 --faults kernel@1").unwrap();
+        assert!(failed.contains("faults injected"), "{failed}");
+        assert!(failed.contains("app outcomes:"), "{failed}");
+        assert!(failed.contains("Failed"), "{failed}");
+        let recovered =
+            run("run -w nn*2 --streams 2 --faults kernel@1 --recovery retry").unwrap();
+        assert!(recovered.contains("Retried"), "{recovered}");
+    }
+
+    #[test]
+    fn faults_demo_compares_policies() {
+        let out = run("faults --streams 4 --seed 5").unwrap();
+        assert!(out.contains("failfast"), "{out}");
+        assert!(out.contains("retry"), "{out}");
+        assert!(out.contains("degrade"), "{out}");
+        assert!(out.contains("faults injected"), "{out}");
+    }
+
+    #[test]
+    fn fault_free_run_output_is_unchanged_by_recovery_flags() {
+        let base = run("run -w nn*2 --streams 2 --seed 4").unwrap();
+        let with_policy = run("run -w nn*2 --streams 2 --seed 4 --recovery retry").unwrap();
+        assert_eq!(base, with_policy);
+        assert!(!base.contains("faults injected"));
     }
 }

@@ -20,8 +20,10 @@ pub mod workload_spec;
 
 pub use args::{parse_args, Cli, Command};
 
-/// Entry point used by `src/main.rs`; returns the process exit code.
-pub fn main_with(args: Vec<String>) -> i32 {
+/// Entry point used by `src/main.rs`; returns the process exit code
+/// (0 = success, 1 = run error, 2 = usage error). Every failure path
+/// prints a single-line `error:` message — never a panic or backtrace.
+pub fn main_with(args: Vec<String>) -> u8 {
     match parse_args(args) {
         Ok(cli) => match commands::execute(cli) {
             Ok(output) => {

@@ -1,6 +1,8 @@
 //! `hyperq` — command-line interface to the Hyper-Q reproduction.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    std::process::exit(hyperq_repro::cli::main_with(args));
+    ExitCode::from(hyperq_repro::cli::main_with(args))
 }

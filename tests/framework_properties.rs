@@ -7,8 +7,10 @@
 //! dominate debug-mode test time here.
 
 use hyperq_repro::des::time::Dur;
+use hyperq_repro::gpu::prelude::{AppOutcome, FaultKind, FaultPlan};
 use hyperq_repro::gpu::types::Dir;
-use hyperq_repro::hyperq::harness::{run_workload, MemsyncMode, RunConfig};
+use hyperq_repro::gpu::validate::validate;
+use hyperq_repro::hyperq::harness::{run_workload, MemsyncMode, RecoveryPolicy, RunConfig};
 use hyperq_repro::hyperq::ordering::ScheduleOrder;
 use hyperq_repro::workloads::apps::AppKind;
 use proptest::prelude::*;
@@ -73,6 +75,55 @@ proptest! {
         }
         // Every generated kind moves data, so Le must be defined.
         prop_assert!(out.mean_le(Dir::HtoD).is_some());
+    }
+
+    #[test]
+    fn faulty_runs_always_drain_and_validate(
+        kinds in proptest::collection::vec(kind_strategy(), 1..5),
+        ns in 1u32..5,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        copy_rate in 0.0f64..0.3,
+        kernel_rate in 0.0f64..0.3,
+        hang_rate in 0.0f64..0.2,
+    ) {
+        // Whatever the fault plan draws, the simulator must drain (the
+        // watchdog reclaims hangs), the result must pass every validate()
+        // invariant, and each app must reach a terminal outcome.
+        let plan = FaultPlan::none()
+            .with_rate(FaultKind::CopyFail, copy_rate)
+            .with_rate(FaultKind::KernelFault, kernel_rate)
+            .with_rate(FaultKind::KernelHang, hang_rate)
+            .with_seed(fault_seed);
+        let cfg = RunConfig::concurrent(ns)
+            .with_seed(seed)
+            .with_faults(plan)
+            .with_recovery(RecoveryPolicy::Retry {
+                max_attempts: 2,
+                backoff: Dur::from_us(100),
+            });
+        let out = run_workload(&cfg, &kinds).expect("faulty workload still drains");
+
+        let violations = validate(&out.result);
+        prop_assert!(violations.is_empty(), "invariants violated: {:?}", violations);
+        prop_assert_eq!(out.result.apps.len(), kinds.len());
+        for app in &out.result.apps {
+            // Terminal outcome: completed (possibly after retries) or
+            // failed with a recorded fault kind — never limbo.
+            match app.outcome {
+                AppOutcome::Completed | AppOutcome::Retried { .. } => {
+                    prop_assert!(app.finished.is_some(), "{} completed without finishing", app.label);
+                }
+                AppOutcome::Failed { .. } => {}
+            }
+        }
+        if out.result.faults.injected() == 0 {
+            // No faults drawn: the run must look exactly like a healthy one.
+            prop_assert_eq!(out.retries, 0);
+            for app in &out.result.apps {
+                prop_assert_eq!(app.outcome, AppOutcome::Completed, "{}", app.label);
+            }
+        }
     }
 
     #[test]

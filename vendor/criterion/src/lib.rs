@@ -1,0 +1,129 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! Runs each registered benchmark a small fixed number of iterations
+//! and prints mean wall-clock time — a smoke runner, not a statistics
+//! engine. Keeps `cargo bench` (and `--all-targets` builds) working in
+//! offline environments.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark routine in the shim.
+const ITERS: u32 = 3;
+
+/// Benchmark registry / configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Builder: accepted and ignored by the shim.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+    /// Builder: accepted and ignored by the shim.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+    /// Builder: accepted and ignored by the shim.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run `f` once with a [`Bencher`], printing the measured time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {id:<48} {mean:>12.3?}/iter  (shim, {} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `f` for a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            let out = f();
+            self.total += t0.elapsed();
+            self.iters += 1;
+            std::hint::black_box(out);
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.total += t0.elapsed();
+            self.iters += 1;
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input each iteration.
+    PerIteration,
+}
+
+/// Opaque value barrier re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

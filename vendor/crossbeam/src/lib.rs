@@ -1,0 +1,79 @@
+//! Offline shim for `crossbeam` (see `vendor/README.md`).
+//!
+//! `crossbeam::scope` implemented over `std::thread::scope`. Matches
+//! crossbeam's contract: returns `Err` (instead of unwinding) when a
+//! spawned thread panicked.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+
+pub mod thread {
+    //! Scoped threads.
+
+    pub use super::{scope, Scope};
+}
+
+/// Scope handle passed to the closure and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. A panic in any spawned thread is reported as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u32; 8];
+        let r = super::scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline shim for `proptest` (see `vendor/README.md`).
+//!
+//! A miniature property-testing runner. The `proptest!` macro expands
+//! each contained `fn name(arg in strategy, ...) { body }` into a real
+//! `#[test]` that samples every strategy deterministically (seeded by
+//! the test name) for `ProptestConfig::cases` iterations and runs the
+//! body. There is no shrinking: a failing case panics with the case
+//! index so it can be replayed under a debugger.
+
+pub mod strategy {
+    //! Strategies: deterministic samplers for generated inputs.
+
+    use std::ops::Range;
+
+    /// Deterministic sampling RNG (SplitMix64), seeded per test.
+    #[derive(Clone, Debug)]
+    pub struct SampleRng {
+        state: u64,
+    }
+
+    impl SampleRng {
+        /// Seed from a label (the test name), so every test gets an
+        /// independent but reproducible input sequence.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            SampleRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be nonzero.
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// A generator of test inputs.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy producing a single constant value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SampleRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut SampleRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among alternative strategies (`prop_oneof!`).
+    #[derive(Clone, Debug)]
+    pub struct Union<S> {
+        pub(crate) options: Vec<S>,
+    }
+
+    impl<S> Union<S> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SampleRng) -> S::Value {
+            let i = rng.index(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Types sampleable uniformly from a half-open range.
+    pub trait RangeSample: Sized + Copy {
+        /// Sample from `[low, high)`.
+        fn range_sample(low: Self, high: Self, rng: &mut SampleRng) -> Self;
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn range_sample(low: Self, high: Self, rng: &mut SampleRng) -> Self {
+                    let lo = low as i128;
+                    let hi = high as i128;
+                    assert!(hi > lo, "empty strategy range");
+                    let span = (hi - lo) as u128;
+                    (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_float {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn range_sample(low: Self, high: Self, rng: &mut SampleRng) -> Self {
+                    assert!(high > low, "empty strategy range");
+                    let v = low as f64 + rng.unit_f64() * (high as f64 - low as f64);
+                    let v = v as $t;
+                    if v >= high { low } else { v }
+                }
+            }
+        )*};
+    }
+    range_float!(f32, f64);
+
+    impl<T: RangeSample> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SampleRng) -> T {
+            T::range_sample(self.start, self.end, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::{SampleRng, Strategy};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut SampleRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SampleRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SampleRng) -> f64 {
+            // Finite, moderately sized values.
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SampleRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`crate::prelude::any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Construct.
+        pub fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SampleRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{SampleRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for vectors with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.end > size.start, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SampleRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.index(span.max(1));
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use crate::strategy::{SampleRng, Strategy};
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `proptest::sample::select(values)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SampleRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of proptest's config: the number of cases per property.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Iterations per property test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` iterations.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Requested cases, capped by the `PROPTEST_CASES` environment
+        /// variable when set (mirrors real proptest's override).
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => match v.parse::<u32>() {
+                    Ok(cap) => self.cases.min(cap),
+                    Err(_) => self.cases,
+                },
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{Any, Arbitrary};
+    pub use crate::strategy::{Just, SampleRng, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// `any::<T>()` — arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+/// Expand property tests into plain `#[test]`s (see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng =
+                $crate::strategy::SampleRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.effective_cases() {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __guard = $crate::__CasePanicContext {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                $body
+                std::mem::forget(__guard);
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Prints the failing case index if the body panics (no shrinking).
+#[doc(hidden)]
+pub struct __CasePanicContext {
+    #[doc(hidden)]
+    pub test: &'static str,
+    #[doc(hidden)]
+    pub case: u32,
+}
+
+impl Drop for __CasePanicContext {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property `{}` failed at case {} \
+                 (deterministic; rerun reproduces it)",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+/// Uniform choice among listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Assumption: skip the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = crate::collection::vec(0u32..100, 1..10);
+        let mut a = SampleRng::deterministic("x");
+        let mut b = SampleRng::deterministic("x");
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SampleRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (5u32..9).sample(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_expansion_runs(xs in crate::collection::vec(0u64..50, 1..8), flag in any::<bool>()) {
+            prop_assert!(xs.len() >= 1 && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_and_maps(v in (1u32..4, 10u64..20).prop_map(|(a, b)| a as u64 * b)) {
+            prop_assert!(v >= 10 && v < 80);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline shim for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides the trait surface this workspace actually uses —
+//! `RngCore`, `SeedableRng`, `Rng` with uniform range sampling — with
+//! honest implementations so statistical tests behave correctly.
+
+use std::fmt;
+
+/// Error type mirrored from `rand::Error`.
+pub struct Error(pub(crate) &'static str);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand::Error({})", self.0)
+    }
+}
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Core random-number generation interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; the shim never fails.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed, expanded with SplitMix64 exactly
+    /// like `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible directly from a generator (`rng.gen::<T>()`).
+pub trait StandardValue {
+    /// Draw one value.
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardValue for f32 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl StandardValue for bool {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardValue for $t {
+            fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`Range` or `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draw a value of type `T` directly.
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::standard_from(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Subset of `rand::distributions` used by the workspace.
+
+    pub mod uniform {
+        //! Uniform range sampling.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types uniformly sampleable from a range.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Sample from `[low, high)`, or `[low, high]` if `inclusive`.
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128;
+                        let span = if inclusive { hi - lo + 1 } else { hi - lo };
+                        assert!(span > 0, "gen_range called with empty range");
+                        // Rejection-free modulo draw; the bias is at most
+                        // span / 2^64, negligible for the ranges used here.
+                        let v = lo + (rng.next_u64() as i128).rem_euclid(span);
+                        v as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        _inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "gen_range called with empty range");
+                        let unit = (rng.next_u64() >> 11) as f64
+                            * (1.0 / (1u64 << 53) as f64);
+                        let v = low as f64 + unit * (high as f64 - low as f64);
+                        // Guard against rounding up to the open bound.
+                        if v as $t >= high { low } else { v as $t }
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+
+        /// Range forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draw one sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(*self.start(), *self.end(), true, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the distribution tests below are meaningful.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = Counter(7);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

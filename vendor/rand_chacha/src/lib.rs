@@ -1,0 +1,205 @@
+//! Offline shim for `rand_chacha` (see `vendor/README.md`).
+//!
+//! A genuine ChaCha8 keystream generator: 8-round ChaCha over a
+//! 256-bit key, 64-bit block counter and 64-bit stream nonce. Output
+//! for a given (seed, stream, word position) is pinned by this crate —
+//! stable across platforms — though not byte-compatible with the real
+//! `rand_chacha`. Substreams selected with [`ChaCha8Rng::set_stream`]
+//! are independent keystreams, which is exactly the property the
+//! workspace's forkable [`DetRng`] relies on.
+//!
+//! [`DetRng`]: https://docs.rs/rand/latest/rand/
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded by 256 bits of key.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    stream: u64,
+    /// Block counter for the *next* block to generate.
+    counter: u64,
+    /// Current 16-word output block.
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means "buffer exhausted".
+    idx: usize,
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn block(&self, counter: u64) -> [u32; 16] {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = counter as u32;
+        s[13] = (counter >> 32) as u32;
+        s[14] = self.stream as u32;
+        s[15] = (self.stream >> 32) as u32;
+        let input = s;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (w, i) in s.iter_mut().zip(input) {
+            *w = w.wrapping_add(i);
+        }
+        s
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.block(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Select an independent keystream (the ChaCha nonce).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        // Invalidate the buffered block: it was generated for the old
+        // stream. Rewind the counter so no words are skipped.
+        if self.idx < 16 {
+            self.counter = self.counter.wrapping_sub(1);
+        }
+        self.idx = 16;
+    }
+
+    /// Seek to an absolute 32-bit-word position in the keystream.
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        self.counter = (word_pos / 16) as u64;
+        let offset = (word_pos % 16) as usize;
+        self.refill();
+        self.idx = offset;
+    }
+
+    /// Current absolute word position in the keystream.
+    pub fn get_word_pos(&self) -> u128 {
+        let blocks_done = if self.idx < 16 {
+            self.counter.wrapping_sub(1)
+        } else {
+            self.counter
+        };
+        blocks_done as u128 * 16 + (self.idx % 16) as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            stream: 0,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(1);
+        b.set_word_pos(0);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should differ ({same} collisions)");
+    }
+
+    #[test]
+    fn set_word_pos_rewinds() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        a.set_word_pos(0);
+        let again: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn set_stream_mid_buffer_does_not_skip() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u32(); // partially consume a block
+        a.set_stream(7);
+        a.set_word_pos(0);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_stream(7);
+        b.set_word_pos(0);
+        for _ in 0..32 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

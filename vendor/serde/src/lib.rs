@@ -1,0 +1,21 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! `Serialize` and `Deserialize` are marker traits blanket-implemented
+//! for every type, so `#[derive(Serialize, Deserialize)]` and generic
+//! bounds compile unchanged. Actual serialization is provided by the
+//! `serde_json` shim's in-process value registry.
+
+/// Marker for serializable types (blanket-implemented for all types).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented for all types).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

