@@ -37,6 +37,45 @@ fn bench_event_queue(c: &mut Criterion) {
             n
         })
     });
+
+    // The SMX processor-sharing reschedule pattern: a bounded set of
+    // pending completions is repeatedly cancelled and re-timed, with
+    // occasional deliveries. Exercises tombstone purging.
+    c.bench_function("event_queue/reschedule_churn", |b| {
+        b.iter(|| {
+            const GROUPS: usize = 128;
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut t = 0u64;
+            let mut ids: Vec<_> = (0..GROUPS as u64)
+                .map(|g| {
+                    t += 37;
+                    q.schedule_at(SimTime::from_ns(100_000 + t), g)
+                })
+                .collect();
+            let mut delivered = 0u64;
+            for round in 0..1_000usize {
+                let base = (round * 32) % GROUPS;
+                for (k, slot) in ids.iter_mut().skip(base).take(32).enumerate() {
+                    t += 91;
+                    let at = q.now() + Dur::from_ns(50_000 + (t % 75_000));
+                    let id = q.schedule_at(at, (base + k) as u64);
+                    q.cancel(std::mem::replace(slot, id));
+                }
+                for _ in 0..4 {
+                    if let Some((_, g)) = q.pop() {
+                        delivered += 1;
+                        t += 53;
+                        let at = q.now() + Dur::from_ns(60_000 + (t % 90_000));
+                        ids[g as usize % GROUPS] = q.schedule_at(at, g % GROUPS as u64);
+                    }
+                }
+            }
+            while q.pop().is_some() {
+                delivered += 1;
+            }
+            delivered
+        })
+    });
 }
 
 fn bench_smx(c: &mut Criterion) {

@@ -1,46 +1,13 @@
 //! Runs the complete evaluation: every figure, Table III, all
 //! ablations and the extension studies, writing artifacts under
-//! `results/`. Pass `--quick` for a reduced-scale smoke run.
+//! `results/`. Pass `--quick` for a reduced-scale smoke run and
+//! `--jobs N` to bound the worker pool (output is byte-identical for
+//! any worker count; see `hq_bench::suite`).
 
-use hq_bench::experiments::*;
-use hq_bench::{ExperimentReport, Scale};
-
-type Experiment = fn(Scale) -> ExperimentReport;
+use hq_bench::util::jobs_from_args;
+use hq_bench::{suite, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let t0 = std::time::Instant::now();
-    let suite: Vec<(&str, Experiment)> = vec![
-        ("table03", table03::run),
-        ("fig01", fig01::run),
-        ("fig02", fig02::run),
-        ("fig03", fig03::run),
-        ("fig04", fig04::run),
-        ("fig05", fig05::run),
-        ("fig06", fig06::run),
-        ("fig07", fig07::run),
-        ("fig08", fig08::run),
-        ("fig09", fig09::run),
-        ("fig10", fig10::run),
-        ("ablation: fermi", ablations::fermi),
-        ("ablation: chunking", ablations::chunking),
-        ("ablation: admission", ablations::admission),
-        ("ablation: driver overhead", ablations::driver_overhead),
-        (
-            "extension: homogeneous scaling",
-            extensions::homogeneous_scaling,
-        ),
-        ("extension: shuffle study", extensions::shuffle_study),
-        ("extension: device scaling", extensions::device_scaling),
-        ("extension: heterogeneity", extensions::heterogeneity_study),
-        ("extension: autosched", extensions::autosched_study),
-        ("extension: fault sweep", extensions::fault_sweep),
-    ];
-    for (name, run) in suite {
-        eprintln!("== running {name} (elapsed {:?}) ==", t0.elapsed());
-        let report = run(scale);
-        report.save_and_print();
-        println!();
-    }
-    eprintln!("total wall time: {:?}", t0.elapsed());
+    jobs_from_args();
+    suite::run_suite(Scale::from_env());
 }

@@ -1,0 +1,520 @@
+//! Performance baseline for the simulator hot path.
+//!
+//! Runs a fixed event-queue microbench (against both the production
+//! queue and a frozen copy of the pre-overhaul implementation) and a
+//! fixed end-to-end workload mix, then reports events/sec.
+//!
+//! Modes:
+//!
+//! * default — print the measurements as pretty JSON on stdout;
+//! * `--write [FILE]` — also save them (default `BENCH_PR2.json`);
+//! * `--check FILE` — compare against a saved baseline and exit
+//!   non-zero if any headline events/sec metric regressed more than
+//!   20% (the CI gate). A below-baseline reading triggers up to two
+//!   re-measurements (keeping the per-key best) before the gate
+//!   fails, so a one-off scheduler stall on a loaded single-core box
+//!   cannot fail CI — only a *repeatable* slowdown can.
+//!
+//! Timing uses best-of-`REPS` wall clock per pattern, which rejects
+//! scheduler noise far better than averaging on a loaded machine.
+//! Absolute events/sec is machine-relative; the `speedup_*` ratios
+//! (new queue vs. the in-process reference copy) are not, and are the
+//! portable signal of the hot-path overhaul.
+
+use hq_des::prelude::*;
+use hq_des::time::{Dur, SimTime};
+use hq_workloads::apps::AppKind;
+use hyperq_core::{run_workload, RunConfig};
+use std::time::Instant;
+
+/// The pre-overhaul future-event list, frozen verbatim (minus unused
+/// API) so the speedup of the production queue stays measurable in
+/// perpetuity: `BinaryHeap` ordered by `(time, seq)` with `HashSet`
+/// tombstones — one SipHash probe per pop and per cancel.
+mod reference {
+    use hq_des::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    pub struct EventId(u64);
+
+    struct Scheduled<M> {
+        at: SimTime,
+        seq: u64,
+        msg: M,
+    }
+
+    impl<M> PartialEq for Scheduled<M> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<M> Eq for Scheduled<M> {}
+    impl<M> Ord for Scheduled<M> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+    impl<M> PartialOrd for Scheduled<M> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    pub struct EventQueue<M> {
+        heap: BinaryHeap<Scheduled<M>>,
+        cancelled: HashSet<u64>,
+        now: SimTime,
+        next_seq: u64,
+    }
+
+    impl<M> EventQueue<M> {
+        pub fn new() -> Self {
+            EventQueue {
+                heap: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                now: SimTime::ZERO,
+                next_seq: 0,
+            }
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, msg: M) -> EventId {
+            let at = at.max(self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Scheduled { at, seq, msg });
+            EventId(seq)
+        }
+
+        pub fn cancel(&mut self, id: EventId) -> bool {
+            if id.0 >= self.next_seq {
+                return false;
+            }
+            self.cancelled.insert(id.0)
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, M)> {
+            while let Some(ev) = self.heap.pop() {
+                if self.cancelled.remove(&ev.seq) {
+                    continue;
+                }
+                self.now = ev.at;
+                return Some((ev.at, ev.msg));
+            }
+            None
+        }
+    }
+}
+
+/// A queue implementation the microbench can drive.
+trait Queue {
+    type Id;
+    fn new() -> Self;
+    fn now(&self) -> SimTime;
+    fn schedule_at(&mut self, at: SimTime, msg: u64) -> Self::Id;
+    fn cancel(&mut self, id: Self::Id) -> bool;
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl Queue for EventQueue<u64> {
+    type Id = EventId;
+    fn new() -> Self {
+        EventQueue::new()
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, msg: u64) -> EventId {
+        EventQueue::schedule_at(self, at, msg)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Queue for reference::EventQueue<u64> {
+    type Id = reference::EventId;
+    fn new() -> Self {
+        reference::EventQueue::new()
+    }
+    fn now(&self) -> SimTime {
+        reference::EventQueue::now(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, msg: u64) -> reference::EventId {
+        reference::EventQueue::schedule_at(self, at, msg)
+    }
+    fn cancel(&mut self, id: reference::EventId) -> bool {
+        reference::EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        reference::EventQueue::pop(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Microbench patterns. Each returns the number of *delivered* events,
+// the events/sec denominator.
+// ---------------------------------------------------------------------
+
+/// Schedule 10k events at scattered times, then drain.
+fn pattern_schedule_pop<Q: Queue>() -> u64 {
+    let mut q = Q::new();
+    for i in 0..10_000u64 {
+        q.schedule_at(SimTime::from_ns((i * 7919) % 100_000), i);
+    }
+    let mut n = 0;
+    while q.pop().is_some() {
+        n += 1;
+    }
+    n
+}
+
+/// Schedule 5k, cancel every other one, then drain.
+fn pattern_cancel_heavy<Q: Queue>() -> u64 {
+    let mut q = Q::new();
+    let ids: Vec<Q::Id> = (0..5_000u64)
+        .map(|i| q.schedule_at(SimTime::from_ns(i), i))
+        .collect();
+    for id in ids.into_iter().step_by(2) {
+        q.cancel(id);
+    }
+    let mut n = 0;
+    while q.pop().is_some() {
+        n += 1;
+    }
+    n
+}
+
+/// The simulator's dominant pattern: processor-sharing reschedule
+/// churn. Keep ~512 group-completion events pending; each "rate
+/// change" cancels and re-issues a slice of them, then a few events
+/// are delivered. Cancels ≈ schedules and deliveries are rare, so a
+/// lazy-tombstone queue's dead entries pile up far faster than pops
+/// drain them — the regime the purge + bitvec scheme is built for
+/// (the pre-overhaul queue's heap grows without bound here).
+fn pattern_reschedule_churn<Q: Queue>() -> u64 {
+    const GROUPS: usize = 128;
+    const ROUNDS: usize = 20_000;
+    const SLICE: usize = 32;
+    let mut q = Q::new();
+    let mut ids: Vec<Q::Id> = Vec::with_capacity(GROUPS);
+    let mut t = 0u64;
+    for g in 0..GROUPS as u64 {
+        t += 37;
+        ids.push(q.schedule_at(SimTime::from_ns(100_000 + t), g));
+    }
+    let mut delivered = 0u64;
+    for round in 0..ROUNDS {
+        // A rate change re-times one slice of pending completions.
+        let base = (round * SLICE) % GROUPS;
+        for (k, slot) in ids.iter_mut().skip(base).take(SLICE).enumerate() {
+            t += 91;
+            let at = q.now() + Dur::from_ns(50_000 + (t % 75_000));
+            let id = q.schedule_at(at, (base + k) as u64);
+            let old = std::mem::replace(slot, id);
+            q.cancel(old);
+        }
+        // A few completions are delivered and immediately replaced.
+        for _ in 0..4 {
+            if let Some((_, g)) = q.pop() {
+                delivered += 1;
+                t += 53;
+                let at = q.now() + Dur::from_ns(60_000 + (t % 90_000));
+                ids[g as usize % GROUPS] = q.schedule_at(at, g % GROUPS as u64);
+            }
+        }
+    }
+    while q.pop().is_some() {
+        delivered += 1;
+    }
+    delivered
+}
+
+/// Best-of-`reps` events/sec for one pattern.
+fn measure(reps: usize, pattern: fn() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        events = pattern();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    events as f64 / best
+}
+
+// ---------------------------------------------------------------------
+// Measurement report
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct QueueBench {
+    schedule_pop_events_per_sec: f64,
+    cancel_heavy_events_per_sec: f64,
+    churn_events_per_sec: f64,
+    reference_schedule_pop_events_per_sec: f64,
+    reference_cancel_heavy_events_per_sec: f64,
+    reference_churn_events_per_sec: f64,
+    speedup_schedule_pop: f64,
+    speedup_cancel_heavy: f64,
+    speedup_churn: f64,
+}
+
+#[derive(Clone, Debug)]
+struct SimBench {
+    events: u64,
+    events_per_sec: f64,
+    peak_pending: usize,
+    tombstone_ratio: f64,
+}
+
+#[derive(Clone, Debug)]
+struct Baseline {
+    schema: String,
+    queue: QueueBench,
+    sim: SimBench,
+}
+
+// The vendored serde_json shim cannot serialize nested structs, so the
+// baseline file is written and read with a hand-rolled (but ordinary)
+// JSON encoding: flat `"key": number` pairs inside two fixed objects.
+
+impl Baseline {
+    fn to_json(&self) -> String {
+        let q = &self.queue;
+        let s = &self.sim;
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"queue\": {{\n    \
+             \"schedule_pop_events_per_sec\": {:.0},\n    \
+             \"cancel_heavy_events_per_sec\": {:.0},\n    \
+             \"churn_events_per_sec\": {:.0},\n    \
+             \"reference_schedule_pop_events_per_sec\": {:.0},\n    \
+             \"reference_cancel_heavy_events_per_sec\": {:.0},\n    \
+             \"reference_churn_events_per_sec\": {:.0},\n    \
+             \"speedup_schedule_pop\": {:.3},\n    \
+             \"speedup_cancel_heavy\": {:.3},\n    \
+             \"speedup_churn\": {:.3}\n  }},\n  \"sim\": {{\n    \
+             \"events\": {},\n    \
+             \"events_per_sec\": {:.0},\n    \
+             \"peak_pending\": {},\n    \
+             \"tombstone_ratio\": {:.4}\n  }}\n}}",
+            self.schema,
+            q.schedule_pop_events_per_sec,
+            q.cancel_heavy_events_per_sec,
+            q.churn_events_per_sec,
+            q.reference_schedule_pop_events_per_sec,
+            q.reference_cancel_heavy_events_per_sec,
+            q.reference_churn_events_per_sec,
+            q.speedup_schedule_pop,
+            q.speedup_cancel_heavy,
+            q.speedup_churn,
+            s.events,
+            s.events_per_sec,
+            s.peak_pending,
+            s.tombstone_ratio,
+        )
+    }
+}
+
+/// Extract `"key": <number>` from a JSON text (keys here are unique
+/// across the whole document).
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn bench_queue() -> QueueBench {
+    const REPS: usize = 15;
+    let schedule_pop = measure(REPS, pattern_schedule_pop::<EventQueue<u64>>);
+    let cancel_heavy = measure(REPS, pattern_cancel_heavy::<EventQueue<u64>>);
+    let churn = measure(REPS, pattern_reschedule_churn::<EventQueue<u64>>);
+    let ref_schedule_pop = measure(REPS, pattern_schedule_pop::<reference::EventQueue<u64>>);
+    let ref_cancel_heavy = measure(REPS, pattern_cancel_heavy::<reference::EventQueue<u64>>);
+    let ref_churn = measure(REPS, pattern_reschedule_churn::<reference::EventQueue<u64>>);
+    QueueBench {
+        schedule_pop_events_per_sec: schedule_pop,
+        cancel_heavy_events_per_sec: cancel_heavy,
+        churn_events_per_sec: churn,
+        reference_schedule_pop_events_per_sec: ref_schedule_pop,
+        reference_cancel_heavy_events_per_sec: ref_cancel_heavy,
+        reference_churn_events_per_sec: ref_churn,
+        speedup_schedule_pop: schedule_pop / ref_schedule_pop,
+        speedup_cancel_heavy: cancel_heavy / ref_cancel_heavy,
+        speedup_churn: churn / ref_churn,
+    }
+}
+
+/// Fixed end-to-end mix: the paper's four Rodinia kernels, two
+/// instances each, on 8 streams — the bread-and-butter Hyper-Q
+/// workload shape. Best-of-3 on total event-loop throughput.
+fn bench_sim() -> SimBench {
+    let kinds = [
+        AppKind::Gaussian,
+        AppKind::Knearest,
+        AppKind::Needle,
+        AppKind::Srad,
+        AppKind::Gaussian,
+        AppKind::Knearest,
+        AppKind::Needle,
+        AppKind::Srad,
+    ];
+    let cfg = RunConfig::concurrent(8).with_trace(false).with_seed(42);
+    let mut best: Option<SimBench> = None;
+    for _ in 0..3 {
+        let out = run_workload(&cfg, &kinds).expect("perf workload runs");
+        let p = out.result.perf;
+        if best
+            .as_ref()
+            .is_none_or(|b| p.events_per_sec > b.events_per_sec)
+        {
+            best = Some(SimBench {
+                events: p.events,
+                events_per_sec: p.events_per_sec,
+                peak_pending: p.peak_pending,
+                tombstone_ratio: p.tombstone_ratio,
+            });
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Fold a re-measurement into `a`, keeping the best reading of every
+/// gated metric. Best-of-attempts is the right estimator here for the
+/// same reason best-of-reps is: throughput can only be *under*-observed
+/// on a noisy machine, never over-observed.
+fn merge_best(a: &mut Baseline, b: &Baseline) {
+    let q = &mut a.queue;
+    let bq = &b.queue;
+    q.schedule_pop_events_per_sec = q
+        .schedule_pop_events_per_sec
+        .max(bq.schedule_pop_events_per_sec);
+    q.cancel_heavy_events_per_sec = q
+        .cancel_heavy_events_per_sec
+        .max(bq.cancel_heavy_events_per_sec);
+    q.churn_events_per_sec = q.churn_events_per_sec.max(bq.churn_events_per_sec);
+    if b.sim.events_per_sec > a.sim.events_per_sec {
+        a.sim = b.sim.clone();
+    }
+}
+
+/// `>20%` below the saved baseline fails the gate.
+fn check(current: &Baseline, saved_text: &str) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, key: &str, now: f64| match json_f64(saved_text, key) {
+        Some(base) if base > 0.0 && now < base * 0.8 => {
+            failures.push(format!(
+                "{name}: {now:.0} events/sec is {:.1}% below baseline {base:.0}",
+                (1.0 - now / base) * 100.0
+            ));
+        }
+        Some(_) => {}
+        None => failures.push(format!("baseline file missing key {key}")),
+    };
+    gate(
+        "queue.schedule_pop",
+        "schedule_pop_events_per_sec",
+        current.queue.schedule_pop_events_per_sec,
+    );
+    gate(
+        "queue.cancel_heavy",
+        "cancel_heavy_events_per_sec",
+        current.queue.cancel_heavy_events_per_sec,
+    );
+    gate(
+        "queue.churn",
+        "churn_events_per_sec",
+        current.queue.churn_events_per_sec,
+    );
+    gate(
+        "sim.events_per_sec",
+        "events_per_sec",
+        current.sim.events_per_sec,
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write = args.iter().any(|a| a == "--write");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    eprintln!("measuring event-queue microbench (production vs. frozen pre-overhaul queue)...");
+    let queue = bench_queue();
+    eprintln!("measuring end-to-end workload mix...");
+    let sim = bench_sim();
+    let mut current = Baseline {
+        schema: "hq-perf-baseline-v1".to_string(),
+        queue,
+        sim,
+    };
+
+    let json = current.to_json();
+    println!("{json}");
+    eprintln!(
+        "queue speedup vs pre-overhaul: schedule_pop {:.2}x, cancel_heavy {:.2}x, churn {:.2}x",
+        current.queue.speedup_schedule_pop,
+        current.queue.speedup_cancel_heavy,
+        current.queue.speedup_churn,
+    );
+
+    if write {
+        let path = args
+            .iter()
+            .position(|a| a == "--write")
+            .and_then(|i| args.get(i + 1))
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        std::fs::write(&path, format!("{json}\n")).expect("write baseline file");
+        eprintln!("baseline written to {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let mut result = check(&current, &text);
+        for attempt in 2..=3 {
+            if result.is_ok() {
+                break;
+            }
+            eprintln!("below baseline; re-measuring to rule out noise (attempt {attempt}/3)...");
+            let retry = Baseline {
+                schema: current.schema.clone(),
+                queue: bench_queue(),
+                sim: bench_sim(),
+            };
+            merge_best(&mut current, &retry);
+            result = check(&current, &text);
+        }
+        match result {
+            Ok(()) => eprintln!("perf check passed against {path}"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("PERF REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

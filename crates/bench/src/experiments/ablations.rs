@@ -209,12 +209,14 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn fermi_ablation_shows_gain() {
         let r = fermi(Scale::Quick);
         assert!(r.markdown.contains("Average Hyper-Q gain"));
     }
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn admission_lazy_wins_underutilizing_mixes() {
         let r = admission(Scale::Quick);
         let gains: Vec<(String, f64)> = r

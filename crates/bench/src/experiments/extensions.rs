@@ -351,6 +351,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn homogeneous_scaling_reports_all_kinds() {
         let r = homogeneous_scaling(Scale::Quick);
         for kind in AppKind::ALL {
@@ -359,12 +360,14 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn shuffle_study_spread_is_ordered() {
         let r = shuffle_study(Scale::Quick);
         assert!(r.markdown.contains("best shuffle"));
     }
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn fault_sweep_zero_rate_matches_baseline() {
         let r = fault_sweep(Scale::Quick);
         assert!(r.markdown.contains("failfast"));
@@ -377,6 +380,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn autosched_study_replays_consistently() {
         // The internal assert in autosched_study validates replay
         // determinism; reaching here means it held.

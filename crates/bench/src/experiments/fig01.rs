@@ -81,6 +81,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn quick_run_shows_interleaving() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("inflation"));

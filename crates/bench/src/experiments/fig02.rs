@@ -73,6 +73,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn memsync_beats_default_le() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("reduced"));

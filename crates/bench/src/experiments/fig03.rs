@@ -45,6 +45,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn shows_all_five_orders() {
         let r = run(Scale::Quick);
         for name in [

@@ -122,6 +122,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn quick_sweep_improves_over_serial() {
         let cells = sweep(Scale::Quick);
         assert_eq!(cells.len(), 6, "six pairs");

@@ -103,6 +103,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn lazy_overlaps_all_five() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("1203 thread blocks"));

@@ -41,6 +41,7 @@ mod tests {
     use crate::util::Scale;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn memsync_plus_ordering_never_catastrophic() {
         // Smoke: the composed report renders with all six pairs.
         let r = run(Scale::Quick);

@@ -112,6 +112,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn energy_falls_with_concurrency() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("energy improvement"));

@@ -102,6 +102,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn memsync_power_is_neutral() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("no significant power cost"));

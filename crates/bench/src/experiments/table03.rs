@@ -43,6 +43,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "runs quick-scale simulations (slow in debug); exercised in release by scripts/ci.sh"]
     fn renders_and_validates() {
         let r = run(Scale::Quick);
         assert!(r.markdown.contains("Fan2"));

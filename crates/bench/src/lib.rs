@@ -11,6 +11,7 @@
 //! parameters (up to `NA = 32` applications on `NS = 32` streams).
 
 pub mod experiments;
+pub mod suite;
 pub mod util;
 
 pub use util::{ExperimentReport, Scale};

@@ -1,0 +1,63 @@
+//! The experiment registry and suite runner.
+//!
+//! `all_experiments` used to iterate a private list of entry points;
+//! hoisting the registry into the library lets the binary, the
+//! determinism tests and ad-hoc tools run the same suite. The runner
+//! executes experiments across [`crate::util::jobs`] workers but saves
+//! and prints reports serially in registry order, so `results/`
+//! artifacts and stdout are byte-identical for any `--jobs N`.
+
+use crate::experiments::*;
+use crate::util::{par_map, ExperimentReport, Scale};
+
+/// One registered experiment: a `run(scale)` entry point.
+pub type Experiment = fn(Scale) -> ExperimentReport;
+
+/// The full evaluation suite, in canonical order: every figure,
+/// Table III, all ablations and the extension studies.
+pub fn registry() -> Vec<(&'static str, Experiment)> {
+    vec![
+        ("table03", table03::run),
+        ("fig01", fig01::run),
+        ("fig02", fig02::run),
+        ("fig03", fig03::run),
+        ("fig04", fig04::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("ablation: fermi", ablations::fermi),
+        ("ablation: chunking", ablations::chunking),
+        ("ablation: admission", ablations::admission),
+        ("ablation: driver overhead", ablations::driver_overhead),
+        (
+            "extension: homogeneous scaling",
+            extensions::homogeneous_scaling,
+        ),
+        ("extension: shuffle study", extensions::shuffle_study),
+        ("extension: device scaling", extensions::device_scaling),
+        ("extension: heterogeneity", extensions::heterogeneity_study),
+        ("extension: autosched", extensions::autosched_study),
+        ("extension: fault sweep", extensions::fault_sweep),
+    ]
+}
+
+/// Run the whole suite at `scale`, returning reports in registry
+/// order. Experiments execute on the configured worker pool (progress
+/// lines go to stderr as each one starts); artifacts are written only
+/// here, serially, after each report is ready.
+pub fn run_suite(scale: Scale) -> Vec<ExperimentReport> {
+    let t0 = std::time::Instant::now();
+    let reports = par_map(registry(), |(name, run)| {
+        eprintln!("== running {name} (elapsed {:?}) ==", t0.elapsed());
+        run(scale)
+    });
+    for report in &reports {
+        report.save_and_print();
+        println!();
+    }
+    eprintln!("total wall time: {:?}", t0.elapsed());
+    reports
+}

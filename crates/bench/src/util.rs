@@ -75,9 +75,58 @@ pub fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
-/// Map `f` over `items` on all cores, preserving order. Each item runs
-/// one independent (deterministic) simulation, so parallelism does not
-/// affect results.
+/// Worker-count override for [`par_map`]. `0` means "not set": fall
+/// back to `HQ_JOBS` or the machine's available parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count used by [`par_map`] (the `--jobs N` flag).
+/// `0` restores the default (env / all cores).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Effective worker count: `set_jobs` value, else `HQ_JOBS`, else the
+/// machine's available parallelism.
+pub fn jobs() -> usize {
+    let n = JOBS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("HQ_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Parse a `--jobs N` (or `--jobs=N`) flag from the process arguments
+/// and install it via [`set_jobs`]. Returns the parsed value, if any.
+pub fn jobs_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut parsed = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            parsed = v.parse::<usize>().ok();
+        } else if a == "--jobs" {
+            parsed = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+        }
+    }
+    if let Some(n) = parsed {
+        set_jobs(n);
+    }
+    parsed
+}
+
+/// Map `f` over `items` on [`jobs`] workers, preserving order. Each
+/// item runs one independent (deterministic) simulation that owns its
+/// seeded RNG, so the output is byte-identical for any worker count.
+/// With one worker the map runs inline on the calling thread (no spawn
+/// overhead, and panics propagate directly).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -88,10 +137,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = jobs().min(n);
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     crossbeam::scope(|s| {
@@ -139,5 +188,21 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Full.pick(32, 4), 32);
         assert_eq!(Scale::Quick.pick(32, 4), 4);
+    }
+
+    // One test (not several) because the jobs override is process-global
+    // and tests in this binary run concurrently.
+    #[test]
+    fn par_map_jobs_override() {
+        let items: Vec<u64> = (0..64).collect();
+        set_jobs(1);
+        let tid = std::thread::current().id();
+        let inline = par_map(vec![0u8; 4], |_| std::thread::current().id() == tid);
+        assert!(inline.iter().all(|&x| x), "jobs=1 must run inline");
+        let serial = par_map(items.clone(), |&x| x.wrapping_mul(2654435761));
+        set_jobs(4);
+        let parallel = par_map(items, |&x| x.wrapping_mul(2654435761));
+        set_jobs(0);
+        assert_eq!(serial, parallel);
     }
 }

@@ -1,0 +1,67 @@
+//! End-to-end determinism of the parallel experiment pipeline: the
+//! quick-scale suite must produce byte-identical reports and artifacts
+//! whether it runs on one worker or four. Every simulation owns its
+//! seeded RNG, and the suite runner saves in registry order, so worker
+//! count must never leak into results.
+
+use hq_bench::util::{set_jobs, Scale};
+use hq_bench::{suite, ExperimentReport};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// All files under `dir`, name → contents.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read results dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            out.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).expect("read artifact"),
+            );
+        }
+    }
+    out
+}
+
+fn run_with_jobs(jobs: usize, dir: &Path) -> Vec<ExperimentReport> {
+    std::env::set_var("HQ_RESULTS", dir);
+    set_jobs(jobs);
+    let reports = suite::run_suite(Scale::Quick);
+    set_jobs(0);
+    std::env::remove_var("HQ_RESULTS");
+    reports
+}
+
+#[test]
+#[ignore = "runs the full quick suite twice (slow in debug); exercised in release by scripts/ci.sh"]
+fn quick_suite_is_byte_identical_for_any_worker_count() {
+    let base = std::env::temp_dir().join(format!("hq_determinism_{}", std::process::id()));
+    let serial_dir = base.join("jobs1");
+    let parallel_dir = base.join("jobs4");
+
+    let serial = run_with_jobs(1, &serial_dir);
+    let parallel = run_with_jobs(4, &parallel_dir);
+
+    // In-memory reports line up one-to-one.
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.id, p.id, "report order diverged");
+        assert_eq!(s.markdown, p.markdown, "markdown differs for {}", s.id);
+        assert_eq!(s.csv, p.csv, "csv differs for {}", s.id);
+    }
+
+    // Saved artifacts (markdown + CSV files) are byte-identical.
+    let a = snapshot(&serial_dir);
+    let b = snapshot(&parallel_dir);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "artifact sets differ"
+    );
+    for (name, bytes) in &a {
+        assert_eq!(Some(bytes), b.get(name), "artifact {name} differs");
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -53,6 +53,11 @@ pub struct RunSummary {
     pub retries: u32,
     /// True when the Degrade policy re-ran the workload serialized.
     pub degraded: bool,
+    /// Discrete events the simulation delivered. Deterministic per
+    /// seed, unlike the wall-clock throughput counters in
+    /// `SimResult::perf` (which are deliberately excluded from this
+    /// schema — artifacts must be byte-identical across runs).
+    pub events: u64,
     /// Per-application rows, in application order.
     pub apps: Vec<AppSummary>,
 }
@@ -69,6 +74,7 @@ impl From<&RunOutcome> for RunSummary {
             faults: out.result.faults,
             retries: out.retries,
             degraded: out.degraded,
+            events: out.result.events,
             apps: out
                 .result
                 .apps
@@ -122,6 +128,7 @@ mod tests {
         assert!(summary.makespan_ns > 0);
         assert!(summary.energy_j > 0.0);
         assert!(summary.mean_occupancy > 0.0);
+        assert!(summary.events > 0);
         let json = summary.to_json();
         let back = RunSummary::from_json(&json).unwrap();
         assert_eq!(summary, back);

@@ -37,13 +37,13 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{EventId, EventQueue};
+pub use engine::{EventId, EventQueue, QueueStats};
 pub use rng::DetRng;
 pub use time::{Dur, SimTime};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::engine::{EventId, EventQueue};
+    pub use crate::engine::{EventId, EventQueue, QueueStats};
     pub use crate::record::{TimeSeries, Utilization};
     pub use crate::rng::DetRng;
     pub use crate::stats::{Histogram, OnlineStats};

@@ -170,6 +170,83 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
     }
 
+    /// The 4-ary-heap queue pops in the exact order of a reference
+    /// binary-heap model under arbitrary schedule/cancel/pop
+    /// interleavings, and agrees on `pending()` throughout. The model
+    /// keys a `BinaryHeap` by `Reverse((time, seq))` and only honours
+    /// cancellations of still-pending events — the semantics the
+    /// production queue guarantees.
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u64..500, any::<usize>()), 1..300),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashSet};
+
+        let mut q = EventQueue::new();
+        // Reference: max-heap inverted to a min-heap over (time, seq).
+        let mut model: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut model_cancelled: HashSet<u64> = HashSet::new();
+        let mut model_dead: HashSet<u64> = HashSet::new(); // delivered or cancelled
+        let mut next_seq = 0u64;
+        let mut ids: Vec<(EventId, u64)> = Vec::new(); // (queue id, model seq)
+        let mut payload = 0usize;
+
+        for (op, dt, pick) in ops {
+            match op {
+                // Schedule (twice as likely as the other ops).
+                0 | 1 => {
+                    let at = q.now() + Dur::from_ns(dt);
+                    let id = q.schedule_at(at, payload);
+                    model.push(Reverse((at.as_ns(), next_seq, payload)));
+                    ids.push((id, next_seq));
+                    next_seq += 1;
+                    payload += 1;
+                }
+                // Cancel an arbitrary previously issued id (possibly
+                // already delivered or already cancelled).
+                2 if !ids.is_empty() => {
+                    let (id, seq) = ids[pick % ids.len()];
+                    let expect = !model_dead.contains(&seq);
+                    if expect {
+                        model_cancelled.insert(seq);
+                        model_dead.insert(seq);
+                    }
+                    prop_assert_eq!(q.cancel(id), expect, "cancel of seq {}", seq);
+                }
+                // Pop.
+                _ => {
+                    let expect = loop {
+                        match model.pop() {
+                            Some(Reverse((t, seq, m))) => {
+                                if model_cancelled.remove(&seq) {
+                                    continue;
+                                }
+                                model_dead.insert(seq);
+                                break Some((t, m));
+                            }
+                            None => break None,
+                        }
+                    };
+                    let got = q.pop().map(|(t, m)| (t.as_ns(), m));
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(q.pending(), model.len() - model_cancelled.len(), "pending diverged");
+        }
+        // Drain both and compare the tail order.
+        let tail: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, m)| (t.as_ns(), m)).collect();
+        let mut model_tail = Vec::new();
+        while let Some(Reverse((t, seq, m))) = model.pop() {
+            if model_cancelled.remove(&seq) {
+                continue;
+            }
+            model_tail.push((t, m));
+        }
+        prop_assert_eq!(tail, model_tail);
+    }
+
     /// Duration scaling by a factor then its inverse round-trips within
     /// rounding error.
     #[test]

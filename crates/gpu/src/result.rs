@@ -244,6 +244,28 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Host-side throughput counters for one run: how fast the simulator
+/// itself chewed through its event loop. Wall-clock fields are
+/// *nondeterministic* (they measure the host machine, not the simulated
+/// device) and must never feed back into simulated results.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SimPerf {
+    /// Discrete events delivered by the future-event list.
+    pub events: u64,
+    /// Wall-clock seconds spent inside the event loop.
+    pub wall_secs: f64,
+    /// `events / wall_secs` (0 when the wall time is unmeasurably small).
+    pub events_per_sec: f64,
+    /// Peak number of pending events in the future-event list.
+    pub peak_pending: usize,
+    /// Events cancelled while still pending (in-heap tombstones).
+    pub cancelled: u64,
+    /// Cancellations that targeted already-delivered events (no-ops).
+    pub stale_cancels: u64,
+    /// Fraction of scheduled events that were cancelled.
+    pub tombstone_ratio: f64,
+}
+
 /// Complete output of one simulation run.
 #[derive(Debug)]
 pub struct SimResult {
@@ -264,6 +286,8 @@ pub struct SimResult {
     pub dma_busy: [TimeSeries; 2],
     /// Number of discrete events processed (perf diagnostics).
     pub events: u64,
+    /// Event-loop throughput counters (host wall clock; nondeterministic).
+    pub perf: SimPerf,
     /// Reliability counters (all zero for fault-free runs).
     pub faults: FaultCounters,
 }

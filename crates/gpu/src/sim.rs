@@ -30,7 +30,7 @@ use crate::gmu::{Gmu, GridState, ResourceTotals};
 use crate::host::{HostState, HostThread, SimMutex};
 use crate::kernel::KernelDesc;
 use crate::program::{HostOp, Program};
-use crate::result::{AppOutcome, AppStats, FaultCounters, SimError, SimResult};
+use crate::result::{AppOutcome, AppStats, FaultCounters, SimError, SimPerf, SimResult};
 use crate::smx::Smx;
 use crate::stream::Stream;
 use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
@@ -98,6 +98,10 @@ pub struct GpuSim {
     finished_threads: usize,
     faults: FaultState,
     fault_stats: FaultCounters,
+    // Scratch buffers reused across dispatch() calls so the per-event
+    // hot path performs no allocations once they reach steady size.
+    scratch_fits: Vec<(usize, u32)>,
+    scratch_touched: Vec<usize>,
 }
 
 impl GpuSim {
@@ -139,6 +143,8 @@ impl GpuSim {
             finished_threads: 0,
             faults: FaultState::new(FaultPlan::none()),
             fault_stats: FaultCounters::default(),
+            scratch_fits: Vec::new(),
+            scratch_touched: Vec::new(),
         }
     }
 
@@ -230,9 +236,11 @@ impl GpuSim {
             }
         }
 
+        let loop_start = std::time::Instant::now();
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
+        let wall_secs = loop_start.elapsed().as_secs_f64();
 
         if self.finished_threads != self.threads.len() {
             let stuck = self
@@ -276,6 +284,22 @@ impl GpuSim {
                 self.engines[1].util.series().clone(),
             ],
             events: self.q.popped(),
+            perf: {
+                let qs = self.q.stats();
+                SimPerf {
+                    events: qs.popped,
+                    wall_secs,
+                    events_per_sec: if wall_secs > 0.0 {
+                        qs.popped as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                    peak_pending: qs.peak_pending,
+                    cancelled: qs.cancelled,
+                    stale_cancels: qs.stale_cancels,
+                    tombstone_ratio: qs.tombstone_ratio(),
+                }
+            },
             faults: self.fault_stats,
         })
     }
@@ -527,14 +551,17 @@ impl GpuSim {
     fn on_copy_done(&mut self, dir: Dir) {
         let now = self.q.now();
         let progress = self.engines[dir.index()].finish_current(now, &mut self.enq_seq);
-        let o = &self.ops[progress.op.index()];
-        let (app, stream, label) = (o.app, o.stream, o.label.clone());
+        let Self { ops, trace, .. } = &mut *self;
+        let o = &ops[progress.op.index()];
+        let (app, stream) = (o.app, o.stream);
         let kind = match dir {
             Dir::HtoD => SpanKind::CopyHtoD,
             Dir::DtoH => SpanKind::CopyDtoH,
         };
-        self.trace
-            .record(stream.0, kind, label, progress.started, now);
+        // Pass the label as `&str`: `TraceLog::record` only allocates a
+        // `String` when tracing is enabled, and copy completions are a
+        // per-event hot path in traceless sweeps.
+        trace.record(stream.0, kind, o.label.as_str(), progress.started, now);
         self.stats[app.index()]
             .transfers_mut(dir)
             .note_service(progress.started, now);
@@ -656,67 +683,79 @@ impl GpuSim {
     /// order, packing blocks onto SMXs until resources are exhausted.
     fn dispatch(&mut self) {
         let now = self.q.now();
-        let mut touched: Vec<usize> = Vec::new();
-        let mut i = 0;
-        while i < self.gmu.dispatchable.len() {
-            let gid = self.gmu.dispatchable[i];
-            let desc = self.gmu.grids[gid.index()].desc.clone();
-            let mut to_dispatch = self.gmu.grids[gid.index()].to_dispatch;
-            let before = to_dispatch;
-            // The hardware thread-block scheduler distributes a grid's
-            // blocks across SMX units rather than filling one unit at a
-            // time; emulate that with placement rounds — each round
-            // spreads an even share over every SMX that still fits a
-            // block of this kernel.
-            while to_dispatch > 0 {
-                let fits: Vec<(usize, u32)> = self
-                    .smxs
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(si, s)| {
-                        let fit = s.max_fit(&desc);
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        let mut fits = std::mem::take(&mut self.scratch_fits);
+        touched.clear();
+        {
+            // Split borrows: the grid descriptor stays borrowed from the
+            // GMU while SMXs are mutated, avoiding a per-grid
+            // `KernelDesc` clone on every dispatch pass.
+            let Self {
+                gmu,
+                smxs,
+                group_token,
+                ..
+            } = self;
+            let mut i = 0;
+            while i < gmu.dispatchable.len() {
+                let gid = gmu.dispatchable[i];
+                let mut to_dispatch = gmu.grids[gid.index()].to_dispatch;
+                let before = to_dispatch;
+                // The hardware thread-block scheduler distributes a grid's
+                // blocks across SMX units rather than filling one unit at a
+                // time; emulate that with placement rounds — each round
+                // spreads an even share over every SMX that still fits a
+                // block of this kernel.
+                while to_dispatch > 0 {
+                    let desc = &gmu.grids[gid.index()].desc;
+                    fits.clear();
+                    fits.extend(smxs.iter().enumerate().filter_map(|(si, s)| {
+                        let fit = s.max_fit(desc);
                         (fit > 0).then_some((si, fit))
-                    })
-                    .collect();
-                if fits.is_empty() {
-                    break;
-                }
-                let share = to_dispatch.div_ceil(fits.len() as u32).max(1);
-                for (si, fit) in fits {
-                    if to_dispatch == 0 {
+                    }));
+                    if fits.is_empty() {
                         break;
                     }
-                    let n = fit.min(share).min(to_dispatch);
-                    let token = self.group_token;
-                    self.group_token += 1;
-                    let smx = &mut self.smxs[si];
-                    smx.advance(now);
-                    smx.place(now, token, gid, &desc, n);
-                    to_dispatch -= n;
-                    if !touched.contains(&si) {
-                        touched.push(si);
+                    let share = to_dispatch.div_ceil(fits.len() as u32).max(1);
+                    for &(si, fit) in &fits {
+                        if to_dispatch == 0 {
+                            break;
+                        }
+                        let n = fit.min(share).min(to_dispatch);
+                        let token = *group_token;
+                        *group_token += 1;
+                        let smx = &mut smxs[si];
+                        smx.advance(now);
+                        smx.place(now, token, gid, desc, n);
+                        to_dispatch -= n;
+                        if !touched.contains(&si) {
+                            touched.push(si);
+                        }
                     }
                 }
-            }
-            let placed = before - to_dispatch;
-            if placed > 0 {
-                let grid = &mut self.gmu.grids[gid.index()];
-                grid.outstanding += placed;
-                grid.to_dispatch = to_dispatch;
-                if grid.first_dispatch.is_none() {
-                    grid.first_dispatch = Some(now);
+                let placed = before - to_dispatch;
+                if placed > 0 {
+                    let grid = &mut gmu.grids[gid.index()];
+                    grid.outstanding += placed;
+                    grid.to_dispatch = to_dispatch;
+                    if grid.first_dispatch.is_none() {
+                        grid.first_dispatch = Some(now);
+                    }
                 }
-            }
-            if to_dispatch == 0 {
-                self.gmu.dispatchable.remove(i);
-            } else {
-                i += 1;
+                if to_dispatch == 0 {
+                    gmu.dispatchable.remove(i);
+                } else {
+                    i += 1;
+                }
             }
         }
         for si in touched.iter().copied() {
             self.reschedule_smx(si);
         }
-        if !touched.is_empty() {
+        let did_place = !touched.is_empty();
+        self.scratch_touched = touched;
+        self.scratch_fits = fits;
+        if did_place {
             self.record_occupancy(now);
         }
     }
@@ -965,7 +1004,7 @@ pub mod prelude {
     pub use crate::kernel::{Dim3, KernelDesc};
     pub use crate::program::{HostOp, Program, ProgramBuilder};
     pub use crate::result::{
-        AppOutcome, AppStats, FaultCounters, SimError, SimResult, TransferStats,
+        AppOutcome, AppStats, FaultCounters, SimError, SimPerf, SimResult, TransferStats,
     };
     pub use crate::sim::GpuSim;
     pub use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};

@@ -4,8 +4,15 @@
 #   scripts/ci.sh            # release build + full test suite + clippy
 #
 # Mirrors what the tier-1 check runs (build + test at the workspace
-# root) and adds clippy with warnings denied. Clippy is skipped with a
-# notice when the component is not installed (e.g. minimal toolchains).
+# root), then adds three slower stages:
+#   1. release-mode `--include-ignored` tests — the experiment smoke
+#      tests and the suite determinism test are `#[ignore]`d because
+#      they take minutes in debug builds; they run here in release,
+#   2. the perf-regression gate: `perf_baseline --check` re-times the
+#      event-queue patterns and the end-to-end sim and fails on a >20%
+#      events/sec drop against the committed BENCH_PR2.json,
+#   3. clippy with warnings denied (skipped with a notice when the
+#      component is not installed, e.g. minimal toolchains).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +22,12 @@ cargo build --workspace --release
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace --release -q -- --include-ignored"
+cargo test --workspace --release -q -- --include-ignored
+
+echo "==> perf_baseline --check BENCH_PR2.json"
+cargo run --release -q -p hq-bench --bin perf_baseline -- --check BENCH_PR2.json
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -55,6 +55,9 @@ fn outcome_summary(out: &RunOutcome) -> String {
     t.row(vec!["avg power".to_string(), watts(out.avg_power_w())]);
     t.row(vec!["peak power".to_string(), watts(out.power.peak_w)]);
     t.row(vec!["energy".to_string(), joules(out.energy_j())]);
+    // Deterministic event count only; wall-clock throughput goes to
+    // stderr in `cmd_run` so run output stays seed-reproducible.
+    t.row(vec!["events".to_string(), out.result.perf.events.to_string()]);
     if let Some(le) = out.mean_le(Dir::HtoD) {
         t.row(vec!["mean Le (HtoD)".to_string(), le.to_string()]);
     }
@@ -97,6 +100,11 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let want_trace = cli.gantt || cli.chrome.is_some();
     let cfg = config_from(cli, want_trace);
     let out = run_workload(&cfg, &cli.workload).map_err(|e| e.to_string())?;
+    let p = &out.result.perf;
+    eprintln!(
+        "perf: {} events in {:.3} s ({:.0} events/s, peak pending {})",
+        p.events, p.wall_secs, p.events_per_sec, p.peak_pending
+    );
     let mut s = format!(
         "workload: {}\nschedule: {}\n\n{}",
         format_workload(&cli.workload),
@@ -313,6 +321,7 @@ mod tests {
         let out = run("run -w nn*2+needle*2 --streams 4 --seed 3").unwrap();
         assert!(out.contains("makespan"));
         assert!(out.contains("energy"));
+        assert!(out.contains("events"));
         assert!(out.contains("schedule: knearest#0"));
     }
 
