@@ -1,13 +1,17 @@
 //! Runs the complete evaluation: every figure, Table III, all
 //! ablations and the extension studies, writing artifacts under
-//! `results/`. Pass `--quick` for a reduced-scale smoke run and
-//! `--jobs N` to bound the worker pool (output is byte-identical for
-//! any worker count; see `hq_bench::suite`).
+//! `results/`. Pass `--quick` for a reduced-scale smoke run, `--jobs N`
+//! to bound the worker pool (output is byte-identical for any worker
+//! count; see `hq_bench::suite`), and `--resume` (or `HQ_RESUME=1`) to
+//! skip experiments whose artifacts are already complete — artifacts
+//! are written atomically, so an interrupted run resumes cleanly.
 
 use hq_bench::util::jobs_from_args;
 use hq_bench::{suite, Scale};
 
 fn main() {
     jobs_from_args();
-    suite::run_suite(Scale::from_env());
+    let resume = std::env::args().any(|a| a == "--resume")
+        || std::env::var("HQ_RESUME").map(|v| v == "1").unwrap_or(false);
+    suite::run_suite_resumable(Scale::from_env(), resume);
 }

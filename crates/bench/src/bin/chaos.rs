@@ -1,0 +1,65 @@
+//! Chaos soak driver: run `--cases N` random audited simulation cases
+//! from `--seed S`. Every case must pass (zero audit violations, zero
+//! validate violations, no deadlock, no panic); the first failure is
+//! greedily shrunk and written as a JSON repro under the results
+//! directory, replayable with `hyperq repro <file>`.
+//!
+//! Exit status: 0 when every case passed, 1 on failure (repro written).
+
+use hq_bench::chaos::{self, CaseOutcome};
+use hq_bench::util::{out_dir, write_atomic};
+use hq_des::rng::DetRng;
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    let eq = format!("{flag}=");
+    let mut parsed = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            parsed = v.parse().ok();
+        } else if a == flag {
+            parsed = args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cases = arg_value(&args, "--cases").unwrap_or(200);
+    let seed = arg_value(&args, "--seed").unwrap_or(7);
+    let t0 = std::time::Instant::now();
+    let mut rng = DetRng::seed_from_u64(seed);
+
+    eprintln!("chaos soak: {cases} cases from seed {seed}");
+    for i in 0..cases {
+        let spec = chaos::gen_case(&mut rng);
+        match chaos::run_case(&spec) {
+            CaseOutcome::Pass => {
+                if (i + 1) % 50 == 0 {
+                    eprintln!("  {}/{cases} ok ({:?})", i + 1, t0.elapsed());
+                }
+            }
+            CaseOutcome::Fail(kind, detail) => {
+                eprintln!("case {i} FAILED ({kind:?}): {detail}");
+                eprintln!("shrinking...");
+                let (small, steps) = chaos::shrink(&spec, kind);
+                let dir = out_dir();
+                std::fs::create_dir_all(&dir).expect("create results dir");
+                let path = dir.join(format!("chaos_repro_seed{seed}_case{i}.json"));
+                write_atomic(&path, &chaos::case_to_json(&small)).expect("write repro");
+                eprintln!(
+                    "shrunk in {steps} step(s) to {} app(s), {} fault(s); repro: {}",
+                    small.apps.len(),
+                    small.faults.len(),
+                    path.display()
+                );
+                eprintln!("replay with: hyperq repro {}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "chaos soak: all {cases} cases clean in {:?} (seed {seed})",
+        t0.elapsed()
+    );
+}

@@ -10,6 +10,7 @@
 //! variant for smoke testing; the full scale reproduces the paper's
 //! parameters (up to `NA = 32` applications on `NS = 32` streams).
 
+pub mod chaos;
 pub mod experiments;
 pub mod suite;
 pub mod util;

@@ -8,39 +8,67 @@
 //! artifacts and stdout are byte-identical for any `--jobs N`.
 
 use crate::experiments::*;
-use crate::util::{par_map, ExperimentReport, Scale};
+use crate::util::{artifact_complete, par_map, ExperimentReport, Scale};
 
 /// One registered experiment: a `run(scale)` entry point.
 pub type Experiment = fn(Scale) -> ExperimentReport;
 
 /// The full evaluation suite, in canonical order: every figure,
-/// Table III, all ablations and the extension studies.
-pub fn registry() -> Vec<(&'static str, Experiment)> {
+/// Table III, all ablations and the extension studies. Each row is
+/// `(display name, artifact id, entry point)`; the artifact id matches
+/// the `ExperimentReport::id` the entry point produces, so resume runs
+/// can skip completed artifacts without executing anything.
+pub fn registry() -> Vec<(&'static str, &'static str, Experiment)> {
     vec![
-        ("table03", table03::run),
-        ("fig01", fig01::run),
-        ("fig02", fig02::run),
-        ("fig03", fig03::run),
-        ("fig04", fig04::run),
-        ("fig05", fig05::run),
-        ("fig06", fig06::run),
-        ("fig07", fig07::run),
-        ("fig08", fig08::run),
-        ("fig09", fig09::run),
-        ("fig10", fig10::run),
-        ("ablation: fermi", ablations::fermi),
-        ("ablation: chunking", ablations::chunking),
-        ("ablation: admission", ablations::admission),
-        ("ablation: driver overhead", ablations::driver_overhead),
+        ("table03", "table03_geometry", table03::run),
+        ("fig01", "fig01_false_serialization", fig01::run),
+        ("fig02", "fig02_memsync_timeline", fig02::run),
+        ("fig03", "fig03_orders", fig03::run),
+        ("fig04", "fig04_lazy_policy", fig04::run),
+        ("fig05", "fig05_oversubscription", fig05::run),
+        ("fig06", "fig06_effective_latency", fig06::run),
+        ("fig07", "fig07_ordering", fig07::run),
+        ("fig08", "fig08_ordering_memsync", fig08::run),
+        ("fig09", "fig09_power_concurrency", fig09::run),
+        ("fig10", "fig10_power_memsync", fig10::run),
+        ("ablation: fermi", "ablation_fermi", ablations::fermi),
+        ("ablation: chunking", "ablation_chunking", ablations::chunking),
+        ("ablation: admission", "ablation_admission", ablations::admission),
+        (
+            "ablation: driver overhead",
+            "ablation_driver_overhead",
+            ablations::driver_overhead,
+        ),
         (
             "extension: homogeneous scaling",
+            "ext_homogeneous_scaling",
             extensions::homogeneous_scaling,
         ),
-        ("extension: shuffle study", extensions::shuffle_study),
-        ("extension: device scaling", extensions::device_scaling),
-        ("extension: heterogeneity", extensions::heterogeneity_study),
-        ("extension: autosched", extensions::autosched_study),
-        ("extension: fault sweep", extensions::fault_sweep),
+        (
+            "extension: shuffle study",
+            "ext_shuffle_study",
+            extensions::shuffle_study,
+        ),
+        (
+            "extension: device scaling",
+            "ext_device_scaling",
+            extensions::device_scaling,
+        ),
+        (
+            "extension: heterogeneity",
+            "ext_heterogeneity",
+            extensions::heterogeneity_study,
+        ),
+        (
+            "extension: autosched",
+            "ext_autosched",
+            extensions::autosched_study,
+        ),
+        (
+            "extension: fault sweep",
+            "ext_fault_sweep",
+            extensions::fault_sweep,
+        ),
     ]
 }
 
@@ -49,8 +77,27 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
 /// lines go to stderr as each one starts); artifacts are written only
 /// here, serially, after each report is ready.
 pub fn run_suite(scale: Scale) -> Vec<ExperimentReport> {
+    run_suite_resumable(scale, false)
+}
+
+/// Like [`run_suite`], but with `resume == true` experiments whose
+/// markdown artifact already exists in the results directory are
+/// skipped, so an interrupted run picks up where it left off instead of
+/// recomputing (artifacts are written atomically, markdown last, so an
+/// existing `.md` implies a complete report). Returns the reports that
+/// actually ran.
+pub fn run_suite_resumable(scale: Scale, resume: bool) -> Vec<ExperimentReport> {
     let t0 = std::time::Instant::now();
-    let reports = par_map(registry(), |(name, run)| {
+    let mut todo = Vec::new();
+    for row in registry() {
+        let (name, id, _) = row;
+        if resume && artifact_complete(id) {
+            eprintln!("== skipping {name} (artifact {id}.md already complete) ==");
+        } else {
+            todo.push(row);
+        }
+    }
+    let reports = par_map(todo, |(name, _, run)| {
         eprintln!("== running {name} (elapsed {:?}) ==", t0.elapsed());
         run(scale)
     });

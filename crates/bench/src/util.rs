@@ -53,19 +53,44 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Persist the report under the results directory and print it.
     /// Returns the markdown path.
+    ///
+    /// Writes are crash-safe ([`write_atomic`]) and ordered CSV-first:
+    /// the markdown artifact is renamed into place last, so its
+    /// presence implies the whole report (including the CSV) landed
+    /// intact — which is what [`artifact_complete`] keys resume off.
     pub fn save_and_print(&self) -> PathBuf {
         let dir = out_dir();
         std::fs::create_dir_all(&dir).expect("create results dir");
         let md_path = dir.join(format!("{}.md", self.id));
         let body = format!("# {}\n\n{}", self.title, self.markdown);
-        std::fs::write(&md_path, &body).expect("write report");
         if let Some(csv) = &self.csv {
-            std::fs::write(dir.join(format!("{}.csv", self.id)), csv).expect("write csv");
+            write_atomic(&dir.join(format!("{}.csv", self.id)), csv).expect("write csv");
         }
+        write_atomic(&md_path, &body).expect("write report");
         println!("{body}");
         println!("[saved to {}]", md_path.display());
         md_path
     }
+}
+
+/// Crash-safe file write: the contents go to a sibling temp file which
+/// is atomically renamed over `path`, so a crash or interrupt can never
+/// leave a truncated artifact — `path` either holds the old bytes or
+/// the complete new ones.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// True when the experiment with artifact id `id` already has its
+/// markdown report in the results directory (the last artifact written,
+/// so a complete report). Used by `--resume` runs to skip finished
+/// experiments.
+pub fn artifact_complete(id: &str) -> bool {
+    out_dir().join(format!("{id}.md")).exists()
 }
 
 /// Results directory (override with `HQ_RESULTS`).
@@ -182,6 +207,24 @@ mod tests {
     fn par_map_empty() {
         let out: Vec<u32> = par_map(Vec::<u32>::new(), |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("hq_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.md");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod observe;
 pub mod record;
 pub mod rng;
 pub mod stats;
@@ -44,6 +45,7 @@ pub use time::{Dur, SimTime};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{EventId, EventQueue, QueueStats};
+    pub use crate::observe::TransitionRing;
     pub use crate::record::{TimeSeries, Utilization};
     pub use crate::rng::DetRng;
     pub use crate::stats::{Histogram, OnlineStats};

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod dma;
 pub mod fault;

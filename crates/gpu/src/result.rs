@@ -220,6 +220,15 @@ pub enum SimError {
         /// Labels and states of the stuck threads.
         stuck: Vec<String>,
     },
+    /// The online invariant auditor ([`crate::audit::Auditor`]) observed
+    /// a conservation-invariant violation and aborted the run.
+    AuditFailure {
+        /// Rendered violations (`[time] entity: message`), in order.
+        violations: Vec<String>,
+        /// The most recent simulator transitions leading up to the
+        /// first violation, oldest first.
+        context: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -237,6 +246,23 @@ impl std::fmt::Display for SimError {
             ),
             SimError::Deadlock { stuck } => {
                 write!(f, "simulation deadlocked; stuck threads: {stuck:?}")
+            }
+            SimError::AuditFailure { violations, context } => {
+                write!(
+                    f,
+                    "invariant audit failed with {} violation(s)",
+                    violations.len()
+                )?;
+                for v in violations {
+                    write!(f, "\n  violation: {v}")?;
+                }
+                if !context.is_empty() {
+                    write!(f, "\n  recent transitions:")?;
+                    for line in context {
+                        write!(f, "\n    {line}")?;
+                    }
+                }
+                Ok(())
             }
         }
     }

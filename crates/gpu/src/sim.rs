@@ -23,6 +23,7 @@
 //! assert!(result.makespan.as_ns() > 0);
 //! ```
 
+use crate::audit::Auditor;
 use crate::config::{AdmissionPolicy, DeviceConfig, HostConfig};
 use crate::dma::Engine;
 use crate::fault::{FaultKind, FaultPlan, FaultState, GridFault};
@@ -98,10 +99,29 @@ pub struct GpuSim {
     finished_threads: usize,
     faults: FaultState,
     fault_stats: FaultCounters,
+    audit: Auditor,
+    #[cfg(test)]
+    sabotage: Sabotage,
     // Scratch buffers reused across dispatch() calls so the per-event
     // hot path performs no allocations once they reach steady size.
     scratch_fits: Vec<(usize, u32)>,
     scratch_touched: Vec<usize>,
+}
+
+/// Deliberate invariant-breaking hooks for the auditor's mutation
+/// self-test: each variant corrupts the stream of notifications the
+/// auditor sees (never the simulation itself), and the self-test
+/// asserts the auditor catches the corruption. Guards against the
+/// auditor silently going blind.
+#[cfg(test)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Sabotage {
+    /// No corruption (default).
+    None,
+    /// Report every block-group completion twice.
+    DoubleComplete,
+    /// Report a phantom oversized placement alongside each real one.
+    OverAdmit,
 }
 
 impl GpuSim {
@@ -143,9 +163,31 @@ impl GpuSim {
             finished_threads: 0,
             faults: FaultState::new(FaultPlan::none()),
             fault_stats: FaultCounters::default(),
+            audit: Auditor::off(),
+            #[cfg(test)]
+            sabotage: Sabotage::None,
             scratch_fits: Vec::new(),
             scratch_touched: Vec::new(),
         }
+    }
+
+    /// Enable the online invariant auditor (see [`crate::audit`]). The
+    /// run then aborts with [`SimError::AuditFailure`] on the first
+    /// invariant violation instead of continuing on corrupt state.
+    /// Off by default: auditing shadows every transition and is meant
+    /// for soak testing, not for measured sweeps.
+    pub fn enable_audit(&mut self) {
+        self.audit = Auditor::on(&self.dev);
+    }
+
+    /// True when [`GpuSim::enable_audit`] was called.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_on()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn set_sabotage(&mut self, s: Sabotage) {
+        self.sabotage = s;
     }
 
     /// Install a fault plan (see [`crate::fault`]). Call before
@@ -239,6 +281,9 @@ impl GpuSim {
         let loop_start = std::time::Instant::now();
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
+            if self.audit.tripped() {
+                return Err(self.audit_failure());
+            }
         }
         let wall_secs = loop_start.elapsed().as_secs_f64();
 
@@ -250,6 +295,16 @@ impl GpuSim {
                 .map(|t| self.describe_stuck(t))
                 .collect();
             return Err(SimError::Deadlock { stuck });
+        }
+
+        // End-of-run conservation sweep: with every host thread done and
+        // the event queue drained, the audited world must be quiescent.
+        if self.audit.is_on() {
+            let now = self.q.now();
+            self.audit.finalize(now);
+            if self.audit.tripped() {
+                return Err(self.audit_failure());
+            }
         }
 
         // Post-run reliability accounting: residency or mutexes still
@@ -304,6 +359,12 @@ impl GpuSim {
         })
     }
 
+    /// Render the auditor's structured failure report.
+    fn audit_failure(&self) -> SimError {
+        let (violations, context) = self.audit.render_report();
+        SimError::AuditFailure { violations, context }
+    }
+
     /// Diagnostic line for a thread that never finished: names the mutex
     /// (and its current holder) or the stream the thread is stuck on.
     fn describe_stuck(&self, t: &HostThread) -> String {
@@ -327,6 +388,12 @@ impl GpuSim {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Ev) {
+        if self.audit.is_on() {
+            // Time monotonicity + transition-ring context; the closure
+            // keeps the Debug formatting off the unaudited hot path.
+            let now = self.q.now();
+            self.audit.on_event(now, || format!("{ev:?}"));
+        }
         match ev {
             Ev::ThreadStart(app) => {
                 let now = self.q.now();
@@ -395,7 +462,9 @@ impl GpuSim {
                 }
             }
             HostOp::MutexLock(m) => {
-                if self.mutexes[m.index()].lock(app) {
+                let granted = self.mutexes[m.index()].lock(app);
+                self.audit.on_mutex_lock(self.q.now(), m, app, granted);
+                if granted {
                     self.threads[idx].pc += 1;
                     let cost = self.host.mutex_overhead + self.jitter();
                     self.q.schedule_in(cost, Ev::HostResume(app));
@@ -404,7 +473,9 @@ impl GpuSim {
                 }
             }
             HostOp::MutexUnlock(m) => {
-                if let Some(next) = self.mutexes[m.index()].unlock(app) {
+                let next = self.mutexes[m.index()].unlock(app);
+                self.audit.on_mutex_unlock(self.q.now(), m, app, next);
+                if let Some(next) = next {
                     // FIFO handoff: the woken thread's pending MutexLock
                     // op completes now.
                     let nt = &mut self.threads[next.index()];
@@ -448,7 +519,10 @@ impl GpuSim {
                 continue;
             }
             self.fault_stats.forced_mutex_releases += 1;
-            if let Some(next) = self.mutexes[mi].unlock(app) {
+            let next = self.mutexes[mi].unlock(app);
+            self.audit
+                .on_mutex_unlock(self.q.now(), MutexId(mi as u32), app, next);
+            if let Some(next) = next {
                 let m = MutexId(mi as u32);
                 let nt = &mut self.threads[next.index()];
                 debug_assert_eq!(nt.state, HostState::BlockedOnMutex(m));
@@ -476,6 +550,7 @@ impl GpuSim {
             kind,
             label,
         });
+        self.audit.on_enqueue(self.q.now(), stream, op);
         if self.streams[stream.index()].enqueue(op) {
             if self.streams[stream.index()].is_poisoned() {
                 self.error_op(op);
@@ -532,6 +607,8 @@ impl GpuSim {
                 let fate = self.faults.next_kernel_fate(app, desc.blocks());
                 let (gid, at_head) = self.gmu.push_grid(op, stream, desc);
                 self.gmu.grids[gid.index()].fault = fate;
+                self.audit
+                    .on_grid_launch(now, gid, &self.gmu.grids[gid.index()].desc);
                 if at_head {
                     self.gmu.grids[gid.index()].state = GridState::Launching;
                     self.q
@@ -544,6 +621,13 @@ impl GpuSim {
     fn kick_engine(&mut self, dir: Dir) {
         let now = self.q.now();
         if let Some(dur) = self.engines[dir.index()].try_start(now) {
+            if self.audit.is_on() {
+                if let Some(ac) = self.engines[dir.index()].active() {
+                    let (op, stream) = (ac.op, ac.stream);
+                    let at_head = self.streams[stream.index()].front() == Some(op);
+                    self.audit.on_copy_start(now, dir, op, at_head);
+                }
+            }
             self.q.schedule_in(dur, Ev::CopyDone(dir));
         }
     }
@@ -551,6 +635,7 @@ impl GpuSim {
     fn on_copy_done(&mut self, dir: Dir) {
         let now = self.q.now();
         let progress = self.engines[dir.index()].finish_current(now, &mut self.enq_seq);
+        self.audit.on_copy_finish(now, dir, progress.op);
         let Self { ops, trace, .. } = &mut *self;
         let o = &ops[progress.op.index()];
         let (app, stream) = (o.app, o.stream);
@@ -604,6 +689,7 @@ impl GpuSim {
     fn complete_op(&mut self, op: OpId) {
         let now = self.q.now();
         let stream = self.ops[op.index()].stream;
+        self.audit.on_op_complete(now, stream, op);
         let mut next = self.streams[stream.index()].complete_front(op);
         // Sticky-error drain: once the stream is poisoned, every queued
         // op completes immediately with the error instead of executing.
@@ -612,6 +698,7 @@ impl GpuSim {
                 break;
             }
             self.mark_errored(n);
+            self.audit.on_op_complete(now, stream, n);
             next = self.streams[stream.index()].complete_front(n);
         }
         if let Some(next) = next {
@@ -670,6 +757,7 @@ impl GpuSim {
             let device_empty = self.gmu.admitted_totals.blocks == 0;
             if would.fits_in(&cap) || device_empty {
                 self.gmu.admitted_totals = would;
+                self.audit.on_admit(self.q.now(), gid, need, would);
                 self.gmu.grids[gid.index()].admitted = true;
                 self.admission_wait.pop_front();
                 self.gmu.dispatchable.push_back(gid);
@@ -686,6 +774,8 @@ impl GpuSim {
         let mut touched = std::mem::take(&mut self.scratch_touched);
         let mut fits = std::mem::take(&mut self.scratch_fits);
         touched.clear();
+        #[cfg(test)]
+        let sabotage = self.sabotage;
         {
             // Split borrows: the grid descriptor stays borrowed from the
             // GMU while SMXs are mutated, avoiding a per-grid
@@ -694,6 +784,7 @@ impl GpuSim {
                 gmu,
                 smxs,
                 group_token,
+                audit,
                 ..
             } = self;
             let mut i = 0;
@@ -727,6 +818,14 @@ impl GpuSim {
                         let smx = &mut smxs[si];
                         smx.advance(now);
                         smx.place(now, token, gid, desc, n);
+                        audit.on_dispatch(now, si, token, gid, desc, n);
+                        #[cfg(test)]
+                        if sabotage == Sabotage::OverAdmit {
+                            // Phantom oversized placement: the shadow
+                            // SMX sees a full extra complement of blocks
+                            // that was never actually placed.
+                            audit.on_dispatch(now, si, u64::MAX, gid, desc, 16);
+                        }
                         to_dispatch -= n;
                         if !touched.contains(&si) {
                             touched.push(si);
@@ -808,6 +907,13 @@ impl GpuSim {
         let group = smx
             .take_completed(token)
             .expect("GroupDone for unknown group (stale event not cancelled?)");
+        self.audit.on_group_complete(now, si, token);
+        #[cfg(test)]
+        if self.sabotage == Sabotage::DoubleComplete {
+            // Report the same completion again: the auditor must notice
+            // the group no longer exists.
+            self.audit.on_group_complete(now, si, token);
+        }
         // Remaining groups on this SMX speed up; re-issue their events.
         self.reschedule_smx(si);
         let gid = group.grid;
@@ -847,6 +953,7 @@ impl GpuSim {
         if let Some(ev) = watchdog {
             self.q.cancel(ev);
         }
+        self.audit.on_grid_finished(now, gid);
         self.trace
             .record(stream.0, SpanKind::Kernel, name, start, now);
         let app = self.ops[op.index()].app;
@@ -856,6 +963,8 @@ impl GpuSim {
         st.last_kernel_end = Some(st.last_kernel_end.map_or(now, |l| l.max(now)));
         if self.dev.admission == AdmissionPolicy::ConservativeFit && admitted {
             self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
+            self.audit
+                .on_reclaim(now, gid, desc_totals, self.gmu.admitted_totals);
             self.try_admit();
         }
         // Next grid in this hardware work queue becomes visible.
@@ -895,10 +1004,12 @@ impl GpuSim {
         self.gmu.grids[gid.index()].watchdog = None;
         if self.gmu.grids[gid.index()].completed_blocks != mark {
             self.fault_stats.watchdog_rearms += 1;
+            self.audit.on_watchdog_fire(self.q.now(), gid, true);
             self.arm_watchdog(gid);
             return;
         }
         self.fault_stats.watchdog_kills += 1;
+        self.audit.on_watchdog_fire(self.q.now(), gid, false);
         self.kill_grid(gid, FaultKind::KernelHang);
     }
 
@@ -930,6 +1041,7 @@ impl GpuSim {
                     if let Some(ev) = group.ev {
                         self.q.cancel(ev);
                     }
+                    self.audit.on_group_evicted(now, si, token);
                 }
             }
             self.reschedule_smx(si);
@@ -950,6 +1062,7 @@ impl GpuSim {
         if let Some(ev) = watchdog {
             self.q.cancel(ev);
         }
+        self.audit.on_grid_killed(now, gid, reason);
         if let Some(start) = start {
             self.trace.record(
                 stream.0,
@@ -961,6 +1074,8 @@ impl GpuSim {
         }
         if self.dev.admission == AdmissionPolicy::ConservativeFit && admitted {
             self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
+            self.audit
+                .on_reclaim(now, gid, desc_totals, self.gmu.admitted_totals);
             self.try_admit();
         }
         let app = self.ops[op.index()].app;
@@ -997,6 +1112,7 @@ impl GpuSim {
 
 /// Re-exports for a one-line import in downstream crates.
 pub mod prelude {
+    pub use crate::audit::{AuditViolation, Auditor};
     pub use crate::config::{
         AdmissionPolicy, DeviceConfig, DmaConfig, HostConfig, ServiceOrder, SmxLimits,
     };
@@ -1008,4 +1124,99 @@ pub mod prelude {
     };
     pub use crate::sim::GpuSim;
     pub use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    /// A small two-app run with copies, kernels and a mutex — enough to
+    /// exercise every audited subsystem.
+    fn sample_sim() -> GpuSim {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 7);
+        let m = sim.create_mutex();
+        for i in 0..2 {
+            let s = sim.create_stream();
+            let program = Program::builder(format!("app{i}"))
+                .htod(256 * 1024, "in")
+                .launch(KernelDesc::new("k", 32u32, 128u32, Dur::from_us(10)))
+                .dtoh(256 * 1024, "out")
+                .sync()
+                .build()
+                .with_htod_mutex(m, true);
+            sim.add_app(program, s);
+        }
+        sim
+    }
+
+    #[test]
+    fn audited_clean_run_succeeds() {
+        let mut sim = sample_sim();
+        sim.enable_audit();
+        assert!(sim.audit_enabled());
+        let result = sim.run().expect("audited clean run must pass");
+        assert_eq!(result.apps.len(), 2);
+    }
+
+    #[test]
+    fn audit_matches_unaudited_result() {
+        // Auditing must be purely observational: same seed, same world.
+        let base = sample_sim().run().expect("unaudited run");
+        let mut audited = sample_sim();
+        audited.enable_audit();
+        let audited = audited.run().expect("audited run");
+        assert_eq!(base.makespan, audited.makespan);
+        assert_eq!(base.events, audited.events);
+    }
+
+    /// Mutation self-test: a deliberately double-completed block must
+    /// trip the auditor (otherwise the auditor has gone blind).
+    #[test]
+    fn sabotaged_double_completion_is_caught() {
+        let mut sim = sample_sim();
+        sim.enable_audit();
+        sim.set_sabotage(Sabotage::DoubleComplete);
+        let err = sim.run().expect_err("sabotaged run must abort");
+        match err {
+            SimError::AuditFailure { violations, context } => {
+                assert!(
+                    violations.iter().any(|v| v.contains("unknown group")),
+                    "{violations:?}"
+                );
+                assert!(!context.is_empty(), "report must carry transition context");
+            }
+            other => panic!("expected AuditFailure, got {other:?}"),
+        }
+    }
+
+    /// Mutation self-test: a phantom over-admission of an SMX must trip
+    /// the residency invariant.
+    #[test]
+    fn sabotaged_over_admission_is_caught() {
+        let mut sim = sample_sim();
+        sim.enable_audit();
+        sim.set_sabotage(Sabotage::OverAdmit);
+        let err = sim.run().expect_err("sabotaged run must abort");
+        match err {
+            SimError::AuditFailure { violations, .. } => {
+                assert!(
+                    violations
+                        .iter()
+                        .any(|v| v.contains("exceed") && v.contains("smx")),
+                    "{violations:?}"
+                );
+            }
+            other => panic!("expected AuditFailure, got {other:?}"),
+        }
+    }
+
+    /// Sabotage without the auditor enabled must not disturb the run:
+    /// the hooks are observational even when corrupted.
+    #[test]
+    fn sabotage_without_audit_is_inert() {
+        let mut sim = sample_sim();
+        sim.set_sabotage(Sabotage::DoubleComplete);
+        sim.run().expect("unaudited sabotage must be a no-op");
+    }
 }

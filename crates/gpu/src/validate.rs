@@ -132,6 +132,65 @@ pub fn validate(result: &SimResult) -> Vec<Violation> {
         fail(format!("{failed} app(s) failed but no fault was injected"));
     }
 
+    // 8. Fault-consistency: the global FaultCounters and the per-app
+    // outcomes must tell the same story.
+    let injected = result.faults.injected();
+    if injected == 0 {
+        // A fault-free run must look fault-free everywhere.
+        if result.faults.ops_errored != 0 {
+            fail(format!(
+                "{} op(s) completed with error but no fault was injected",
+                result.faults.ops_errored
+            ));
+        }
+        for a in &result.apps {
+            if a.faults != 0 {
+                fail(format!(
+                    "{}: {} fault(s) recorded but no fault was injected",
+                    a.label, a.faults
+                ));
+            }
+            if matches!(a.outcome, crate::result::AppOutcome::Retried { .. }) {
+                fail(format!(
+                    "{}: retried outcome but no fault was injected",
+                    a.label
+                ));
+            }
+        }
+    }
+    // Per-app fault tallies never exceed the global injection count.
+    // (They can be lower: a retry discards the failed attempt's stats,
+    // and apps on a shared poisoned stream fail via the sticky error
+    // without a fault of their own.)
+    let app_faults: u32 = result.apps.iter().map(|a| a.faults).sum();
+    if app_faults > injected {
+        fail(format!(
+            "apps record {app_faults} fault(s) but only {injected} were injected"
+        ));
+    }
+    // Every reported failure reason must have a matching counter.
+    for a in &result.apps {
+        if let crate::result::AppOutcome::Failed { reason } = a.outcome {
+            let counter = match reason {
+                crate::fault::FaultKind::CopyFail => result.faults.copy_faults,
+                crate::fault::FaultKind::KernelFault => result.faults.kernel_faults,
+                crate::fault::FaultKind::KernelHang => result.faults.watchdog_kills,
+            };
+            if counter == 0 {
+                fail(format!(
+                    "{}: failed with '{reason}' but its fault counter is zero",
+                    a.label
+                ));
+            }
+        }
+        // `attempts` counts re-runs (the harness marks a single-retry
+        // recovery as `Retried { attempts: 1 }`), so zero is the
+        // impossible value.
+        if a.outcome == (crate::result::AppOutcome::Retried { attempts: 0 }) {
+            fail(format!("{}: retried outcome with zero attempts", a.label));
+        }
+    }
+
     v
 }
 
@@ -209,6 +268,92 @@ mod tests {
         let violations = validate(&r);
         assert!(violations.iter().any(|v| v.0.contains("leaked")));
         assert!(violations.iter().any(|v| v.0.contains("still held")));
+    }
+
+    #[test]
+    fn fault_free_run_with_error_accounting_is_caught() {
+        let mut r = run_sample();
+        // Sticky-error drains with zero injected faults cannot happen.
+        r.faults.ops_errored = 3;
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("completed with error but no fault")),
+            "{violations:?}"
+        );
+        // Neither can per-app fault tallies or retried outcomes.
+        let mut r = run_sample();
+        r.apps[0].faults = 1;
+        let violations = validate(&r);
+        assert!(
+            violations.iter().any(|v| v.0.contains("fault(s) recorded")),
+            "{violations:?}"
+        );
+        let mut r = run_sample();
+        r.apps[1].outcome = AppOutcome::Retried { attempts: 2 };
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("retried outcome but no fault")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn app_faults_exceeding_injected_is_caught() {
+        let mut r = run_sample();
+        r.faults.copy_faults = 1; // one injected fault...
+        r.apps[0].outcome = AppOutcome::Failed {
+            reason: FaultKind::CopyFail,
+        };
+        r.apps[0].faults = 2; // ...but two recorded against the app
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("but only 1 were injected")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn failure_reason_without_matching_counter_is_caught() {
+        let mut r = run_sample();
+        // Global injection count is nonzero (so rule 7 stays quiet) but
+        // the class-specific counter for the reported reason is zero.
+        r.faults.copy_faults = 1;
+        r.apps[0].faults = 1;
+        r.apps[0].outcome = AppOutcome::Failed {
+            reason: FaultKind::KernelHang,
+        };
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("fault counter is zero")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn zero_attempt_retry_is_caught() {
+        let mut r = run_sample();
+        r.faults.kernel_faults = 1;
+        r.apps[0].outcome = AppOutcome::Retried { attempts: 0 };
+        let violations = validate(&r);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.0.contains("zero attempts")),
+            "{violations:?}"
+        );
+        // A single-retry recovery is the normal harness outcome.
+        let mut r = run_sample();
+        r.faults.kernel_faults = 1;
+        r.apps[0].outcome = AppOutcome::Retried { attempts: 1 };
+        assert!(validate(&r).is_empty(), "{:?}", validate(&r));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Behavioural tests of the online invariant auditor.
+//!
+//! Two families:
+//!
+//! * a proptest sweep asserting fault-free random configurations run to
+//!   completion under the auditor with zero violations (and identically
+//!   to their unaudited twin), and
+//! * per-fault-class regressions (copy-fail / kernel-fault / hang)
+//!   asserting each audited run either completes cleanly or ends with
+//!   the app `Failed` — never a missed-kill hang or an audit abort.
+
+use hq_des::time::Dur;
+use hq_gpu::prelude::*;
+use hq_gpu::validate::assert_valid;
+use proptest::prelude::*;
+
+fn device_for(case: u64) -> DeviceConfig {
+    let mut dev = match case % 3 {
+        0 => DeviceConfig::tesla_k20(),
+        1 => DeviceConfig::tesla_k40(),
+        _ => DeviceConfig::fermi_like(),
+    };
+    if case.is_multiple_of(5) {
+        dev.admission = AdmissionPolicy::ConservativeFit;
+    }
+    if case.is_multiple_of(7) {
+        dev.dma.service_order = ServiceOrder::IssueOrder;
+    }
+    dev
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fault-free random configs produce zero audit violations: the
+    /// audited run succeeds, validates clean, and matches the unaudited
+    /// run event for event.
+    #[test]
+    fn fault_free_runs_audit_clean(
+        seed in any::<u64>(),
+        case in any::<u64>(),
+        napps in 1usize..6,
+        nstreams in 1u32..6,
+        launches in 1usize..4,
+        bytes in 1u64..(2 << 20),
+    ) {
+        let build = |audited: bool| {
+            let mut sim = GpuSim::with_trace(device_for(case), HostConfig::default(), seed, false);
+            if audited {
+                sim.enable_audit();
+            }
+            let streams = sim.create_streams(nstreams);
+            for i in 0..napps {
+                let mut b = Program::builder(format!("app{i}")).htod(bytes, "in");
+                for j in 0..launches {
+                    b = b.launch(KernelDesc::new(
+                        format!("k{j}"),
+                        1 + (seed as u32 + i as u32 * 11 + j as u32) % 192,
+                        32 * (1 + (i as u32 + j as u32) % 8),
+                        Dur::from_us(5 + (j as u64 * 17) % 40),
+                    ));
+                }
+                sim.add_app(b.dtoh(bytes, "out").sync().build(), streams[i % streams.len()]);
+            }
+            sim.run()
+        };
+        let audited = build(true).expect("fault-free audited run must not trip the auditor");
+        assert_valid(&audited);
+        let plain = build(false).expect("unaudited twin");
+        // Auditing is purely observational.
+        prop_assert_eq!(audited.makespan, plain.makespan);
+        prop_assert_eq!(audited.events, plain.events);
+    }
+}
+
+/// Run one two-app workload with a scripted fault against app 0 and the
+/// auditor enabled; return the result (the run must not deadlock or
+/// trip the auditor).
+fn run_faulted(plan: FaultPlan, watchdog: bool) -> SimResult {
+    let host = if watchdog {
+        HostConfig::deterministic().with_watchdog(Dur::from_ms(2))
+    } else {
+        HostConfig::deterministic()
+    };
+    let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), host, 11);
+    sim.set_fault_plan(plan);
+    sim.enable_audit();
+    let streams = sim.create_streams(2);
+    for i in 0..2u32 {
+        let p = Program::builder(format!("app{i}"))
+            .htod(512 << 10, "in")
+            .launch(KernelDesc::new("k", 64u32, 128u32, Dur::from_us(25)))
+            .dtoh(256 << 10, "out")
+            .sync()
+            .build();
+        sim.add_app(p, streams[i as usize]);
+    }
+    match sim.run() {
+        Ok(r) => r,
+        Err(e) => panic!("faulted run must complete under audit, got: {e}"),
+    }
+}
+
+#[test]
+fn audited_copy_fault_fails_app_cleanly() {
+    let r = run_faulted(
+        FaultPlan::none().with_fault(FaultKind::CopyFail, AppId(0), 0),
+        false,
+    );
+    assert_valid(&r);
+    assert_eq!(r.faults.copy_faults, 1);
+    assert!(
+        matches!(r.apps[0].outcome, AppOutcome::Failed { reason: FaultKind::CopyFail }),
+        "{:?}",
+        r.apps[0].outcome
+    );
+    assert_eq!(r.apps[1].outcome, AppOutcome::Completed);
+}
+
+#[test]
+fn audited_kernel_fault_fails_app_cleanly() {
+    let r = run_faulted(
+        FaultPlan::none().with_fault(FaultKind::KernelFault, AppId(0), 0),
+        false,
+    );
+    assert_valid(&r);
+    assert_eq!(r.faults.kernel_faults, 1);
+    assert!(
+        matches!(r.apps[0].outcome, AppOutcome::Failed { reason: FaultKind::KernelFault }),
+        "{:?}",
+        r.apps[0].outcome
+    );
+    assert_eq!(r.apps[1].outcome, AppOutcome::Completed);
+}
+
+#[test]
+fn audited_hang_is_killed_never_missed() {
+    // A hang with the watchdog armed must end in a kill — the audited
+    // run completing at all proves the kill was not missed, and the
+    // kill-reclaim invariant checks it swept the hung grid's residency.
+    let r = run_faulted(
+        FaultPlan::none().with_fault(FaultKind::KernelHang, AppId(0), 0),
+        true,
+    );
+    assert_valid(&r);
+    assert!(r.faults.watchdog_kills >= 1, "{:?}", r.faults);
+    assert!(
+        matches!(r.apps[0].outcome, AppOutcome::Failed { reason: FaultKind::KernelHang }),
+        "{:?}",
+        r.apps[0].outcome
+    );
+}
+
+/// Measure auditing overhead on a copy/kernel-heavy workload (release
+/// only — `#[ignore]`d so debug runs stay fast; `scripts/ci.sh` runs it
+/// via `--include-ignored`). The bound is deliberately loose: the point
+/// is a number in the test output and a backstop against the auditor
+/// becoming accidentally quadratic, not a tight perf gate on a noisy
+/// 1-CPU box.
+#[test]
+#[ignore = "timing measurement; run in release via scripts/ci.sh"]
+fn audit_overhead_is_bounded() {
+    let build = |audited: bool| {
+        let mut sim = GpuSim::new(DeviceConfig::tesla_k20(), HostConfig::deterministic(), 3);
+        if audited {
+            sim.enable_audit();
+        }
+        let streams = sim.create_streams(8);
+        for i in 0..16u32 {
+            let mut b = Program::builder(format!("app{i}")).htod(1 << 20, "in");
+            for j in 0..8 {
+                b = b.launch(KernelDesc::new(
+                    format!("k{j}"),
+                    64u32,
+                    128u32,
+                    Dur::from_us(20),
+                ));
+            }
+            sim.add_app(b.dtoh(1 << 20, "out").sync().build(), streams[(i % 8) as usize]);
+        }
+        sim
+    };
+    let time = |audited: bool| {
+        // Best-of-3 to shrug off scheduler noise.
+        (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                build(audited).run().expect("runs clean");
+                t.elapsed()
+            })
+            .min()
+            .expect("three runs")
+    };
+    let plain = time(false);
+    let audited = time(true);
+    let ratio = audited.as_secs_f64() / plain.as_secs_f64().max(1e-9);
+    eprintln!("audit overhead: plain {plain:?}, audited {audited:?}, ratio {ratio:.2}x");
+    assert!(ratio < 10.0, "auditing cost blew up: {ratio:.2}x");
+}
+
+#[test]
+fn audited_random_fault_rates_never_hang() {
+    // A soak in miniature: probabilistic faults of every class, watchdog
+    // armed, auditor on. Every seed must end in a clean result — apps
+    // Completed or Failed — with a consistent fault ledger.
+    for seed in 0..8u64 {
+        let plan = FaultPlan::none()
+            .with_rate(FaultKind::CopyFail, 0.2)
+            .with_rate(FaultKind::KernelFault, 0.2)
+            .with_rate(FaultKind::KernelHang, 0.2)
+            .with_seed(seed);
+        let r = run_faulted(plan, true);
+        assert_valid(&r);
+        for a in &r.apps {
+            assert!(
+                matches!(a.outcome, AppOutcome::Completed | AppOutcome::Failed { .. }),
+                "seed {seed}: unexpected outcome {:?}",
+                a.outcome
+            );
+        }
+    }
+}

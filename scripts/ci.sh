@@ -11,7 +11,11 @@
 #   2. the perf-regression gate: `perf_baseline --check` re-times the
 #      event-queue patterns and the end-to-end sim and fails on a >20%
 #      events/sec drop against the committed BENCH_PR2.json,
-#   3. clippy with warnings denied (skipped with a notice when the
+#   3. a fixed-seed chaos soak: 200 random audited cases (random device
+#      geometry x workload mix x fault plan) must all run with zero
+#      invariant-auditor and validate() violations; a failure shrinks
+#      to a JSON repro under results/ replayable with `hyperq repro`,
+#   4. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
 
 set -euo pipefail
@@ -28,6 +32,9 @@ cargo test --workspace --release -q -- --include-ignored
 
 echo "==> perf_baseline --check BENCH_PR2.json"
 cargo run --release -q -p hq-bench --bin perf_baseline -- --check BENCH_PR2.json
+
+echo "==> chaos soak (200 cases, seed 7)"
+cargo run --release -q -p hq-bench --bin chaos -- --cases 200 --seed 7
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -20,6 +20,7 @@ USAGE:
                    [--budget N] [--seed N]
   hyperq faults    [--workload SPEC] [--streams N] [--faults FAULTS]
                    [--recovery failfast|retry|degrade] [--attempts N] [--seed N]
+  hyperq repro     FILE
   hyperq table3
   hyperq devices
   hyperq help
@@ -56,6 +57,8 @@ pub enum Command {
     Autosched,
     /// Fault-injection demo: same workload under each recovery policy.
     Faults,
+    /// Replay a chaos-soak repro file under the invariant auditor.
+    Repro,
     /// Print Table III.
     Table3,
     /// List device presets.
@@ -99,6 +102,8 @@ pub struct Cli {
     pub recovery: RecoveryChoice,
     /// Max retry attempts per failed app (`--attempts`, retry policy).
     pub attempts: u32,
+    /// Repro file to replay (`repro FILE`).
+    pub repro_file: Option<String>,
 }
 
 /// Which recovery policy the harness should apply to failed apps.
@@ -132,6 +137,7 @@ impl Default for Cli {
             faults: None,
             recovery: RecoveryChoice::FailFast,
             attempts: 2,
+            repro_file: None,
         }
     }
 }
@@ -187,6 +193,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         "trace" => Command::Trace,
         "autosched" => Command::Autosched,
         "faults" => Command::Faults,
+        "repro" => Command::Repro,
         "table3" => Command::Table3,
         "devices" => Command::Devices,
         "help" | "--help" | "-h" => Command::Help,
@@ -250,6 +257,12 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                     return Err("--attempts must be in 1..=16".into());
                 }
             }
+            other if cli.command == Command::Repro && !other.starts_with('-') => {
+                if cli.repro_file.is_some() {
+                    return Err("repro takes exactly one FILE".into());
+                }
+                cli.repro_file = Some(flag);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -259,6 +272,9 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     );
     if needs_workload && cli.workload.is_empty() {
         return Err("this subcommand requires --workload".into());
+    }
+    if cli.command == Command::Repro && cli.repro_file.is_none() {
+        return Err("repro requires a FILE argument".into());
     }
     Ok(cli)
 }
@@ -353,6 +369,16 @@ mod tests {
         assert_eq!(cli.command, Command::Faults);
         assert!(cli.workload.is_empty());
         assert_eq!(cli.recovery, RecoveryChoice::FailFast);
+    }
+
+    #[test]
+    fn repro_takes_one_positional_file() {
+        let cli = parse_args(argv("repro results/chaos_repro.json")).unwrap();
+        assert_eq!(cli.command, Command::Repro);
+        assert_eq!(cli.repro_file.as_deref(), Some("results/chaos_repro.json"));
+        assert!(parse_args(argv("repro")).is_err());
+        assert!(parse_args(argv("repro a.json b.json")).is_err());
+        assert!(parse_args(argv("repro --bogus a.json")).is_err());
     }
 
     #[test]

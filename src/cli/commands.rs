@@ -289,6 +289,22 @@ fn cmd_devices() -> String {
     t.to_text()
 }
 
+/// Replay a chaos-soak repro file (written by the `chaos` soak driver
+/// on failure) with the invariant auditor enabled. Succeeds with a
+/// status line either way — a repro that still fails is the expected,
+/// useful outcome — and only errors when the file itself is unusable.
+fn cmd_repro(cli: &Cli) -> Result<String, String> {
+    let path = cli.repro_file.as_deref().expect("checked by parse_args");
+    match hq_bench::chaos::run_repro(std::path::Path::new(path))? {
+        hq_bench::chaos::CaseOutcome::Pass => Ok(format!(
+            "repro {path}: PASS — the case runs clean (bug no longer reproduces)"
+        )),
+        hq_bench::chaos::CaseOutcome::Fail(kind, detail) => Ok(format!(
+            "repro {path}: FAIL ({kind:?})\n{detail}"
+        )),
+    }
+}
+
 /// Execute a parsed CLI invocation, returning the text to print.
 pub fn execute(cli: Cli) -> Result<String, String> {
     match cli.command {
@@ -297,6 +313,7 @@ pub fn execute(cli: Cli) -> Result<String, String> {
         Command::Trace => cmd_trace(&cli),
         Command::Autosched => cmd_autosched(&cli),
         Command::Faults => cmd_faults(&cli),
+        Command::Repro => cmd_repro(&cli),
         Command::Table3 => {
             geometry::validate_against_builders();
             Ok(geometry::render_markdown())
@@ -355,6 +372,46 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn repro_replays_a_written_case_and_rejects_garbage() {
+        use hq_bench::chaos;
+        use hq_des::rng::DetRng;
+
+        let dir = std::env::temp_dir().join(format!("hq_repro_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A generated case always passes; its repro must replay clean.
+        let spec = chaos::gen_case(&mut DetRng::seed_from_u64(5));
+        let path = dir.join("pass.json");
+        std::fs::write(&path, chaos::case_to_json(&spec)).unwrap();
+        let out = run(&format!("repro {}", path.display())).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        // A hang with no watchdog deadlocks; the repro reports FAIL but
+        // the command itself succeeds (replaying a failure is the point).
+        let mut bad = spec;
+        bad.watchdog_us = 0;
+        bad.kernel_hang_pm = 0;
+        bad.copy_fail_pm = 0;
+        bad.kernel_fault_pm = 0;
+        bad.faults = vec![chaos::ScriptedFault {
+            kind: FaultKind::KernelHang,
+            app: 0,
+            nth: 0,
+        }];
+        let path = dir.join("fail.json");
+        std::fs::write(&path, chaos::case_to_json(&bad)).unwrap();
+        let out = run(&format!("repro {}", path.display())).unwrap();
+        assert!(out.contains("FAIL") && out.contains("Deadlock"), "{out}");
+
+        // An unusable file is a command error.
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(run(&format!("repro {}", path.display())).is_err());
+        assert!(run(&format!("repro {}", dir.join("missing.json").display())).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
