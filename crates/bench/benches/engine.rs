@@ -81,7 +81,8 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_smx(c: &mut Criterion) {
     use hq_gpu::smx::Smx;
     use hq_gpu::types::GridId;
-    let desc = KernelDesc::new("k", 1u32, 256u32, Dur::from_us(10));
+    let mut table = hq_des::intern::Interner::new();
+    let desc = KernelDesc::new("k", 1u32, 256u32, Dur::from_us(10)).compile(&mut table);
     c.bench_function("smx/place_advance_retire_x8", |b| {
         b.iter_batched(
             || Smx::new(SmxLimits::kepler()),

@@ -4,7 +4,15 @@
 //! to bound the worker pool (output is byte-identical for any worker
 //! count; see `hq_bench::suite`), and `--resume` (or `HQ_RESUME=1`) to
 //! skip experiments whose artifacts are already complete — artifacts
-//! are written atomically, so an interrupted run resumes cleanly.
+//! are written atomically, so an interrupted run resumes cleanly, and
+//! skipped experiments' saved reports are loaded back so the summary
+//! still covers the whole suite.
+//!
+//! Simulation runs go through the content-addressed scenario cache
+//! (`hq_bench::scenario`): repeat configurations are served from
+//! `results/.scenario-cache/` instead of re-simulating. Hit/miss
+//! counts are reported on stderr; `HQ_SCENARIO_CACHE=off` disables the
+//! cache entirely and `HQ_SCENARIO_CACHE=mem` keeps it in-process only.
 
 use hq_bench::util::jobs_from_args;
 use hq_bench::{suite, Scale};

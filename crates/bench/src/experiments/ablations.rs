@@ -12,7 +12,8 @@
 use crate::util::{par_map, ExperimentReport, Scale};
 use hq_gpu::prelude::*;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, MemsyncMode, RunConfig};
 use hyperq_core::metrics::improvement;
 use hyperq_core::report::{pct, Table};
 
@@ -21,10 +22,10 @@ pub fn fermi(scale: Scale) -> ExperimentReport {
     let na = scale.pick(16, 4);
     let rows = par_map(AppKind::pairs(), |&(x, y)| {
         let kinds = pair_workload(x, y, na as usize);
-        let hq = run_workload(&RunConfig::concurrent(na), &kinds).expect("hyperq");
+        let hq = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("hyperq");
         let mut cfg = RunConfig::concurrent(na);
         cfg.device = DeviceConfig::fermi_like();
-        let fermi = run_workload(&cfg, &kinds).expect("fermi");
+        let fermi = run_scenario_workload(&cfg, &kinds).expect("fermi");
         (
             format!("{x}+{y}"),
             fermi.makespan(),
@@ -78,7 +79,7 @@ pub fn chunking(scale: Scale) -> ExperimentReport {
         }),
     ];
     let rows = par_map(configs, |(name, cfg)| {
-        let out = run_workload(cfg, &kinds).expect("run");
+        let out = run_scenario_workload(cfg, &kinds).expect("run");
         (
             name.to_string(),
             out.makespan(),
@@ -114,10 +115,10 @@ pub fn admission(scale: Scale) -> ExperimentReport {
     let na = scale.pick(8, 4);
     let rows = par_map(AppKind::pairs(), |&(x, y)| {
         let kinds = pair_workload(x, y, na as usize);
-        let lazy = run_workload(&RunConfig::concurrent(na), &kinds).expect("lazy");
+        let lazy = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("lazy");
         let mut cfg = RunConfig::concurrent(na);
         cfg.device.admission = AdmissionPolicy::ConservativeFit;
-        let fit = run_workload(&cfg, &kinds).expect("fit");
+        let fit = run_scenario_workload(&cfg, &kinds).expect("fit");
         (
             format!("{x}+{y}"),
             fit.makespan(),
@@ -165,8 +166,8 @@ pub fn driver_overhead(scale: Scale) -> ExperimentReport {
         serial_cfg.host.driver_call_overhead = hq_des::time::Dur::from_us(us);
         let mut conc_cfg = RunConfig::concurrent(na);
         conc_cfg.host.driver_call_overhead = hq_des::time::Dur::from_us(us);
-        let s = run_workload(&serial_cfg, &kinds).expect("serial");
-        let c = run_workload(&conc_cfg, &kinds).expect("conc");
+        let s = run_scenario_workload(&serial_cfg, &kinds).expect("serial");
+        let c = run_scenario_workload(&conc_cfg, &kinds).expect("conc");
         (
             us,
             s.makespan(),

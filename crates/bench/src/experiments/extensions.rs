@@ -17,10 +17,9 @@ use crate::util::{par_map, ExperimentReport, Scale};
 use hq_des::time::Dur;
 use hq_gpu::prelude::*;
 use hq_workloads::apps::AppKind;
+use crate::scenario::{run_scenario, run_scenario_workload};
 use hyperq_core::autosched::{AutoScheduler, Objective};
-use hyperq_core::harness::{
-    homogeneous_workload, pair_workload, run_schedule, run_workload, RecoveryPolicy, RunConfig,
-};
+use hyperq_core::harness::{homogeneous_workload, pair_workload, RecoveryPolicy, RunConfig};
 use hyperq_core::metrics::improvement;
 use hyperq_core::ordering::ScheduleOrder;
 use hyperq_core::report::{pct, Table};
@@ -33,7 +32,7 @@ pub fn homogeneous_scaling(scale: Scale) -> ExperimentReport {
         .flat_map(|k| sizes.iter().map(move |&n| (k, n)))
         .collect();
     let rows = par_map(jobs, |&(kind, n)| {
-        let out = run_workload(
+        let out = run_scenario_workload(
             &RunConfig::concurrent(n),
             &homogeneous_workload(kind, n as usize),
         )
@@ -85,9 +84,9 @@ pub fn shuffle_study(scale: Scale) -> ExperimentReport {
         let cfg = RunConfig::concurrent(na)
             .with_order(ScheduleOrder::RandomShuffle)
             .with_seed(0x5401 + s);
-        run_workload(&cfg, &kinds).expect("run").makespan()
+        run_scenario_workload(&cfg, &kinds).expect("run").makespan()
     });
-    let fifo = run_workload(&RunConfig::concurrent(na), &kinds)
+    let fifo = run_scenario_workload(&RunConfig::concurrent(na), &kinds)
         .expect("fifo")
         .makespan();
     let best = runs.iter().min().copied().unwrap();
@@ -133,7 +132,7 @@ pub fn device_scaling(scale: Scale) -> ExperimentReport {
                 RunConfig::concurrent(na)
             };
             cfg.device = dev;
-            run_workload(&cfg, &kinds).expect("run").makespan()
+            run_scenario_workload(&cfg, &kinds).expect("run").makespan()
         };
         let k20_imp = improvement(
             run_dev(DeviceConfig::tesla_k20(), true),
@@ -189,8 +188,8 @@ pub fn heterogeneity_study(scale: Scale) -> ExperimentReport {
         }),
     ];
     let rows = par_map(mixes, |(name, kinds)| {
-        let serial = run_workload(&RunConfig::serial(), kinds).expect("serial");
-        let conc = run_workload(&RunConfig::concurrent(na as u32), kinds).expect("concurrent");
+        let serial = run_scenario_workload(&RunConfig::serial(), kinds).expect("serial");
+        let conc = run_scenario_workload(&RunConfig::concurrent(na as u32), kinds).expect("concurrent");
         (
             name.to_string(),
             serial.makespan(),
@@ -232,9 +231,9 @@ pub fn autosched_study(scale: Scale) -> ExperimentReport {
             swap_budget: scale.pick(24, 6),
             seed: 17,
         };
-        let res = sched.optimize(&cfg, &kinds);
+        let res = sched.optimize_with(run_scenario, &cfg, &kinds);
         // Sanity: re-running the found schedule reproduces the score.
-        let replay = run_schedule(&cfg, &res.schedule).expect("replay");
+        let replay = run_scenario(&cfg, &res.schedule).expect("replay");
         let replay_score = match objective {
             Objective::Makespan => replay.makespan().as_ns() as f64,
             Objective::Energy => replay.energy_j(),
@@ -289,7 +288,7 @@ pub fn fault_sweep(scale: Scale) -> ExperimentReport {
         .iter()
         .flat_map(|&r| policies.iter().map(move |&(n, p)| (r, n, p)))
         .collect();
-    let baseline = run_workload(&RunConfig::concurrent(na), &kinds)
+    let baseline = run_scenario_workload(&RunConfig::concurrent(na), &kinds)
         .expect("baseline")
         .makespan();
     let rows = par_map(jobs, |&(rate, name, policy)| {
@@ -300,7 +299,7 @@ pub fn fault_sweep(scale: Scale) -> ExperimentReport {
         let cfg = RunConfig::concurrent(na)
             .with_faults(plan)
             .with_recovery(policy);
-        let out = run_workload(&cfg, &kinds).expect("faulty run drains");
+        let out = run_scenario_workload(&cfg, &kinds).expect("faulty run drains");
         let failed = out
             .result
             .apps

@@ -13,7 +13,8 @@ use crate::experiments::window_trace;
 use crate::util::{ExperimentReport, Scale};
 use hq_des::time::SimTime;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, RunConfig};
 use hyperq_core::report::Table;
 
 /// Run the workload and produce the timeline + inflation table.
@@ -21,7 +22,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let na = scale.pick(8, 4);
     let cfg = RunConfig::concurrent(na).with_trace(true);
     let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
-    let out = run_workload(&cfg, &kinds).expect("run");
+    let out = run_scenario_workload(&cfg, &kinds).expect("run");
 
     // Zoom on the HtoD phase: from t=0 to the last app's first kernel.
     let t1 = out

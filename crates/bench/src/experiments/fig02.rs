@@ -11,15 +11,16 @@ use crate::util::{ExperimentReport, Scale};
 use hq_des::time::{Dur, SimTime};
 use hq_gpu::types::Dir;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, MemsyncMode, RunConfig};
 use hyperq_core::report::Table;
 
 /// Run both configurations and report the timeline + `Le` comparison.
 pub fn run(scale: Scale) -> ExperimentReport {
     let na = scale.pick(8, 4);
     let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
-    let base = run_workload(&RunConfig::concurrent(na).with_trace(true), &kinds).expect("base");
-    let sync = run_workload(
+    let base = run_scenario_workload(&RunConfig::concurrent(na).with_trace(true), &kinds).expect("base");
+    let sync = run_scenario_workload(
         &RunConfig::concurrent(na)
             .with_trace(true)
             .with_memsync(MemsyncMode::Synced),

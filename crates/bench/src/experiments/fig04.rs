@@ -12,7 +12,8 @@
 use crate::util::{par_map, ExperimentReport, Scale};
 use hq_des::time::Dur;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, RunConfig};
 use hyperq_core::metrics::improvement;
 use hyperq_core::report::{pct, Table};
 
@@ -54,9 +55,9 @@ pub fn sweep(scale: Scale) -> Vec<Cell> {
     }
     par_map(jobs, |&(x, y, na)| {
         let kinds = pair_workload(x, y, na as usize);
-        let serial = run_workload(&RunConfig::serial(), &kinds).expect("serial");
-        let half = run_workload(&RunConfig::concurrent((na / 2).max(1)), &kinds).expect("half");
-        let full = run_workload(&RunConfig::concurrent(na), &kinds).expect("full");
+        let serial = run_scenario_workload(&RunConfig::serial(), &kinds).expect("serial");
+        let half = run_scenario_workload(&RunConfig::concurrent((na / 2).max(1)), &kinds).expect("half");
+        let full = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("full");
         Cell {
             pair: format!("{x}+{y}"),
             na,

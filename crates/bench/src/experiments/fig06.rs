@@ -11,7 +11,8 @@ use crate::util::{par_map, ExperimentReport, Scale};
 use hq_des::time::Dur;
 use hq_gpu::types::Dir;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, MemsyncMode, RunConfig};
 use hyperq_core::metrics::expected_pair_le;
 use hyperq_core::report::Table;
 
@@ -38,8 +39,8 @@ pub fn sweep(scale: Scale) -> Vec<Point> {
     let sizes: Vec<u32> = scale.pick(vec![2, 4, 8, 16, 32], vec![2, 4]);
     par_map(sizes, |&ns| {
         let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, ns as usize);
-        let base = run_workload(&RunConfig::concurrent(ns), &kinds).expect("base");
-        let sync = run_workload(
+        let base = run_scenario_workload(&RunConfig::concurrent(ns), &kinds).expect("base");
+        let sync = run_scenario_workload(
             &RunConfig::concurrent(ns).with_memsync(MemsyncMode::Synced),
             &kinds,
         )

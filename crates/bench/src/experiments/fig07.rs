@@ -9,7 +9,8 @@
 use crate::util::{par_map, ExperimentReport, Scale};
 use hq_des::time::Dur;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, MemsyncMode, RunConfig};
 use hyperq_core::ordering::ScheduleOrder;
 use hyperq_core::report::{pct, Table};
 
@@ -50,7 +51,7 @@ pub fn sweep(scale: Scale, memsync: MemsyncMode) -> Vec<OrderingSweep> {
         let cfg = RunConfig::concurrent(na)
             .with_order(order)
             .with_memsync(memsync);
-        run_workload(&cfg, &kinds).expect("run").makespan()
+        run_scenario_workload(&cfg, &kinds).expect("run").makespan()
     });
     AppKind::pairs()
         .into_iter()

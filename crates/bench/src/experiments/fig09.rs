@@ -9,7 +9,8 @@
 
 use crate::util::{par_map, ExperimentReport, Scale};
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, RunConfig, RunOutcome};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, RunConfig, RunOutcome};
 use hyperq_core::metrics::reduction;
 use hyperq_core::report::{joules, pct, watts, Table};
 use std::fmt::Write as _;
@@ -24,9 +25,9 @@ fn power_trace_csv(out: &RunOutcome, label: &str, csv: &mut String) {
 pub fn run(scale: Scale) -> ExperimentReport {
     let na = scale.pick(32, 8);
     let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
-    let serial = run_workload(&RunConfig::serial(), &kinds).expect("serial");
-    let half = run_workload(&RunConfig::concurrent(na / 2), &kinds).expect("half");
-    let full = run_workload(&RunConfig::concurrent(na), &kinds).expect("full");
+    let serial = run_scenario_workload(&RunConfig::serial(), &kinds).expect("serial");
+    let half = run_scenario_workload(&RunConfig::concurrent(na / 2), &kinds).expect("half");
+    let full = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("full");
 
     let mut scen = Table::new(vec![
         "scenario",
@@ -55,8 +56,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Energy across all pairs, serial vs full-concurrent.
     let pair_rows = par_map(AppKind::pairs(), |&(x, y)| {
         let kinds = pair_workload(x, y, na as usize);
-        let s = run_workload(&RunConfig::serial(), &kinds).expect("serial");
-        let f = run_workload(&RunConfig::concurrent(na), &kinds).expect("full");
+        let s = run_scenario_workload(&RunConfig::serial(), &kinds).expect("serial");
+        let f = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("full");
         (
             format!("{x}+{y}"),
             s.energy_j(),

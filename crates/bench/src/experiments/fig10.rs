@@ -6,7 +6,8 @@
 
 use crate::util::{par_map, ExperimentReport, Scale};
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{pair_workload, run_workload, MemsyncMode, RunConfig};
+use crate::scenario::run_scenario_workload;
+use hyperq_core::harness::{pair_workload, MemsyncMode, RunConfig};
 use hyperq_core::metrics::reduction;
 use hyperq_core::report::{joules, pct, watts, Table};
 use std::fmt::Write as _;
@@ -15,8 +16,8 @@ use std::fmt::Write as _;
 pub fn run(scale: Scale) -> ExperimentReport {
     let na = scale.pick(32, 8);
     let kinds = pair_workload(AppKind::Gaussian, AppKind::Needle, na as usize);
-    let base = run_workload(&RunConfig::concurrent(na), &kinds).expect("base");
-    let sync = run_workload(
+    let base = run_scenario_workload(&RunConfig::concurrent(na), &kinds).expect("base");
+    let sync = run_scenario_workload(
         &RunConfig::concurrent(na).with_memsync(MemsyncMode::Synced),
         &kinds,
     )
@@ -40,8 +41,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Energy vs serial across all pairs, with memsync enabled.
     let rows = par_map(AppKind::pairs(), |&(x, y)| {
         let kinds = pair_workload(x, y, na as usize);
-        let s = run_workload(&RunConfig::serial(), &kinds).expect("serial");
-        let f = run_workload(
+        let s = run_scenario_workload(&RunConfig::serial(), &kinds).expect("serial");
+        let f = run_scenario_workload(
             &RunConfig::concurrent(na).with_memsync(MemsyncMode::Synced),
             &kinds,
         )

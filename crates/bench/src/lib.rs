@@ -12,7 +12,9 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod scenario;
 pub mod suite;
 pub mod util;
 
+pub use scenario::{run_scenario, run_scenario_workload};
 pub use util::{ExperimentReport, Scale};

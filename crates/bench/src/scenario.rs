@@ -1,0 +1,741 @@
+//! Content-addressed scenario cache: the single choke point every
+//! experiment routes its simulation runs through.
+//!
+//! The paper's evaluation is sweep-shaped — Figs. 4–10, the ablations
+//! and the extension studies re-simulate many identical
+//! `(DeviceConfig, workload, seed, fault plan)` scenarios. Every run is
+//! deterministic, so an identical scenario always produces an identical
+//! [`RunOutcome`]; repeating one is pure waste on the single-core boxes
+//! the suite targets. [`run_scenario`] memoizes [`run_schedule`] behind
+//! a structural [`ScenarioKey`]:
+//!
+//! * an **in-process memo map** serves repeats within one suite run
+//!   (e.g. the serialized baseline shared by several figures), and
+//! * an **on-disk cache** under `<results>/.scenario-cache/` serves
+//!   repeats across processes (a re-run suite, `--resume`, CI smoke
+//!   runs). Entries are written atomically via
+//!   [`crate::util::write_atomic`], so a crash can never leave a
+//!   truncated entry; any entry that fails to parse is treated as a
+//!   miss and rewritten.
+//!
+//! The key is an FNV-1a hash over the *full* `Debug` rendering of the
+//! run configuration and schedule plus [`SIM_VERSION`]; the rendering
+//! itself (the preimage) is stored alongside each entry and compared on
+//! lookup, so hash collisions degrade to misses instead of wrong
+//! results, and bumping [`SIM_VERSION`] invalidates every stale entry
+//! at once. Wall-clock [`hq_gpu::result::SimPerf`] counters ride along
+//! verbatim (they are documented as nondeterministic and never feed
+//! artifacts); the [`hq_power::PowerReport`] is *recomputed* from the
+//! cached result — it is a pure function of the result and the power
+//! model, exactly as [`run_schedule`] computes it.
+//!
+//! `HQ_SCENARIO_CACHE` controls the cache: `off` disables it entirely
+//! (every call simulates), `mem` keeps only the in-process memo, and
+//! anything else (the default) enables memo + disk.
+
+use crate::util::{out_dir, write_atomic};
+use hq_des::record::TimeSeries;
+use hq_des::time::{Dur, SimTime};
+use hq_des::trace::{Span, SpanKind, TraceLog};
+use hq_gpu::fault::FaultKind;
+use hq_gpu::result::{
+    AppOutcome, AppStats, FaultCounters, SimError, SimPerf, SimResult, TransferStats,
+};
+use hq_gpu::types::{AppId, StreamId};
+use hq_power::PowerMonitor;
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::{build_schedule, run_schedule, AppSpec, RunConfig, RunOutcome};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Simulator-semantics stamp folded into every [`ScenarioKey`]. Bump it
+/// whenever a change alters *any* simulated result (event ordering,
+/// timing model, fault semantics, …) so that previously cached outcomes
+/// can never be replayed against a simulator that would no longer
+/// produce them. Pure performance work that keeps trajectories
+/// byte-identical does not require a bump.
+pub const SIM_VERSION: u32 = 1;
+
+/// On-disk entry format version (bump when the encoding below changes;
+/// old entries then fail the header check and are recomputed).
+const DISK_VERSION: u32 = 1;
+
+/// Structural identity of one simulation scenario: the FNV-1a hash of
+/// the full configuration/schedule rendering plus [`SIM_VERSION`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScenarioKey(pub u64);
+
+impl ScenarioKey {
+    /// Hex form used as the cache file stem.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The exact string hashed into a [`ScenarioKey`]. `RunConfig` and
+/// `AppSpec` derive `Debug` over every field that can influence a run
+/// (device, host timing, streams, order, memsync, seed, trace, power
+/// model, fault plan, recovery policy), so two scenarios render equal
+/// iff the simulator would walk the same trajectory.
+pub fn preimage(cfg: &RunConfig, specs: &[AppSpec]) -> String {
+    format!("sim={SIM_VERSION}|{cfg:?}|{specs:?}")
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Key for one `(config, schedule)` scenario.
+pub fn scenario_key(cfg: &RunConfig, specs: &[AppSpec]) -> ScenarioKey {
+    ScenarioKey(fnv1a(preimage(cfg, specs).as_bytes()))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CacheMode {
+    Off,
+    Memo,
+    MemoAndDisk,
+}
+
+fn cache_mode() -> CacheMode {
+    match std::env::var("HQ_SCENARIO_CACHE").as_deref() {
+        Ok("off") | Ok("0") => CacheMode::Off,
+        Ok("mem") => CacheMode::Memo,
+        _ => CacheMode::MemoAndDisk,
+    }
+}
+
+/// Memo entries keep the preimage so a 64-bit hash collision is
+/// detected (and degrades to a miss) instead of aliasing two scenarios.
+type Memo = Mutex<HashMap<u64, (String, RunOutcome)>>;
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime `(hits, misses)` across every [`run_scenario`]
+/// call. The suite runner samples this around each experiment to report
+/// per-experiment counters.
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Drop the in-process memo and zero the hit/miss counters. Tests and
+/// benchmarks use this to measure a genuinely cold run; the on-disk
+/// cache is unaffected (point `HQ_RESULTS` somewhere fresh for that).
+pub fn reset_cache() {
+    memo().lock().clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Directory holding on-disk entries for the current results dir.
+pub fn cache_dir() -> PathBuf {
+    out_dir().join(".scenario-cache")
+}
+
+/// Run one scenario through the cache: memo map first, then the disk
+/// cache, then a real [`run_schedule`] simulation (whose outcome is
+/// inserted into both layers). Errors are never cached. This is the
+/// choke point every experiment's simulation goes through; call
+/// [`run_schedule`] directly to bypass the cache (as the perf
+/// benchmarks measuring raw simulator throughput do).
+pub fn run_scenario(cfg: &RunConfig, specs: &[AppSpec]) -> Result<RunOutcome, SimError> {
+    let mode = cache_mode();
+    if mode == CacheMode::Off {
+        return run_schedule(cfg, specs);
+    }
+    let pre = preimage(cfg, specs);
+    let key = ScenarioKey(fnv1a(pre.as_bytes()));
+    if let Some(out) = {
+        let memo = memo().lock();
+        memo.get(&key.0)
+            .filter(|(stored, _)| *stored == pre)
+            .map(|(_, out)| out.clone())
+    } {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(out);
+    }
+    let path = cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex()));
+    if mode == CacheMode::MemoAndDisk {
+        if let Some(out) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| decode(&text, &pre, cfg))
+        {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            memo().lock().insert(key.0, (pre, out.clone()));
+            return Ok(out);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let out = run_schedule(cfg, specs)?;
+    if mode == CacheMode::MemoAndDisk && std::fs::create_dir_all(cache_dir()).is_ok() {
+        // Best-effort: a failed write just means a future miss.
+        let _ = write_atomic(&path, &encode(&pre, &out));
+    }
+    memo().lock().insert(key.0, (pre, out.clone()));
+    Ok(out)
+}
+
+/// [`run_scenario`] for a workload given as app kinds: builds the
+/// schedule exactly as [`hyperq_core::harness::run_workload`] does,
+/// then routes it through the cache.
+pub fn run_scenario_workload(cfg: &RunConfig, kinds: &[AppKind]) -> Result<RunOutcome, SimError> {
+    let specs = build_schedule(kinds, cfg.order, cfg.seed);
+    run_scenario(cfg, &specs)
+}
+
+// ---------------------------------------------------------------------
+// On-disk encoding.
+//
+// The vendored serde_json shim cannot serialize nested structs, so
+// entries use a hand-rolled line-oriented text format: a header with
+// the format version, the escaped key preimage (verified on load), and
+// one section per `RunOutcome` component. Floats are rendered with
+// `{:?}` (Rust's shortest round-trip representation) and times as
+// nanosecond integers, so a decode is bit-exact. The `PowerReport` and
+// the result's `DeviceConfig` are *not* stored: power is recomputed
+// from the decoded result (a pure function), and the device is the
+// config's device — except for its `hw_queues`, which the Degrade
+// recovery policy rewrites to 1, so that one field is stored.
+// ---------------------------------------------------------------------
+
+/// Escape a string onto one whitespace-free token (`%`, space, tab, CR
+/// and LF are percent-encoded).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\r' => out.push_str("%0D"),
+            '\n' => out.push_str("%0A"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next()?;
+        let lo = chars.next()?;
+        let byte = (hi.to_digit(16)? * 16 + lo.to_digit(16)?) as u8;
+        out.push(byte as char);
+    }
+    Some(out)
+}
+
+fn opt_time(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => t.as_ns().to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_opt_time(tok: &str) -> Option<Option<SimTime>> {
+    if tok == "-" {
+        return Some(None);
+    }
+    tok.parse::<u64>().ok().map(|ns| Some(SimTime::from_ns(ns)))
+}
+
+fn span_kind_code(k: SpanKind) -> u8 {
+    match k {
+        SpanKind::CopyHtoD => 0,
+        SpanKind::CopyDtoH => 1,
+        SpanKind::Kernel => 2,
+        SpanKind::Host => 3,
+    }
+}
+
+fn span_kind_from(code: u64) -> Option<SpanKind> {
+    Some(match code {
+        0 => SpanKind::CopyHtoD,
+        1 => SpanKind::CopyDtoH,
+        2 => SpanKind::Kernel,
+        3 => SpanKind::Host,
+        _ => return None,
+    })
+}
+
+fn fault_kind_code(k: FaultKind) -> u8 {
+    match k {
+        FaultKind::CopyFail => 0,
+        FaultKind::KernelFault => 1,
+        FaultKind::KernelHang => 2,
+    }
+}
+
+fn fault_kind_from(code: u64) -> Option<FaultKind> {
+    Some(match code {
+        0 => FaultKind::CopyFail,
+        1 => FaultKind::KernelFault,
+        2 => FaultKind::KernelHang,
+        _ => return None,
+    })
+}
+
+fn push_series(out: &mut String, tag: &str, ts: &TimeSeries) {
+    let _ = writeln!(out, "{tag} {}", ts.points().len());
+    for &(t, v) in ts.points() {
+        let _ = writeln!(out, "{} {:?}", t.as_ns(), v);
+    }
+}
+
+fn push_transfers(out: &mut String, tag: &str, t: &TransferStats) {
+    let _ = writeln!(
+        out,
+        "{tag} {} {} {} {} {}",
+        t.count,
+        t.bytes,
+        opt_time(t.first_start),
+        opt_time(t.last_end),
+        t.service_time.as_ns()
+    );
+}
+
+fn encode(pre: &str, out: &RunOutcome) -> String {
+    let r = &out.result;
+    let mut s = String::with_capacity(4096);
+    let _ = writeln!(s, "hq-scenario v{DISK_VERSION}");
+    let _ = writeln!(s, "pre {}", esc(pre));
+    let _ = writeln!(s, "retries {}", out.retries);
+    let _ = writeln!(s, "degraded {}", u8::from(out.degraded));
+    let _ = writeln!(s, "hwq {}", r.device.hw_queues);
+    let _ = writeln!(s, "makespan {}", r.makespan.as_ns());
+    let _ = writeln!(s, "events {}", r.events);
+    let p = r.perf;
+    let _ = writeln!(
+        s,
+        "perf {} {:?} {:?} {} {} {} {:?}",
+        p.events,
+        p.wall_secs,
+        p.events_per_sec,
+        p.peak_pending,
+        p.cancelled,
+        p.stale_cancels,
+        p.tombstone_ratio
+    );
+    let f = r.faults;
+    let _ = writeln!(
+        s,
+        "faults {} {} {} {} {} {} {} {}",
+        f.copy_faults,
+        f.kernel_faults,
+        f.watchdog_kills,
+        f.watchdog_rearms,
+        f.ops_errored,
+        f.forced_mutex_releases,
+        f.leaked_residency,
+        f.held_mutexes
+    );
+    let _ = writeln!(s, "schedule {}", out.schedule.len());
+    for label in &out.schedule {
+        let _ = writeln!(s, "{}", esc(label));
+    }
+    let _ = writeln!(s, "apps {}", r.apps.len());
+    for a in &r.apps {
+        let outcome = match a.outcome {
+            AppOutcome::Completed => "ok".to_string(),
+            AppOutcome::Failed { reason } => format!("fail {}", fault_kind_code(reason)),
+            AppOutcome::Retried { attempts } => format!("retry {attempts}"),
+        };
+        let _ = writeln!(
+            s,
+            "a {} {} {} {} {} {} {} {} {} {}",
+            a.app.0,
+            a.stream.0,
+            esc(&a.label),
+            opt_time(a.started),
+            opt_time(a.finished),
+            a.kernels_completed,
+            opt_time(a.first_kernel_start),
+            opt_time(a.last_kernel_end),
+            a.faults,
+            outcome
+        );
+        push_transfers(&mut s, "h", &a.htod);
+        push_transfers(&mut s, "d", &a.dtoh);
+    }
+    push_series(&mut s, "ts", &r.resident_threads);
+    push_series(&mut s, "ts", &r.active_smx);
+    push_series(&mut s, "ts", &r.dma_busy[0]);
+    push_series(&mut s, "ts", &r.dma_busy[1]);
+    let _ = writeln!(s, "trace {} {}", u8::from(r.trace.is_enabled()), r.trace.spans().len());
+    for sp in r.trace.spans() {
+        let _ = writeln!(
+            s,
+            "x {} {} {} {} {}",
+            sp.lane,
+            span_kind_code(sp.kind),
+            esc(&sp.label),
+            sp.start.as_ns(),
+            sp.end.as_ns()
+        );
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Line cursor with tag-checked field parsing; every accessor returns
+/// `Option` so a malformed (truncated, stale, corrupt) entry decodes to
+/// `None` — i.e. a cache miss — never a panic or a wrong result.
+struct Cursor<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn line(&mut self) -> Option<&'a str> {
+        self.lines.next()
+    }
+
+    /// Next line, which must start with `tag`; returns the remaining
+    /// whitespace-separated tokens.
+    fn tagged(&mut self, tag: &str) -> Option<Vec<&'a str>> {
+        let line = self.line()?;
+        let mut toks = line.split(' ');
+        if toks.next()? != tag {
+            return None;
+        }
+        Some(toks.collect())
+    }
+
+    fn tagged_u64(&mut self, tag: &str) -> Option<u64> {
+        let toks = self.tagged(tag)?;
+        if toks.len() != 1 {
+            return None;
+        }
+        toks[0].parse().ok()
+    }
+
+    fn series(&mut self) -> Option<TimeSeries> {
+        let n = self.tagged_u64("ts")?;
+        let mut points = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let line = self.line()?;
+            let (t, v) = line.split_once(' ')?;
+            points.push((SimTime::from_ns(t.parse().ok()?), v.parse().ok()?));
+        }
+        if !points.windows(2).all(|w: &[(SimTime, f64)]| w[0].0 <= w[1].0) {
+            return None;
+        }
+        // `from_points` (not `set`): recorded series may legitimately
+        // hold repeated values, which `set` would dedupe away.
+        Some(TimeSeries::from_points(points))
+    }
+
+    fn transfers(&mut self, tag: &str) -> Option<TransferStats> {
+        let t = self.tagged(tag)?;
+        if t.len() != 5 {
+            return None;
+        }
+        Some(TransferStats {
+            count: t[0].parse().ok()?,
+            bytes: t[1].parse().ok()?,
+            first_start: parse_opt_time(t[2])?,
+            last_end: parse_opt_time(t[3])?,
+            service_time: Dur::from_ns(t[4].parse().ok()?),
+        })
+    }
+}
+
+fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
+    // Atomic writes mean a file is either complete or absent, but a
+    // version bump or a concurrent writer racing the same entry must
+    // degrade to a miss: verify header, preimage and trailer.
+    if !text.ends_with("end\n") {
+        return None;
+    }
+    let mut c = Cursor { lines: text.lines() };
+    if c.line()? != format!("hq-scenario v{DISK_VERSION}") {
+        return None;
+    }
+    let stored_pre = c.tagged("pre")?;
+    if stored_pre.len() != 1 || unesc(stored_pre[0])? != pre {
+        return None;
+    }
+    let retries = c.tagged_u64("retries")? as u32;
+    let degraded = c.tagged_u64("degraded")? != 0;
+    let hw_queues = c.tagged_u64("hwq")? as u32;
+    let makespan = SimTime::from_ns(c.tagged_u64("makespan")?);
+    let events = c.tagged_u64("events")?;
+    let p = c.tagged("perf")?;
+    if p.len() != 7 {
+        return None;
+    }
+    let perf = SimPerf {
+        events: p[0].parse().ok()?,
+        wall_secs: p[1].parse().ok()?,
+        events_per_sec: p[2].parse().ok()?,
+        peak_pending: p[3].parse().ok()?,
+        cancelled: p[4].parse().ok()?,
+        stale_cancels: p[5].parse().ok()?,
+        tombstone_ratio: p[6].parse().ok()?,
+    };
+    let f = c.tagged("faults")?;
+    if f.len() != 8 {
+        return None;
+    }
+    let faults = FaultCounters {
+        copy_faults: f[0].parse().ok()?,
+        kernel_faults: f[1].parse().ok()?,
+        watchdog_kills: f[2].parse().ok()?,
+        watchdog_rearms: f[3].parse().ok()?,
+        ops_errored: f[4].parse().ok()?,
+        forced_mutex_releases: f[5].parse().ok()?,
+        leaked_residency: f[6].parse().ok()?,
+        held_mutexes: f[7].parse().ok()?,
+    };
+    let nsched = c.tagged_u64("schedule")?;
+    let mut schedule = Vec::with_capacity(nsched as usize);
+    for _ in 0..nsched {
+        schedule.push(unesc(c.line()?)?);
+    }
+    let napps = c.tagged_u64("apps")?;
+    let mut apps = Vec::with_capacity(napps as usize);
+    for _ in 0..napps {
+        let a = c.tagged("a")?;
+        if a.len() < 10 {
+            return None;
+        }
+        let outcome = match a[9] {
+            "ok" if a.len() == 10 => AppOutcome::Completed,
+            "fail" if a.len() == 11 => AppOutcome::Failed {
+                reason: fault_kind_from(a[10].parse().ok()?)?,
+            },
+            "retry" if a.len() == 11 => AppOutcome::Retried {
+                attempts: a[10].parse().ok()?,
+            },
+            _ => return None,
+        };
+        let htod = c.transfers("h")?;
+        let dtoh = c.transfers("d")?;
+        apps.push(AppStats {
+            app: AppId(a[0].parse().ok()?),
+            stream: StreamId(a[1].parse().ok()?),
+            label: unesc(a[2])?,
+            started: parse_opt_time(a[3])?,
+            finished: parse_opt_time(a[4])?,
+            htod,
+            dtoh,
+            kernels_completed: a[5].parse().ok()?,
+            first_kernel_start: parse_opt_time(a[6])?,
+            last_kernel_end: parse_opt_time(a[7])?,
+            outcome,
+            faults: a[8].parse().ok()?,
+        });
+    }
+    let resident_threads = c.series()?;
+    let active_smx = c.series()?;
+    let dma0 = c.series()?;
+    let dma1 = c.series()?;
+    let t = c.tagged("trace")?;
+    if t.len() != 2 {
+        return None;
+    }
+    let mut trace = if t[0] == "1" {
+        TraceLog::enabled()
+    } else {
+        TraceLog::disabled()
+    };
+    let nspans = t[1].parse::<u64>().ok()?;
+    for _ in 0..nspans {
+        let x = c.tagged("x")?;
+        if x.len() != 5 {
+            return None;
+        }
+        trace.push(Span {
+            lane: x[0].parse().ok()?,
+            kind: span_kind_from(x[1].parse().ok()?)?,
+            label: unesc(x[2])?,
+            start: SimTime::from_ns(x[3].parse().ok()?),
+            end: SimTime::from_ns(x[4].parse().ok()?),
+        });
+    }
+    if c.line()? != "end" || c.line().is_some() {
+        return None;
+    }
+    // The run's device is the config's device, except Degrade recovery
+    // reruns through a single hardware queue (see `harness::degrade`).
+    let mut device = cfg.device.clone();
+    device.hw_queues = hw_queues;
+    let result = SimResult {
+        device,
+        makespan,
+        apps,
+        trace,
+        resident_threads,
+        active_smx,
+        dma_busy: [dma0, dma1],
+        events,
+        perf,
+        faults,
+    };
+    // Power is a pure function of the result and the configured model —
+    // recomputed, not stored, exactly as `run_schedule` derives it.
+    let power = PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&result);
+    Some(RunOutcome {
+        schedule,
+        result,
+        power,
+        retries,
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperq_core::harness::pair_workload;
+
+    fn sample_outcome(cfg: &RunConfig, specs: &[AppSpec]) -> RunOutcome {
+        run_schedule(cfg, specs).expect("sample run")
+    }
+
+    fn sample_cfg() -> RunConfig {
+        RunConfig::concurrent(4).with_seed(7).with_trace(true)
+    }
+
+    fn sample_specs(cfg: &RunConfig) -> Vec<AppSpec> {
+        build_schedule(
+            &pair_workload(AppKind::Needle, AppKind::Knearest, 4),
+            cfg.order,
+            cfg.seed,
+        )
+    }
+
+    /// Byte-exact round-trip through the disk encoding: a decoded
+    /// outcome re-encodes to the identical text, and every field the
+    /// experiments consume survives.
+    #[test]
+    fn disk_encoding_round_trips() {
+        let cfg = sample_cfg();
+        let specs = sample_specs(&cfg);
+        let pre = preimage(&cfg, &specs);
+        let out = sample_outcome(&cfg, &specs);
+        let text = encode(&pre, &out);
+        let back = decode(&text, &pre, &cfg).expect("decodes");
+        assert_eq!(encode(&pre, &back), text, "re-encode differs");
+        assert_eq!(back.schedule, out.schedule);
+        assert_eq!(back.result.makespan, out.result.makespan);
+        assert_eq!(back.result.events, out.result.events);
+        assert_eq!(back.result.apps.len(), out.result.apps.len());
+        for (a, b) in back.result.apps.iter().zip(&out.result.apps) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.finished, b.finished);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.htod.bytes, b.htod.bytes);
+        }
+        assert_eq!(
+            back.result.resident_threads.points(),
+            out.result.resident_threads.points()
+        );
+        assert_eq!(back.result.trace.spans().len(), out.result.trace.spans().len());
+        assert_eq!(back.result.device, out.result.device);
+        assert!((back.power.energy_j - out.power.energy_j).abs() < 1e-12);
+        assert_eq!(back.retries, out.retries);
+        assert_eq!(back.degraded, out.degraded);
+    }
+
+    /// A preimage mismatch (hash collision, stale key) is a miss.
+    #[test]
+    fn decode_rejects_wrong_preimage() {
+        let cfg = sample_cfg();
+        let specs = sample_specs(&cfg);
+        let pre = preimage(&cfg, &specs);
+        let out = sample_outcome(&cfg, &specs);
+        let text = encode(&pre, &out);
+        assert!(decode(&text, "something else", &cfg).is_none());
+    }
+
+    /// Truncated or corrupted entries decode to `None`, never panic.
+    #[test]
+    fn decode_rejects_truncation_and_corruption() {
+        let cfg = sample_cfg();
+        let specs = sample_specs(&cfg);
+        let pre = preimage(&cfg, &specs);
+        let out = sample_outcome(&cfg, &specs);
+        let text = encode(&pre, &out);
+        for cut in [0, 1, text.len() / 3, text.len() - 1] {
+            assert!(decode(&text[..cut], &pre, &cfg).is_none(), "cut at {cut}");
+        }
+        let garbled = text.replacen("perf", "prf", 1);
+        assert!(decode(&garbled, &pre, &cfg).is_none());
+        let stale = text.replacen("hq-scenario v1", "hq-scenario v0", 1);
+        assert!(decode(&stale, &pre, &cfg).is_none());
+    }
+
+    /// Differing seeds, devices, fault plans and schedules must all
+    /// produce distinct keys; identical inputs the same key.
+    #[test]
+    fn keys_are_structural() {
+        let cfg = sample_cfg();
+        let specs = sample_specs(&cfg);
+        assert_eq!(scenario_key(&cfg, &specs), scenario_key(&cfg.clone(), &specs));
+        assert_ne!(
+            scenario_key(&cfg, &specs),
+            scenario_key(&cfg.clone().with_seed(8), &specs)
+        );
+        let mut k40 = cfg.clone();
+        k40.device = hq_gpu::config::DeviceConfig::tesla_k40();
+        assert_ne!(scenario_key(&cfg, &specs), scenario_key(&k40, &specs));
+        let mut swapped = specs.clone();
+        swapped.swap(0, 1);
+        assert_ne!(scenario_key(&cfg, &specs), scenario_key(&cfg, &swapped));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["", "plain", "with space", "a%b", "tab\tnl\ncr\r end", "100% done"] {
+            let e = esc(s);
+            assert!(!e.contains(' ') && !e.contains('\n'), "not a token: {e:?}");
+            assert_eq!(unesc(&e).as_deref(), Some(s));
+        }
+    }
+
+    /// The memo layer serves an identical scenario without resimulating
+    /// and the counters record it.
+    #[test]
+    fn memo_hit_returns_identical_outcome() {
+        // Keep this test off the disk: memo-only mode.
+        std::env::set_var("HQ_SCENARIO_CACHE", "mem");
+        let cfg = RunConfig::concurrent(2).with_seed(0xCAFE);
+        let specs = build_schedule(
+            &pair_workload(AppKind::Needle, AppKind::Knearest, 2),
+            cfg.order,
+            cfg.seed,
+        );
+        let (h0, m0) = cache_stats();
+        let a = run_scenario(&cfg, &specs).expect("first run");
+        let b = run_scenario(&cfg, &specs).expect("second run");
+        let (h1, m1) = cache_stats();
+        std::env::remove_var("HQ_SCENARIO_CACHE");
+        assert!(m1 > m0, "first run must miss");
+        assert!(h1 > h0, "second run must hit");
+        assert_eq!(a.result.makespan, b.result.makespan);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.result.events, b.result.events);
+    }
+}

@@ -8,7 +8,8 @@
 //! artifacts and stdout are byte-identical for any `--jobs N`.
 
 use crate::experiments::*;
-use crate::util::{artifact_complete, par_map, ExperimentReport, Scale};
+use crate::scenario;
+use crate::util::{artifact_complete, load_artifact, out_dir, par_map, ExperimentReport, Scale};
 
 /// One registered experiment: a `run(scale)` entry point.
 pub type Experiment = fn(Scale) -> ExperimentReport;
@@ -81,30 +82,67 @@ pub fn run_suite(scale: Scale) -> Vec<ExperimentReport> {
 }
 
 /// Like [`run_suite`], but with `resume == true` experiments whose
-/// markdown artifact already exists in the results directory are
-/// skipped, so an interrupted run picks up where it left off instead of
-/// recomputing (artifacts are written atomically, markdown last, so an
-/// existing `.md` implies a complete report). Returns the reports that
-/// actually ran.
+/// markdown artifact already exists in the results directory are not
+/// re-executed: their saved reports are loaded back
+/// ([`load_artifact`]) so the returned list still covers the whole
+/// suite in registry order, and an interrupted run picks up where it
+/// left off instead of recomputing (artifacts are written atomically,
+/// markdown last, so an existing `.md` implies a complete report). A
+/// skipped artifact that fails to load — deleted between the check and
+/// the read, or hand-edited out of shape — is simply re-run.
 pub fn run_suite_resumable(scale: Scale, resume: bool) -> Vec<ExperimentReport> {
     let t0 = std::time::Instant::now();
+    // Registry-ordered slots: `Some(report)` for artifacts resumed from
+    // disk, `None` for experiments that still need to run.
+    let mut slots: Vec<Option<ExperimentReport>> = Vec::new();
     let mut todo = Vec::new();
-    for row in registry() {
+    for (idx, row) in registry().into_iter().enumerate() {
         let (name, id, _) = row;
-        if resume && artifact_complete(id) {
-            eprintln!("== skipping {name} (artifact {id}.md already complete) ==");
+        let loaded = if resume && artifact_complete(id) {
+            load_artifact(id)
         } else {
-            todo.push(row);
+            None
+        };
+        match loaded {
+            Some(report) => {
+                eprintln!("== skipping {name} (artifact {id}.md already complete) ==");
+                slots.push(Some(report));
+            }
+            None => {
+                slots.push(None);
+                todo.push((idx, row));
+            }
         }
     }
-    let reports = par_map(todo, |(name, _, run)| {
+    let ran = par_map(todo, |&(idx, (name, _, run))| {
         eprintln!("== running {name} (elapsed {:?}) ==", t0.elapsed());
-        run(scale)
+        let (h0, m0) = scenario::cache_stats();
+        let report = run(scale);
+        // With `--jobs > 1` the counters are process-global, so this
+        // per-experiment attribution is approximate; it is exact for
+        // serial runs, and the suite-total line below is always exact.
+        let (h1, m1) = scenario::cache_stats();
+        eprintln!(
+            "== {name}: scenario cache {} hits, {} misses ==",
+            h1 - h0,
+            m1 - m0
+        );
+        (idx, report)
     });
-    for report in &reports {
+    for (idx, report) in ran {
         report.save_and_print();
         println!();
+        slots[idx] = Some(report);
     }
+    let reports: Vec<ExperimentReport> = slots
+        .into_iter()
+        .map(|s| s.expect("every registry slot filled"))
+        .collect();
+    let (hits, misses) = scenario::cache_stats();
+    eprintln!(
+        "scenario cache: {hits} hits, {misses} misses ({})",
+        out_dir().join(".scenario-cache").display()
+    );
     eprintln!("total wall time: {:?}", t0.elapsed());
     reports
 }

@@ -93,6 +93,26 @@ pub fn artifact_complete(id: &str) -> bool {
     out_dir().join(format!("{id}.md")).exists()
 }
 
+/// Reconstruct a saved report from the results directory — the inverse
+/// of [`ExperimentReport::save_and_print`]. Resumed suite runs use this
+/// to fold skipped experiments' artifacts back into the returned report
+/// list, so a resumed summary covers the whole suite. `None` when the
+/// markdown artifact is missing or not in the saved `# title\n\nbody`
+/// shape (the caller then re-runs the experiment).
+pub fn load_artifact(id: &str) -> Option<ExperimentReport> {
+    let dir = out_dir();
+    let body = std::fs::read_to_string(dir.join(format!("{id}.md"))).ok()?;
+    let rest = body.strip_prefix("# ")?;
+    let (title, markdown) = rest.split_once("\n\n")?;
+    let csv = std::fs::read_to_string(dir.join(format!("{id}.csv"))).ok();
+    Some(ExperimentReport {
+        id: id.to_string(),
+        title: title.to_string(),
+        markdown: markdown.to_string(),
+        csv,
+    })
+}
+
 /// Results directory (override with `HQ_RESULTS`).
 pub fn out_dir() -> PathBuf {
     std::env::var("HQ_RESULTS")
@@ -225,6 +245,30 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // save_and_print/load_artifact share the results dir via HQ_RESULTS,
+    // which is process-global — keep this a single test.
+    #[test]
+    fn load_artifact_inverts_save() {
+        let dir = std::env::temp_dir().join(format!("hq_load_artifact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("HQ_RESULTS", &dir);
+        let report = ExperimentReport {
+            id: "unit_test_artifact".to_string(),
+            title: "A title: with punctuation".to_string(),
+            markdown: "body line one\n\n| a | b |\n|---|---|\n| 1 | 2 |\n".to_string(),
+            csv: Some("a,b\n1,2\n".to_string()),
+        };
+        report.save_and_print();
+        let loaded = load_artifact(&report.id).expect("artifact loads");
+        assert_eq!(loaded.id, report.id);
+        assert_eq!(loaded.title, report.title);
+        assert_eq!(loaded.markdown, report.markdown);
+        assert_eq!(loaded.csv, report.csv);
+        assert!(load_artifact("no_such_artifact").is_none());
+        std::env::remove_var("HQ_RESULTS");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! End-to-end determinism of the parallel experiment pipeline: the
 //! quick-scale suite must produce byte-identical reports and artifacts
-//! whether it runs on one worker or four. Every simulation owns its
-//! seeded RNG, and the suite runner saves in registry order, so worker
-//! count must never leak into results.
+//! whether it runs on one worker or four, and whether its simulations
+//! execute, replay from the scenario cache, or run under the online
+//! invariant auditor. Every simulation owns its seeded RNG, the suite
+//! runner saves in registry order, the cache stores exact results, and
+//! the auditor is a pure observer — so none of those axes may leak
+//! into results.
 
 use hq_bench::util::{set_jobs, Scale};
-use hq_bench::{suite, ExperimentReport};
+use hq_bench::{scenario, suite, ExperimentReport};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// All files under `dir`, name → contents.
+/// Tests in this binary run on concurrent threads but mutate
+/// process-global environment variables (`HQ_RESULTS`,
+/// `HQ_SCENARIO_CACHE`, `HQ_AUDIT`) and the jobs override; every test
+/// holds this lock for its whole body.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// All files under `dir` (top level only — the `.scenario-cache/`
+/// subdirectory is intentionally not part of the artifact surface),
+/// name → contents.
 fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut out = BTreeMap::new();
     for entry in std::fs::read_dir(dir).expect("read results dir") {
@@ -33,35 +45,105 @@ fn run_with_jobs(jobs: usize, dir: &Path) -> Vec<ExperimentReport> {
     reports
 }
 
+fn assert_reports_equal(a: &[ExperimentReport], b: &[ExperimentReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "report count diverged ({what})");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "report order diverged ({what})");
+        assert_eq!(x.markdown, y.markdown, "markdown differs for {} ({what})", x.id);
+        assert_eq!(x.csv, y.csv, "csv differs for {} ({what})", x.id);
+    }
+}
+
+fn assert_snapshots_equal(a: &BTreeMap<String, Vec<u8>>, b: &BTreeMap<String, Vec<u8>>, what: &str) {
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "artifact sets differ ({what})"
+    );
+    for (name, bytes) in a {
+        assert_eq!(Some(bytes), b.get(name), "artifact {name} differs ({what})");
+    }
+}
+
 #[test]
 #[ignore = "runs the full quick suite twice (slow in debug); exercised in release by scripts/ci.sh"]
 fn quick_suite_is_byte_identical_for_any_worker_count() {
+    let _guard = ENV_LOCK.lock();
     let base = std::env::temp_dir().join(format!("hq_determinism_{}", std::process::id()));
     let serial_dir = base.join("jobs1");
     let parallel_dir = base.join("jobs4");
 
+    // The scenario memo is process-global; flush it between runs so the
+    // parallel run re-executes (and re-caches) rather than replaying
+    // the serial run's results — this test is about worker count.
+    scenario::reset_cache();
     let serial = run_with_jobs(1, &serial_dir);
+    scenario::reset_cache();
     let parallel = run_with_jobs(4, &parallel_dir);
+    scenario::reset_cache();
 
     // In-memory reports line up one-to-one.
-    assert_eq!(serial.len(), parallel.len());
-    for (s, p) in serial.iter().zip(&parallel) {
-        assert_eq!(s.id, p.id, "report order diverged");
-        assert_eq!(s.markdown, p.markdown, "markdown differs for {}", s.id);
-        assert_eq!(s.csv, p.csv, "csv differs for {}", s.id);
-    }
+    assert_reports_equal(&serial, &parallel, "jobs=1 vs jobs=4");
 
     // Saved artifacts (markdown + CSV files) are byte-identical.
-    let a = snapshot(&serial_dir);
-    let b = snapshot(&parallel_dir);
-    assert_eq!(
-        a.keys().collect::<Vec<_>>(),
-        b.keys().collect::<Vec<_>>(),
-        "artifact sets differ"
+    assert_snapshots_equal(
+        &snapshot(&serial_dir),
+        &snapshot(&parallel_dir),
+        "jobs=1 vs jobs=4",
     );
-    for (name, bytes) in &a {
-        assert_eq!(Some(bytes), b.get(name), "artifact {name} differs");
-    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The PR 4 acceptance axis: a cold cached run, a fully warm cached
+/// run, an uncached run and an audited run of the quick suite must all
+/// produce byte-identical artifacts and reports. The cache must be
+/// invisible in results (exact replay, not approximation) and the
+/// auditor must be a pure observer.
+#[test]
+#[ignore = "runs the full quick suite four times (slow in debug); exercised in release by scripts/ci.sh"]
+fn quick_suite_is_byte_identical_across_cache_and_audit_modes() {
+    let _guard = ENV_LOCK.lock();
+    let base = std::env::temp_dir().join(format!("hq_cache_determinism_{}", std::process::id()));
+    let cold_dir = base.join("cold");
+    let warm_dir = base.join("warm");
+    let off_dir = base.join("uncached");
+    let audit_dir = base.join("audited");
+
+    // Cold: default cache mode, empty memo and (fresh dir) empty disk
+    // cache. This run populates both.
+    scenario::reset_cache();
+    let cold = run_with_jobs(1, &cold_dir);
+
+    // Warm: same process, memo still populated — every simulation must
+    // replay from the cache.
+    let (h0, m0) = scenario::cache_stats();
+    let warm = run_with_jobs(1, &warm_dir);
+    let (h1, m1) = scenario::cache_stats();
+    assert_eq!(m1, m0, "warm run re-simulated {} scenarios", m1 - m0);
+    assert!(h1 > h0, "warm run never consulted the cache");
+
+    // Uncached: the cache is disabled outright.
+    std::env::set_var("HQ_SCENARIO_CACHE", "off");
+    scenario::reset_cache();
+    let uncached = run_with_jobs(1, &off_dir);
+
+    // Audited: every simulation runs under the online invariant
+    // auditor (still uncached, so the auditor actually executes).
+    std::env::set_var("HQ_AUDIT", "1");
+    let audited = run_with_jobs(1, &audit_dir);
+    std::env::remove_var("HQ_AUDIT");
+    std::env::remove_var("HQ_SCENARIO_CACHE");
+    scenario::reset_cache();
+
+    assert_reports_equal(&cold, &warm, "cold vs warm cache");
+    assert_reports_equal(&cold, &uncached, "cached vs uncached");
+    assert_reports_equal(&cold, &audited, "plain vs audited");
+
+    let cold_snap = snapshot(&cold_dir);
+    assert_snapshots_equal(&cold_snap, &snapshot(&warm_dir), "cold vs warm cache");
+    assert_snapshots_equal(&cold_snap, &snapshot(&off_dir), "cached vs uncached");
+    assert_snapshots_equal(&cold_snap, &snapshot(&audit_dir), "plain vs audited");
 
     std::fs::remove_dir_all(&base).ok();
 }

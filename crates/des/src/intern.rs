@@ -1,0 +1,126 @@
+//! String interning for hot-path labels.
+//!
+//! The simulator's inner loop used to clone a `String` label for every
+//! device operation it enqueued, activated or completed. [`Interner`]
+//! replaces those clones with [`Symbol`] — a `Copy` u32 handle into a
+//! per-simulation string table. Labels are interned once when a program
+//! is compiled into the simulator and resolved back to `&str` only at
+//! the result boundary (trace spans, error messages, per-app stats), so
+//! every artifact stays byte-identical while the hot path moves no
+//! heap memory at all.
+//!
+//! The table is append-only: a symbol, once handed out, stays valid for
+//! the interner's lifetime, and interning the same string twice returns
+//! the same symbol. Lookup is a single `HashMap` probe on the *intern*
+//! side (cold: once per program op at compile time) and a `Vec` index
+//! on the *resolve* side (hot, but only on boundary paths).
+
+use std::collections::HashMap;
+
+/// A handle to an interned string (index into the [`Interner`] table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw table index (for tests and diagnostics).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a symbol from a raw index. The caller must only pass
+    /// values obtained from [`Symbol::raw`] on the same interner.
+    pub fn from_raw(raw: u32) -> Self {
+        Symbol(raw)
+    }
+}
+
+/// An append-only string table handing out stable [`Symbol`] handles.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning the existing symbol when the string was
+    /// seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&ix) = self.index.get(s) {
+            return Symbol(ix);
+        }
+        let ix = u32::try_from(self.strings.len()).expect("interner table overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, ix);
+        Symbol(ix)
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics when `sym` did not come from this interner (index out of
+    /// range) — mixing tables is a logic error, not a recoverable state.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let mut t = Interner::new();
+        let a = t.intern("gaussian#0");
+        let b = t.intern("needle#1");
+        let a2 = t.intern("gaussian#0");
+        assert_eq!(a, a2, "same string, same symbol");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "gaussian#0");
+        assert_eq!(t.resolve(b), "needle#1");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_string_and_unicode_round_trip() {
+        let mut t = Interner::new();
+        let e = t.intern("");
+        let u = t.intern("Fan2 ∘ αβγ — ’quoted’");
+        assert_eq!(t.resolve(e), "");
+        assert_eq!(t.resolve(u), "Fan2 ∘ αβγ — ’quoted’");
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let mut t = Interner::new();
+        let s = t.intern("x");
+        assert_eq!(Symbol::from_raw(s.raw()), s);
+    }
+
+    #[test]
+    fn symbols_are_dense_from_zero() {
+        let mut t = Interner::new();
+        assert!(t.is_empty());
+        for i in 0..100u32 {
+            let s = t.intern(&format!("label-{i}"));
+            assert_eq!(s.raw(), i, "append-only dense indices");
+        }
+        assert_eq!(t.len(), 100);
+    }
+}

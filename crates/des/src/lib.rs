@@ -31,6 +31,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod intern;
 pub mod observe;
 pub mod record;
 pub mod rng;
@@ -39,12 +40,14 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, EventQueue, QueueStats};
+pub use intern::{Interner, Symbol};
 pub use rng::DetRng;
 pub use time::{Dur, SimTime};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{EventId, EventQueue, QueueStats};
+    pub use crate::intern::{Interner, Symbol};
     pub use crate::observe::TransitionRing;
     pub use crate::record::{TimeSeries, Utilization};
     pub use crate::rng::DetRng;

@@ -110,6 +110,20 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Rebuild a series from previously recorded change points (the
+    /// [`TimeSeries::points`] output). Unlike [`TimeSeries::set`] this
+    /// applies no overwrite/dedup normalization, so a recorded series
+    /// round-trips bit-exactly — which is what a persisted-results
+    /// cache needs. Panics in debug builds if `points` is not in
+    /// non-decreasing time order.
+    pub fn from_points(points: Vec<(SimTime, f64)>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "TimeSeries points out of order"
+        );
+        TimeSeries { points }
+    }
+
     /// Sample the step function at a fixed period over `[a, b)`,
     /// mimicking a polling sensor such as NVML (paper: 15 ms period,
     /// oversampled at 66.7 Hz).

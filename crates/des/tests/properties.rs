@@ -259,4 +259,39 @@ proptest! {
         let tol = (1.0 / k).max(1.0).ceil() as u128 + 1;
         prop_assert!(err <= tol, "roundtrip {ns} -> {} (err {err}, tol {tol})", back.as_ns());
     }
+
+    /// Interning arbitrary label strings (arbitrary Unicode, duplicates
+    /// included) round-trips every one of them through its `Symbol`,
+    /// and equal strings always map to equal symbols.
+    #[test]
+    fn symbol_round_trips_arbitrary_labels(
+        codes in proptest::collection::vec(
+            proptest::collection::vec(0u32..0x11_0000, 0..24),
+            1..64,
+        ),
+    ) {
+        let labels: Vec<String> = codes
+            .iter()
+            .map(|cs| {
+                cs.iter()
+                    .filter_map(|&c| char::from_u32(c)) // skip surrogates
+                    .collect()
+            })
+            .collect();
+        let mut table = Interner::new();
+        let symbols: Vec<Symbol> = labels.iter().map(|l| table.intern(l)).collect();
+        for (label, &sym) in labels.iter().zip(&symbols) {
+            prop_assert_eq!(table.resolve(sym), label.as_str());
+            // Raw index round-trip preserves identity.
+            prop_assert_eq!(table.resolve(Symbol::from_raw(sym.raw())), label.as_str());
+        }
+        // Equal strings intern to the same symbol; distinct strings to
+        // distinct symbols.
+        for (i, a) in labels.iter().enumerate() {
+            for (j, b) in labels.iter().enumerate() {
+                prop_assert_eq!(a == b, symbols[i] == symbols[j], "labels {} vs {}", i, j);
+            }
+        }
+        prop_assert!(table.len() <= labels.len());
+    }
 }

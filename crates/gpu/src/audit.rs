@@ -35,7 +35,7 @@
 use crate::config::{DeviceConfig, SmxLimits};
 use crate::fault::FaultKind;
 use crate::gmu::ResourceTotals;
-use crate::kernel::KernelDesc;
+use crate::kernel::KernelInfo;
 use crate::types::{AppId, Dir, GridId, MutexId, OpId, StreamId};
 use hq_des::observe::TransitionRing;
 use hq_des::time::SimTime;
@@ -237,8 +237,10 @@ impl Auditor {
         s.ring.push(now, format!("{stream}: complete {op}"));
     }
 
-    /// A kernel launch activated and registered grid `gid`.
-    pub fn on_grid_launch(&mut self, now: SimTime, gid: GridId, desc: &KernelDesc) {
+    /// A kernel launch activated and registered grid `gid`. `name` is
+    /// the kernel name already resolved from the simulator's interner so
+    /// the transition ring renders strings, not raw symbol ids.
+    pub fn on_grid_launch(&mut self, now: SimTime, gid: GridId, name: &str, desc: &KernelInfo) {
         let Some(s) = self.state() else { return };
         if gid.index() != s.grids.len() {
             s.violation(
@@ -256,7 +258,7 @@ impl Auditor {
             closed: None,
         });
         s.ring
-            .push(now, format!("{gid}: launch '{}' ({} blocks)", desc.name, desc.blocks()));
+            .push(now, format!("{gid}: launch '{name}' ({} blocks)", desc.blocks()));
     }
 
     /// `n` blocks of `gid` were placed on SMX `si` as group `token`.
@@ -266,7 +268,7 @@ impl Auditor {
         si: usize,
         token: u64,
         gid: GridId,
-        desc: &KernelDesc,
+        desc: &KernelInfo,
         n: u32,
     ) {
         let Some(s) = self.state() else { return };
@@ -651,8 +653,9 @@ mod tests {
         SimTime::from_ns(ns)
     }
 
-    fn desc(blocks: u32, tpb: u32) -> KernelDesc {
-        KernelDesc::new("k", blocks, tpb, Dur::from_us(10))
+    fn desc(blocks: u32, tpb: u32) -> KernelInfo {
+        crate::kernel::KernelDesc::new("k", blocks, tpb, Dur::from_us(10))
+            .compile(&mut hq_des::intern::Interner::new())
     }
 
     #[test]
@@ -672,7 +675,7 @@ mod tests {
         let d = desc(4, 128);
         a.on_event(t(0), || "ev".into());
         a.on_enqueue(t(0), StreamId(0), OpId(0));
-        a.on_grid_launch(t(1), GridId(0), &d);
+        a.on_grid_launch(t(1), GridId(0), "k", &d);
         a.on_dispatch(t(2), 0, 1, GridId(0), &d, 4);
         a.on_group_complete(t(10), 0, 1);
         a.on_grid_finished(t(10), GridId(0));
@@ -695,7 +698,7 @@ mod tests {
     fn residency_overflow_is_caught_with_culprit() {
         let mut a = auditor();
         let d = desc(64, 256); // 8 blocks of 256 threads fill one SMX
-        a.on_grid_launch(t(0), GridId(0), &d);
+        a.on_grid_launch(t(0), GridId(0), "k", &d);
         a.on_dispatch(t(1), 3, 1, GridId(0), &d, 8);
         assert!(!a.tripped());
         a.on_dispatch(t(1), 3, 2, GridId(0), &d, 1); // 2304 threads > 2048
@@ -710,7 +713,7 @@ mod tests {
     fn double_completion_is_caught() {
         let mut a = auditor();
         let d = desc(4, 128);
-        a.on_grid_launch(t(0), GridId(0), &d);
+        a.on_grid_launch(t(0), GridId(0), "k", &d);
         a.on_dispatch(t(1), 0, 7, GridId(0), &d, 4);
         a.on_group_complete(t(5), 0, 7);
         assert!(!a.tripped());
@@ -766,7 +769,7 @@ mod tests {
     fn kill_must_reclaim_residency() {
         let mut a = auditor();
         let d = desc(8, 128);
-        a.on_grid_launch(t(0), GridId(0), &d);
+        a.on_grid_launch(t(0), GridId(0), "k", &d);
         a.on_dispatch(t(1), 0, 1, GridId(0), &d, 8);
         // Kill without evicting the group first: incomplete reclaim.
         a.on_grid_killed(t(2), GridId(0), FaultKind::KernelHang);
@@ -796,7 +799,7 @@ mod tests {
         let mut a = auditor();
         let d = desc(4, 128);
         a.on_enqueue(t(0), StreamId(0), OpId(0));
-        a.on_grid_launch(t(0), GridId(0), &d);
+        a.on_grid_launch(t(0), GridId(0), "k", &d);
         a.on_dispatch(t(1), 0, 1, GridId(0), &d, 4);
         a.finalize(t(2));
         assert!(a.tripped());

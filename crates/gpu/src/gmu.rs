@@ -19,7 +19,7 @@
 
 use crate::config::DeviceConfig;
 use crate::fault::GridFault;
-use crate::kernel::KernelDesc;
+use crate::kernel::KernelInfo;
 use crate::types::{GridId, OpId, StreamId};
 use hq_des::engine::EventId;
 use hq_des::time::SimTime;
@@ -51,8 +51,8 @@ pub struct Grid {
     pub op: OpId,
     /// Stream the kernel was launched on.
     pub stream: StreamId,
-    /// Launch descriptor.
-    pub desc: KernelDesc,
+    /// Compiled launch descriptor (`Copy`; the kernel name is interned).
+    pub desc: KernelInfo,
     /// Hardware work queue index.
     pub hwq: usize,
     /// Blocks not yet dispatched to an SMX.
@@ -98,7 +98,7 @@ pub struct ResourceTotals {
 
 impl ResourceTotals {
     /// Resource request of an entire grid.
-    pub fn of_grid(desc: &KernelDesc) -> Self {
+    pub fn of_grid(desc: &KernelInfo) -> Self {
         let blocks = desc.blocks() as u64;
         ResourceTotals {
             blocks,
@@ -183,7 +183,7 @@ impl Gmu {
     /// Register a newly activated kernel launch. Returns the grid id
     /// and whether it landed at the head of its hardware queue (and
     /// should begin the launch-latency countdown).
-    pub fn push_grid(&mut self, op: OpId, stream: StreamId, desc: KernelDesc) -> (GridId, bool) {
+    pub fn push_grid(&mut self, op: OpId, stream: StreamId, desc: KernelInfo) -> (GridId, bool) {
         let id = GridId(self.grids.len() as u32);
         let hwq = self.queue_for_stream(stream);
         let blocks = desc.blocks();
@@ -230,10 +230,12 @@ impl Gmu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelDesc;
+    use hq_des::intern::Interner;
     use hq_des::time::Dur;
 
-    fn desc(blocks: u32, tpb: u32) -> KernelDesc {
-        KernelDesc::new("k", blocks, tpb, Dur::from_us(1))
+    fn desc(blocks: u32, tpb: u32) -> KernelInfo {
+        KernelDesc::new("k", blocks, tpb, Dur::from_us(1)).compile(&mut Interner::new())
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! stream synchronization or on a mutex (FIFO wakeup — the fairness the
 //! paper's pseudo-burst transfer mechanism relies on).
 
-use crate::program::Program;
+use crate::program::CompiledProgram;
 use crate::types::{AppId, MutexId, StreamId};
 use hq_des::time::SimTime;
 use std::collections::VecDeque;
@@ -35,8 +35,8 @@ pub struct HostThread {
     pub app: AppId,
     /// Stream all of this application's device ops target.
     pub stream: StreamId,
-    /// The program being executed.
-    pub program: Program,
+    /// The compiled program being executed (labels interned, ops `Copy`).
+    pub program: CompiledProgram,
     /// Index of the next op to execute.
     pub pc: usize,
     /// Current run state.
@@ -52,7 +52,7 @@ pub struct HostThread {
 
 impl HostThread {
     /// New thread in the `NotStarted` state.
-    pub fn new(app: AppId, stream: StreamId, program: Program) -> Self {
+    pub fn new(app: AppId, stream: StreamId, program: CompiledProgram) -> Self {
         HostThread {
             app,
             stream,
@@ -172,7 +172,12 @@ mod tests {
 
     #[test]
     fn host_thread_initial_state() {
-        let p = Program::builder("x").host_work(Dur::from_us(1)).build();
+        use crate::program::Program;
+        let mut table = hq_des::intern::Interner::new();
+        let p = Program::builder("x")
+            .host_work(Dur::from_us(1))
+            .build()
+            .compile(&mut table);
         let t = HostThread::new(AppId(3), StreamId(1), p);
         assert_eq!(t.state, HostState::NotStarted);
         assert!(!t.is_done());

@@ -1,5 +1,6 @@
 //! Kernel launch descriptors and per-block resource arithmetic.
 
+use hq_des::intern::{Interner, Symbol};
 use hq_des::time::Dur;
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +123,80 @@ impl KernelDesc {
     pub fn total_threads(&self) -> u64 {
         self.blocks() as u64 * self.threads_per_block() as u64
     }
+
+    /// Compile into the `Copy` form used inside the simulator, interning
+    /// the kernel name into `table`.
+    pub fn compile(&self, table: &mut Interner) -> KernelInfo {
+        KernelInfo {
+            name: table.intern(&self.name),
+            grid: self.grid,
+            block: self.block,
+            regs_per_thread: self.regs_per_thread,
+            smem_per_block: self.smem_per_block,
+            work_per_block: self.work_per_block,
+        }
+    }
+}
+
+/// The compiled, `Copy` form of [`KernelDesc`] used on the simulator's
+/// hot path: identical geometry and resource fields, but the kernel name
+/// is a [`Symbol`] into the per-simulation [`Interner`], so activating,
+/// dispatching and retiring a grid moves no heap memory. Resolve the
+/// name back to a string only at the result boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelInfo {
+    /// Interned kernel name.
+    pub name: Symbol,
+    /// Grid dimensions (number of thread blocks per axis).
+    pub grid: Dim3,
+    /// Block dimensions (threads per axis).
+    pub block: Dim3,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, in bytes.
+    pub smem_per_block: u32,
+    /// Nominal single-block execution time at full issue rate.
+    pub work_per_block: Dur,
+}
+
+impl KernelInfo {
+    /// Builder-style register requirement.
+    pub fn with_regs(mut self, regs_per_thread: u32) -> Self {
+        self.regs_per_thread = regs_per_thread;
+        self
+    }
+
+    /// Builder-style shared-memory requirement.
+    pub fn with_smem(mut self, smem_per_block: u32) -> Self {
+        self.smem_per_block = smem_per_block;
+        self
+    }
+
+    /// Total thread blocks in the grid.
+    pub fn blocks(&self) -> u32 {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count()
+    }
+
+    /// Warps per block (threads rounded up to warp granularity).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(32)
+    }
+
+    /// Registers required by one block (warp-granular, as in
+    /// [`KernelDesc::regs_per_block`]).
+    pub fn regs_per_block(&self) -> u32 {
+        self.warps_per_block() * 32 * self.regs_per_thread
+    }
+
+    /// Total threads across the whole grid.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks() as u64 * self.threads_per_block() as u64
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +245,21 @@ mod tests {
         let k = KernelDesc::new("k", 1u32, 33u32, Dur::from_us(1)).with_regs(40);
         // 2 warps × 32 threads × 40 regs
         assert_eq!(k.regs_per_block(), 2 * 32 * 40);
+    }
+
+    #[test]
+    fn compile_preserves_geometry_and_interns_name() {
+        let mut table = Interner::new();
+        let k = KernelDesc::new("Fan2", (32, 32), (16, 16), Dur::from_us(3)).with_regs(20);
+        let i = k.compile(&mut table);
+        assert_eq!(table.resolve(i.name), "Fan2");
+        assert_eq!(i.blocks(), k.blocks());
+        assert_eq!(i.threads_per_block(), k.threads_per_block());
+        assert_eq!(i.warps_per_block(), k.warps_per_block());
+        assert_eq!(i.regs_per_block(), k.regs_per_block());
+        assert_eq!(i.total_threads(), k.total_threads());
+        // Compiling the same kernel twice reuses the symbol.
+        assert_eq!(k.compile(&mut table).name, i.name);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! simulated host thread, each call paying the configured driver
 //! overhead before its operation is enqueued.
 
-use crate::kernel::KernelDesc;
+use crate::kernel::{KernelDesc, KernelInfo};
 use crate::types::{Dir, MutexId};
+use hq_des::intern::{Interner, Symbol};
 use hq_des::time::Dur;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,73 @@ impl Program {
         ops.append(&mut self.ops);
         self.ops = ops;
         self
+    }
+}
+
+/// One compiled host op: the `Copy` form of [`HostOp`] executed by the
+/// simulator's host-step loop. Trace labels are pre-interned (including
+/// the `"{label} {dir}"` suffix copies carry in the timeline), so
+/// stepping a program clones nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum COp {
+    /// `cudaMemcpyAsync`; `label` is the full interned trace label.
+    Memcpy {
+        /// Transfer direction.
+        dir: Dir,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Interned trace label (`"{buffer} {dir}"`).
+        label: Symbol,
+    },
+    /// Kernel launch with a compiled descriptor.
+    Launch(KernelInfo),
+    /// `cudaStreamSynchronize`.
+    Sync,
+    /// Pure host-side computation.
+    HostWork(Dur),
+    /// Acquire a host mutex.
+    Lock(MutexId),
+    /// Release a host mutex.
+    Unlock(MutexId),
+}
+
+/// A [`Program`] compiled against a per-simulation [`Interner`]: every
+/// label is a [`Symbol`] and every op is `Copy`.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Interned application label.
+    pub label: Symbol,
+    /// Compiled ops, in program order.
+    pub ops: Vec<COp>,
+    /// Device memory footprint (see [`Program::device_bytes`]).
+    pub device_bytes: u64,
+}
+
+impl Program {
+    /// Compile this program for execution, interning all labels into
+    /// `table`. The simulator calls this once per added application.
+    pub fn compile(&self, table: &mut Interner) -> CompiledProgram {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                HostOp::MemcpyAsync { dir, bytes, label } => COp::Memcpy {
+                    dir: *dir,
+                    bytes: *bytes,
+                    label: table.intern(&format!("{label} {dir}")),
+                },
+                HostOp::LaunchKernel { kernel } => COp::Launch(kernel.compile(table)),
+                HostOp::StreamSync => COp::Sync,
+                HostOp::HostWork { dur } => COp::HostWork(*dur),
+                HostOp::MutexLock(m) => COp::Lock(*m),
+                HostOp::MutexUnlock(m) => COp::Unlock(*m),
+            })
+            .collect();
+        CompiledProgram {
+            label: table.intern(&self.label),
+            ops,
+            device_bytes: self.device_bytes,
+        }
     }
 }
 
@@ -278,6 +346,33 @@ mod tests {
         let before = p.clone();
         let after = p.with_htod_mutex(MutexId(0), true);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn compile_interns_labels_and_preserves_structure() {
+        let mut table = Interner::new();
+        let p = Program::builder("gaussian#0")
+            .htod(1024, "a")
+            .launch(k("Fan1"))
+            .dtoh(512, "m")
+            .build()
+            .compile(&mut table);
+        assert_eq!(table.resolve(p.label), "gaussian#0");
+        assert_eq!(p.ops.len(), 4);
+        match p.ops[0] {
+            COp::Memcpy { dir, bytes, label } => {
+                assert_eq!(dir, Dir::HtoD);
+                assert_eq!(bytes, 1024);
+                // The trace-ready label includes the direction suffix.
+                assert_eq!(table.resolve(label), "a HtoD");
+            }
+            ref other => panic!("expected Memcpy, got {other:?}"),
+        }
+        match p.ops[1] {
+            COp::Launch(info) => assert_eq!(table.resolve(info.name), "Fan1"),
+            ref other => panic!("expected Launch, got {other:?}"),
+        }
+        assert_eq!(p.ops[3], COp::Sync);
     }
 
     #[test]

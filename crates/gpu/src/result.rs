@@ -293,7 +293,7 @@ pub struct SimPerf {
 }
 
 /// Complete output of one simulation run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SimResult {
     /// Device configuration the run used.
     pub device: DeviceConfig,

@@ -29,8 +29,8 @@ use crate::dma::Engine;
 use crate::fault::{FaultKind, FaultPlan, FaultState, GridFault};
 use crate::gmu::{Gmu, GridState, ResourceTotals};
 use crate::host::{HostState, HostThread, SimMutex};
-use crate::kernel::KernelDesc;
-use crate::program::{HostOp, Program};
+use crate::kernel::KernelInfo;
+use crate::program::{COp, Program};
 use crate::result::{AppOutcome, AppStats, FaultCounters, SimError, SimPerf, SimResult};
 use crate::smx::Smx;
 use crate::stream::Stream;
@@ -59,21 +59,26 @@ enum Ev {
     WatchdogFire { grid: GridId, mark: u32 },
 }
 
-/// Device-side operation kinds held in the op arena.
-#[derive(Debug)]
+/// Device-side operation kinds held in the op arena. `Copy` all the way
+/// down: a kernel op embeds its compiled descriptor by value.
+#[derive(Debug, Clone, Copy)]
 enum OpKind {
     Copy { dir: Dir, bytes: u64 },
-    Kernel { desc: KernelDesc },
+    Kernel { desc: KernelInfo },
 }
 
-#[derive(Debug)]
+/// One device op in the arena — fully `Copy`, so enqueueing, activating
+/// and completing ops never touches the heap (the arena `Vec` itself
+/// grows amortized, like a slab).
+#[derive(Debug, Clone, Copy)]
 struct OpState {
     app: AppId,
     stream: StreamId,
     /// Global host-issue sequence number (engine service order).
     seq: u64,
     kind: OpKind,
-    label: String,
+    /// Interned trace label; resolved to a string only at boundaries.
+    label: Symbol,
 }
 
 /// The simulator. See the module docs for an end-to-end example.
@@ -91,6 +96,10 @@ pub struct GpuSim {
     threads: Vec<HostThread>,
     mutexes: Vec<SimMutex>,
     stats: Vec<AppStats>,
+    /// Per-simulation string table: program, buffer and kernel labels
+    /// are interned at [`GpuSim::add_app`] time and flow through the
+    /// event loop as `Copy` [`Symbol`]s.
+    interner: Interner,
     trace: TraceLog,
     resident_threads: TimeSeries,
     active_smx: TimeSeries,
@@ -106,6 +115,18 @@ pub struct GpuSim {
     // hot path performs no allocations once they reach steady size.
     scratch_fits: Vec<(usize, u32)>,
     scratch_touched: Vec<usize>,
+    /// Incrementally maintained occupancy totals (threads resident on
+    /// the device, SMX units with at least one resident block), so the
+    /// per-event occupancy sample is two pushes instead of a sweep over
+    /// the whole SMX array.
+    occ_threads: u32,
+    occ_active: usize,
+    /// True when a grid entered `gmu.dispatchable` since the last full
+    /// dispatcher sweep. A full sweep leaves every still-dispatchable
+    /// grid fitting on *no* SMX, so later sweeps may restrict their
+    /// scan to the one SMX that freed residency — unless a fresh grid
+    /// (which was never scanned) arrived in between.
+    dispatch_fresh: bool,
 }
 
 /// Deliberate invariant-breaking hooks for the auditor's mutation
@@ -151,6 +172,7 @@ impl GpuSim {
             threads: Vec::new(),
             mutexes: Vec::new(),
             stats: Vec::new(),
+            interner: Interner::new(),
             trace: if trace {
                 TraceLog::enabled()
             } else {
@@ -168,6 +190,9 @@ impl GpuSim {
             sabotage: Sabotage::None,
             scratch_fits: Vec::new(),
             scratch_touched: Vec::new(),
+            occ_threads: 0,
+            occ_active: 0,
+            dispatch_fresh: false,
         }
     }
 
@@ -230,7 +255,9 @@ impl GpuSim {
         let app = AppId(self.threads.len() as u32);
         self.stats
             .push(AppStats::new(app, program.label.clone(), stream));
-        self.threads.push(HostThread::new(app, stream, program));
+        // Compile once: every label becomes a `Symbol`, every op `Copy`.
+        let compiled = program.compile(&mut self.interner);
+        self.threads.push(HostThread::new(app, stream, compiled));
         app
     }
 
@@ -257,7 +284,7 @@ impl GpuSim {
             {
                 let requested: u64 = self.threads.iter().map(|t| t.program.device_bytes).sum();
                 return Err(SimError::DeviceMemoryExceeded {
-                    app: t.program.label.clone(),
+                    app: self.interner.resolve(t.program.label).to_string(),
                     app_requested: t.program.device_bytes,
                     requested,
                     capacity: self.dev.device_mem_bytes,
@@ -368,18 +395,21 @@ impl GpuSim {
     /// Diagnostic line for a thread that never finished: names the mutex
     /// (and its current holder) or the stream the thread is stuck on.
     fn describe_stuck(&self, t: &HostThread) -> String {
+        // Labels are interned: resolve them so diagnostics name culprits
+        // by string, never by raw symbol id.
+        let label = self.interner.resolve(t.program.label);
         match t.state {
             HostState::BlockedOnMutex(m) => {
                 let holder = match self.mutexes[m.index()].holder() {
-                    Some(h) => self.threads[h.index()].program.label.clone(),
-                    None => "nobody".to_string(),
+                    Some(h) => self.interner.resolve(self.threads[h.index()].program.label),
+                    None => "nobody",
                 };
-                format!("{} (blocked on {m} held by {holder})", t.program.label)
+                format!("{label} (blocked on {m} held by {holder})")
             }
             HostState::BlockedOnSync => {
-                format!("{} (blocked syncing {})", t.program.label, t.stream)
+                format!("{label} (blocked syncing {})", t.stream)
             }
-            _ => format!("{} ({:?})", t.program.label, t.state),
+            _ => format!("{label} ({:?})", t.state),
         }
     }
 
@@ -431,27 +461,29 @@ impl GpuSim {
             self.finish_thread(app);
             return;
         }
-        let op = self.threads[idx].program.ops[self.threads[idx].pc].clone();
+        // Ops are `Copy`: stepping a program clones nothing (the trace
+        // label for copies was pre-interned at compile time, direction
+        // suffix included).
+        let op = self.threads[idx].program.ops[self.threads[idx].pc];
         match op {
-            HostOp::HostWork { dur } => {
+            COp::HostWork(dur) => {
                 self.threads[idx].pc += 1;
                 let jit = self.jitter();
                 self.q.schedule_in(dur + jit, Ev::HostResume(app));
             }
-            HostOp::MemcpyAsync { dir, bytes, label } => {
-                self.enqueue_device_op(app, OpKind::Copy { dir, bytes }, format!("{label} {dir}"));
+            COp::Memcpy { dir, bytes, label } => {
+                self.enqueue_device_op(app, OpKind::Copy { dir, bytes }, label);
                 self.threads[idx].pc += 1;
                 let cost = self.host.driver_call_overhead + self.jitter();
                 self.q.schedule_in(cost, Ev::HostResume(app));
             }
-            HostOp::LaunchKernel { kernel } => {
-                let label = kernel.name.clone();
-                self.enqueue_device_op(app, OpKind::Kernel { desc: kernel }, label);
+            COp::Launch(kernel) => {
+                self.enqueue_device_op(app, OpKind::Kernel { desc: kernel }, kernel.name);
                 self.threads[idx].pc += 1;
                 let cost = self.host.driver_call_overhead + self.jitter();
                 self.q.schedule_in(cost, Ev::HostResume(app));
             }
-            HostOp::StreamSync => {
+            COp::Sync => {
                 let stream = self.threads[idx].stream;
                 if self.streams[stream.index()].add_sync_waiter(app) {
                     self.threads[idx].state = HostState::BlockedOnSync;
@@ -461,7 +493,7 @@ impl GpuSim {
                     self.q.schedule_in(cost, Ev::HostResume(app));
                 }
             }
-            HostOp::MutexLock(m) => {
+            COp::Lock(m) => {
                 let granted = self.mutexes[m.index()].lock(app);
                 self.audit.on_mutex_lock(self.q.now(), m, app, granted);
                 if granted {
@@ -472,7 +504,7 @@ impl GpuSim {
                     self.threads[idx].state = HostState::BlockedOnMutex(m);
                 }
             }
-            HostOp::MutexUnlock(m) => {
+            COp::Unlock(m) => {
                 let next = self.mutexes[m.index()].unlock(app);
                 self.audit.on_mutex_unlock(self.q.now(), m, app, next);
                 if let Some(next) = next {
@@ -538,7 +570,7 @@ impl GpuSim {
     // Device-op plumbing
     // ------------------------------------------------------------------
 
-    fn enqueue_device_op(&mut self, app: AppId, kind: OpKind, label: String) {
+    fn enqueue_device_op(&mut self, app: AppId, kind: OpKind, label: Symbol) {
         let stream = self.threads[app.index()].stream;
         let op = OpId(self.ops.len() as u32);
         let seq = self.enq_seq;
@@ -601,14 +633,14 @@ impl GpuSim {
                 self.kick_engine(dir);
             }
             OpKind::Kernel { desc } => {
-                let desc = desc.clone();
+                let desc = *desc;
                 let stream = o.stream;
                 let app = o.app;
                 let fate = self.faults.next_kernel_fate(app, desc.blocks());
                 let (gid, at_head) = self.gmu.push_grid(op, stream, desc);
                 self.gmu.grids[gid.index()].fault = fate;
                 self.audit
-                    .on_grid_launch(now, gid, &self.gmu.grids[gid.index()].desc);
+                    .on_grid_launch(now, gid, self.interner.resolve(desc.name), &desc);
                 if at_head {
                     self.gmu.grids[gid.index()].state = GridState::Launching;
                     self.q
@@ -636,7 +668,12 @@ impl GpuSim {
         let now = self.q.now();
         let progress = self.engines[dir.index()].finish_current(now, &mut self.enq_seq);
         self.audit.on_copy_finish(now, dir, progress.op);
-        let Self { ops, trace, .. } = &mut *self;
+        let Self {
+            ops,
+            trace,
+            interner,
+            ..
+        } = &mut *self;
         let o = &ops[progress.op.index()];
         let (app, stream) = (o.app, o.stream);
         let kind = match dir {
@@ -646,7 +683,7 @@ impl GpuSim {
         // Pass the label as `&str`: `TraceLog::record` only allocates a
         // `String` when tracing is enabled, and copy completions are a
         // per-event hot path in traceless sweeps.
-        trace.record(stream.0, kind, o.label.as_str(), progress.started, now);
+        trace.record(stream.0, kind, interner.resolve(o.label), progress.started, now);
         self.stats[app.index()]
             .transfers_mut(dir)
             .note_service(progress.started, now);
@@ -668,7 +705,7 @@ impl GpuSim {
     fn on_copy_fault(&mut self, op: OpId) {
         let now = self.q.now();
         let o = &self.ops[op.index()];
-        let (app, stream, label) = (o.app, o.stream, o.label.clone());
+        let (app, stream, label) = (o.app, o.stream, o.label);
         let dir = match o.kind {
             OpKind::Copy { dir, .. } => dir,
             _ => unreachable!("copy fault for non-copy op"),
@@ -678,8 +715,11 @@ impl GpuSim {
             Dir::HtoD => SpanKind::CopyHtoD,
             Dir::DtoH => SpanKind::CopyDtoH,
         };
-        self.trace
-            .record(stream.0, kind, format!("{label} !copy-fail"), start, now);
+        if self.trace.is_enabled() {
+            let label = self.interner.resolve(label);
+            self.trace
+                .record(stream.0, kind, format!("{label} !copy-fail"), start, now);
+        }
         self.fault_stats.copy_faults += 1;
         self.fail_app(app, FaultKind::CopyFail);
         self.streams[stream.index()].poison(FaultKind::CopyFail);
@@ -737,7 +777,10 @@ impl GpuSim {
         }
         self.arm_watchdog(gid);
         match self.dev.admission {
-            AdmissionPolicy::Lazy => self.gmu.dispatchable.push_back(gid),
+            AdmissionPolicy::Lazy => {
+                self.gmu.dispatchable.push_back(gid);
+                self.dispatch_fresh = true;
+            }
             AdmissionPolicy::ConservativeFit => {
                 self.admission_wait.push_back(gid);
                 self.try_admit();
@@ -761,6 +804,7 @@ impl GpuSim {
                 self.gmu.grids[gid.index()].admitted = true;
                 self.admission_wait.pop_front();
                 self.gmu.dispatchable.push_back(gid);
+                self.dispatch_fresh = true;
             } else {
                 break;
             }
@@ -770,6 +814,32 @@ impl GpuSim {
     /// The LEFTOVER dispatcher: walk dispatchable grids in admission
     /// order, packing blocks onto SMXs until resources are exhausted.
     fn dispatch(&mut self) {
+        self.dispatch_fresh = false;
+        self.dispatch_on(None);
+    }
+
+    /// Dispatcher sweep restricted to the one SMX that just freed
+    /// residency. Placement never *creates* free space, so after a full
+    /// sweep every still-dispatchable grid fits on no SMX; when a group
+    /// then retires on `si`, only `si` can have room, and scanning the
+    /// other units is provably wasted work (the sweep is byte-for-byte
+    /// equivalent). A fresh, never-scanned grid voids that reasoning —
+    /// fall back to the full sweep.
+    fn dispatch_freed(&mut self, si: usize) {
+        if self.dispatch_fresh {
+            self.dispatch();
+        } else {
+            self.dispatch_on(Some(si));
+        }
+    }
+
+    fn dispatch_on(&mut self, only: Option<usize>) {
+        // Nothing visible to the dispatcher: skip the SMX scan entirely.
+        // Group completions call dispatch() on every event, and for
+        // compute-light phases the dispatchable list is usually empty.
+        if self.gmu.dispatchable.is_empty() {
+            return;
+        }
         let now = self.q.now();
         let mut touched = std::mem::take(&mut self.scratch_touched);
         let mut fits = std::mem::take(&mut self.scratch_fits);
@@ -778,13 +848,14 @@ impl GpuSim {
         let sabotage = self.sabotage;
         {
             // Split borrows: the grid descriptor stays borrowed from the
-            // GMU while SMXs are mutated, avoiding a per-grid
-            // `KernelDesc` clone on every dispatch pass.
+            // GMU while SMXs are mutated.
             let Self {
                 gmu,
                 smxs,
                 group_token,
                 audit,
+                occ_threads,
+                occ_active,
                 ..
             } = self;
             let mut i = 0;
@@ -800,10 +871,18 @@ impl GpuSim {
                 while to_dispatch > 0 {
                     let desc = &gmu.grids[gid.index()].desc;
                     fits.clear();
-                    fits.extend(smxs.iter().enumerate().filter_map(|(si, s)| {
-                        let fit = s.max_fit(desc);
-                        (fit > 0).then_some((si, fit))
-                    }));
+                    match only {
+                        Some(si) => {
+                            let fit = smxs[si].max_fit(desc);
+                            if fit > 0 {
+                                fits.push((si, fit));
+                            }
+                        }
+                        None => fits.extend(smxs.iter().enumerate().filter_map(|(si, s)| {
+                            let fit = s.max_fit(desc);
+                            (fit > 0).then_some((si, fit))
+                        })),
+                    }
                     if fits.is_empty() {
                         break;
                     }
@@ -817,6 +896,10 @@ impl GpuSim {
                         *group_token += 1;
                         let smx = &mut smxs[si];
                         smx.advance(now);
+                        if smx.is_idle() {
+                            *occ_active += 1;
+                        }
+                        *occ_threads += n * desc.threads_per_block();
                         smx.place(now, token, gid, desc, n);
                         audit.on_dispatch(now, si, token, gid, desc, n);
                         #[cfg(test)]
@@ -848,14 +931,23 @@ impl GpuSim {
                 }
             }
         }
-        for si in touched.iter().copied() {
-            self.reschedule_smx(si);
-        }
-        let did_place = !touched.is_empty();
-        self.scratch_touched = touched;
-        self.scratch_fits = fits;
-        if did_place {
-            self.record_occupancy(now);
+        // A restricted sweep can only touch `only`, and its caller
+        // (`on_group_done`) reschedules that SMX and samples occupancy
+        // itself — right after, at the same instant — so doing either
+        // here would be duplicated work.
+        if only.is_none() {
+            for si in touched.iter().copied() {
+                self.reschedule_smx(si);
+            }
+            let did_place = !touched.is_empty();
+            self.scratch_touched = touched;
+            self.scratch_fits = fits;
+            if did_place {
+                self.record_occupancy(now);
+            }
+        } else {
+            self.scratch_touched = touched;
+            self.scratch_fits = fits;
         }
     }
 
@@ -907,6 +999,10 @@ impl GpuSim {
         let group = smx
             .take_completed(token)
             .expect("GroupDone for unknown group (stale event not cancelled?)");
+        self.occ_threads -= group.threads();
+        if self.smxs[si].is_idle() {
+            self.occ_active -= 1;
+        }
         self.audit.on_group_complete(now, si, token);
         #[cfg(test)]
         if self.sabotage == Sabotage::DoubleComplete {
@@ -914,8 +1010,6 @@ impl GpuSim {
             // the group no longer exists.
             self.audit.on_group_complete(now, si, token);
         }
-        // Remaining groups on this SMX speed up; re-issue their events.
-        self.reschedule_smx(si);
         let gid = group.grid;
         let grid = &mut self.gmu.grids[gid.index()];
         grid.outstanding -= group.blocks;
@@ -925,6 +1019,10 @@ impl GpuSim {
         // blocks (the exception beats the completion signal).
         if let Some(GridFault::Abort { after_blocks }) = grid.fault {
             if grid.completed_blocks >= after_blocks {
+                // Survivors on this SMX sped up when the group retired;
+                // their events must be re-issued before the kill path
+                // (which only reschedules SMXs it evicts from) runs.
+                self.reschedule_smx(si);
                 self.fault_stats.kernel_faults += 1;
                 self.kill_grid(gid, FaultKind::KernelFault);
                 return;
@@ -934,8 +1032,13 @@ impl GpuSim {
             self.finish_grid(gid);
         }
         // Freed residency: let waiting blocks (this grid's or others')
-        // take the leftover space.
-        self.dispatch();
+        // take the leftover space (only this SMX freed any), then
+        // re-issue completion events for this SMX exactly once — the
+        // retirement and any replacement placement both happened at
+        // `now`, so a single reschedule at the final rate produces the
+        // same events as rescheduling after each step would.
+        self.dispatch_freed(si);
+        self.reschedule_smx(si);
         self.record_occupancy(now);
     }
 
@@ -945,7 +1048,7 @@ impl GpuSim {
         grid.state = GridState::Done;
         let op = grid.op;
         let stream = grid.stream;
-        let name = grid.desc.name.clone();
+        let name = grid.desc.name;
         let start = grid.first_dispatch.unwrap_or(now);
         let desc_totals = ResourceTotals::of_grid(&grid.desc);
         let admitted = grid.admitted;
@@ -955,7 +1058,7 @@ impl GpuSim {
         }
         self.audit.on_grid_finished(now, gid);
         self.trace
-            .record(stream.0, SpanKind::Kernel, name, start, now);
+            .record(stream.0, SpanKind::Kernel, self.interner.resolve(name), start, now);
         let app = self.ops[op.index()].app;
         let st = &mut self.stats[app.index()];
         st.kernels_completed += 1;
@@ -1038,11 +1141,15 @@ impl GpuSim {
             self.smxs[si].advance(now);
             for token in tokens {
                 if let Some(group) = self.smxs[si].evict(token) {
+                    self.occ_threads -= group.threads();
                     if let Some(ev) = group.ev {
                         self.q.cancel(ev);
                     }
                     self.audit.on_group_evicted(now, si, token);
                 }
+            }
+            if self.smxs[si].is_idle() {
+                self.occ_active -= 1;
             }
             self.reschedule_smx(si);
         }
@@ -1051,7 +1158,7 @@ impl GpuSim {
         let grid = &mut self.gmu.grids[gid.index()];
         let op = grid.op;
         let stream = grid.stream;
-        let name = grid.desc.name.clone();
+        let name = grid.desc.name;
         let start = grid.first_dispatch;
         let desc_totals = ResourceTotals::of_grid(&grid.desc);
         let admitted = grid.admitted;
@@ -1064,13 +1171,16 @@ impl GpuSim {
         }
         self.audit.on_grid_killed(now, gid, reason);
         if let Some(start) = start {
-            self.trace.record(
-                stream.0,
-                SpanKind::Kernel,
-                format!("{name} !{reason}"),
-                start,
-                now,
-            );
+            if self.trace.is_enabled() {
+                let name = self.interner.resolve(name);
+                self.trace.record(
+                    stream.0,
+                    SpanKind::Kernel,
+                    format!("{name} !{reason}"),
+                    start,
+                    now,
+                );
+            }
         }
         if self.dev.admission == AdmissionPolicy::ConservativeFit && admitted {
             self.gmu.admitted_totals = self.gmu.admitted_totals.minus(&desc_totals);
@@ -1103,10 +1213,18 @@ impl GpuSim {
     }
 
     fn record_occupancy(&mut self, now: SimTime) {
-        let resident: u32 = self.smxs.iter().map(|s| s.resident_threads()).sum();
-        let active = self.smxs.iter().filter(|s| !s.is_idle()).count();
-        self.resident_threads.set(now, resident as f64);
-        self.active_smx.set(now, active as f64);
+        debug_assert_eq!(
+            self.occ_threads,
+            self.smxs.iter().map(|s| s.resident_threads()).sum::<u32>(),
+            "incremental occupancy counter drifted from the SMX array"
+        );
+        debug_assert_eq!(
+            self.occ_active,
+            self.smxs.iter().filter(|s| !s.is_idle()).count(),
+            "incremental active-SMX counter drifted from the SMX array"
+        );
+        self.resident_threads.set(now, self.occ_threads as f64);
+        self.active_smx.set(now, self.occ_active as f64);
     }
 }
 
@@ -1117,8 +1235,8 @@ pub mod prelude {
         AdmissionPolicy, DeviceConfig, DmaConfig, HostConfig, ServiceOrder, SmxLimits,
     };
     pub use crate::fault::{FaultKind, FaultPlan, FaultRates, FaultSpec, GridFault};
-    pub use crate::kernel::{Dim3, KernelDesc};
-    pub use crate::program::{HostOp, Program, ProgramBuilder};
+    pub use crate::kernel::{Dim3, KernelDesc, KernelInfo};
+    pub use crate::program::{COp, CompiledProgram, HostOp, Program, ProgramBuilder};
     pub use crate::result::{
         AppOutcome, AppStats, FaultCounters, SimError, SimPerf, SimResult, TransferStats,
     };
@@ -1129,6 +1247,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelDesc;
     use crate::program::Program;
 
     /// A small two-app run with copies, kernels and a mutex — enough to

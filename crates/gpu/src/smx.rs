@@ -17,7 +17,7 @@
 //! gaussian's Fan2 (1024 blocks × 511 calls × 32 applications).
 
 use crate::config::SmxLimits;
-use crate::kernel::KernelDesc;
+use crate::kernel::KernelInfo;
 use crate::types::GridId;
 use hq_des::engine::EventId;
 use hq_des::time::{Dur, SimTime};
@@ -54,6 +54,11 @@ impl Group {
     /// Remaining work in full-rate nanoseconds (diagnostics).
     pub fn remaining_ns(&self) -> f64 {
         self.remaining
+    }
+
+    /// Threads this group keeps resident (for occupancy accounting).
+    pub fn threads(&self) -> u32 {
+        self.res_threads
     }
 }
 
@@ -134,7 +139,7 @@ impl Smx {
     }
 
     /// How many more blocks of `desc` fit on this SMX right now.
-    pub fn max_fit(&self, desc: &KernelDesc) -> u32 {
+    pub fn max_fit(&self, desc: &KernelInfo) -> u32 {
         let by_blocks = self.limits.max_blocks - self.blocks;
         let tpb = desc.threads_per_block();
         if tpb == 0 || tpb > self.limits.max_threads {
@@ -162,7 +167,7 @@ impl Smx {
         now: SimTime,
         token: u64,
         grid: GridId,
-        desc: &KernelDesc,
+        desc: &KernelInfo,
         n: u32,
     ) -> &Group {
         debug_assert!(n > 0, "placing an empty group");
@@ -253,8 +258,9 @@ mod tests {
         SmxLimits::kepler()
     }
 
-    fn desc(tpb: u32, work_us: u64) -> KernelDesc {
-        KernelDesc::new("k", 1u32, tpb, Dur::from_us(work_us))
+    fn desc(tpb: u32, work_us: u64) -> KernelInfo {
+        crate::kernel::KernelDesc::new("k", 1u32, tpb, Dur::from_us(work_us))
+            .compile(&mut hq_des::intern::Interner::new())
     }
 
     fn t(ns: u64) -> SimTime {

@@ -25,6 +25,8 @@ proptest! {
     #[test]
     fn smx_residency_bounded(kernels in proptest::collection::vec(kernel_strategy(), 1..20)) {
         let limits = SmxLimits::kepler();
+        let mut table = hq_des::intern::Interner::new();
+        let kernels: Vec<KernelInfo> = kernels.iter().map(|k| k.compile(&mut table)).collect();
         let mut smx = Smx::new(limits);
         smx.advance(SimTime::ZERO);
         let mut placed: Vec<u64> = Vec::new();
@@ -51,10 +53,14 @@ proptest! {
     #[test]
     fn max_fit_is_safe(k in kernel_strategy(), preload in 0u32..8) {
         let limits = SmxLimits::kepler();
+        let mut table = hq_des::intern::Interner::new();
+        let k = k.compile(&mut table);
         let mut smx = Smx::new(limits);
         smx.advance(SimTime::ZERO);
         // Preload with a fixed medium kernel to create partial state.
-        let filler = KernelDesc::new("fill", 16u32, 128u32, Dur::from_us(10)).with_smem(1024);
+        let filler = KernelDesc::new("fill", 16u32, 128u32, Dur::from_us(10))
+            .with_smem(1024)
+            .compile(&mut table);
         let pre = smx.max_fit(&filler).min(preload);
         if pre > 0 {
             smx.place(SimTime::ZERO, 999, GridId(99), &filler, pre);

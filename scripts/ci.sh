@@ -4,18 +4,25 @@
 #   scripts/ci.sh            # release build + full test suite + clippy
 #
 # Mirrors what the tier-1 check runs (build + test at the workspace
-# root), then adds three slower stages:
+# root), then adds the slower stages:
 #   1. release-mode `--include-ignored` tests — the experiment smoke
-#      tests and the suite determinism test are `#[ignore]`d because
+#      tests and the suite determinism tests are `#[ignore]`d because
 #      they take minutes in debug builds; they run here in release,
 #   2. the perf-regression gate: `perf_baseline --check` re-times the
-#      event-queue patterns and the end-to-end sim and fails on a >20%
-#      events/sec drop against the committed BENCH_PR2.json,
-#   3. a fixed-seed chaos soak: 200 random audited cases (random device
+#      event-queue patterns, the end-to-end sim, the label-heavy
+#      interner stress and the suite cold/warm scenario-cache pass,
+#      failing on a >20% events/sec drop against the committed
+#      BENCH_PR4.json or a miss of the absolute floors (sim ≥1.5x over
+#      the PR 2 baseline, suite warm-cache speedup ≥1.3x),
+#   3. a scenario-cache correctness smoke: the quick suite runs twice
+#      into one results directory; the second run must serve ≥90% of
+#      its simulations from the cache and reproduce every artifact
+#      byte-for-byte,
+#   4. a fixed-seed chaos soak: 200 random audited cases (random device
 #      geometry x workload mix x fault plan) must all run with zero
 #      invariant-auditor and validate() violations; a failure shrinks
 #      to a JSON repro under results/ replayable with `hyperq repro`,
-#   4. clippy with warnings denied (skipped with a notice when the
+#   5. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
 
 set -euo pipefail
@@ -30,8 +37,31 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --release -q -- --include-ignored"
 cargo test --workspace --release -q -- --include-ignored
 
-echo "==> perf_baseline --check BENCH_PR2.json"
-cargo run --release -q -p hq-bench --bin perf_baseline -- --check BENCH_PR2.json
+echo "==> perf_baseline --check BENCH_PR4.json"
+cargo run --release -q -p hq-bench --bin perf_baseline -- --check BENCH_PR4.json
+
+echo "==> scenario-cache correctness smoke (quick suite twice)"
+SMOKE_RESULTS="$(mktemp -d)"
+SMOKE_SNAP="$(mktemp -d)"
+SMOKE_LOG="$(mktemp)"
+trap 'rm -rf "$SMOKE_RESULTS" "$SMOKE_SNAP" "$SMOKE_LOG"' EXIT
+HQ_RESULTS="$SMOKE_RESULTS" cargo run --release -q -p hq-bench --bin all_experiments -- --quick >/dev/null
+cp "$SMOKE_RESULTS"/*.md "$SMOKE_RESULTS"/*.csv "$SMOKE_SNAP"/
+HQ_RESULTS="$SMOKE_RESULTS" cargo run --release -q -p hq-bench --bin all_experiments -- --quick >/dev/null 2>"$SMOKE_LOG"
+# The warm run must be served almost entirely from the scenario cache
+# (the counters land on stderr as "scenario cache: H hits, M misses").
+awk '/^scenario cache:/ {
+    h = $3 + 0; m = $5 + 0;
+    printf "warm run: %d hits, %d misses\n", h, m;
+    if (h + m == 0 || h < 0.9 * (h + m)) { print "FAIL: warm-run cache hit rate below 90%"; exit 1 }
+    found = 1
+}
+END { if (!found) { print "FAIL: no scenario-cache counter line in warm-run stderr"; exit 1 } }' "$SMOKE_LOG"
+for f in "$SMOKE_SNAP"/*; do
+    cmp "$f" "$SMOKE_RESULTS/$(basename "$f")" \
+        || { echo "FAIL: artifact $(basename "$f") differs between cold and warm-cache runs"; exit 1; }
+done
+echo "warm-cache rerun reproduced every artifact byte-for-byte"
 
 echo "==> chaos soak (200 cases, seed 7)"
 cargo run --release -q -p hq-bench --bin chaos -- --cases 200 --seed 7

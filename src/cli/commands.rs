@@ -102,8 +102,9 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let out = run_workload(&cfg, &cli.workload).map_err(|e| e.to_string())?;
     let p = &out.result.perf;
     eprintln!(
-        "perf: {} events in {:.3} s ({:.0} events/s, peak pending {})",
-        p.events, p.wall_secs, p.events_per_sec, p.peak_pending
+        "perf: {} events in {:.3} s ({:.0} events/s, peak pending {}, \
+         cancelled {}, tombstone ratio {:.3})",
+        p.events, p.wall_secs, p.events_per_sec, p.peak_pending, p.cancelled, p.tombstone_ratio
     );
     let mut s = format!(
         "workload: {}\nschedule: {}\n\n{}",
