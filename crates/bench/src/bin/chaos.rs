@@ -7,7 +7,7 @@
 //! Exit status: 0 when every case passed, 1 on failure (repro written).
 
 use hq_bench::chaos::{self, CaseOutcome};
-use hq_bench::util::{out_dir, write_atomic};
+use hq_bench::util::out_dir;
 use hq_des::rng::DetRng;
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
@@ -46,7 +46,7 @@ fn main() {
                 let dir = out_dir();
                 std::fs::create_dir_all(&dir).expect("create results dir");
                 let path = dir.join(format!("chaos_repro_seed{seed}_case{i}.json"));
-                write_atomic(&path, &chaos::case_to_json(&small)).expect("write repro");
+                chaos::write_repro(&path, &small).expect("write repro");
                 eprintln!(
                     "shrunk in {steps} step(s) to {} app(s), {} fault(s); repro: {}",
                     small.apps.len(),

@@ -29,6 +29,7 @@
 //! `sim_speedup_vs_pr2`, `suite_warm_speedup`) are not, and are the
 //! portable signal of the hot-path overhaul and the scenario cache.
 
+use hq_bench::util::codec::json_f64;
 use hq_bench::util::Scale;
 use hq_bench::{scenario, suite};
 use hq_des::prelude::*;
@@ -371,18 +372,6 @@ impl Baseline {
             self.suite.warm_speedup,
         )
     }
-}
-
-/// Extract `"key": <number>` from a JSON text (keys here are unique
-/// across the whole document).
-fn json_f64(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn bench_queue() -> QueueBench {

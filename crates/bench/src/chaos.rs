@@ -21,9 +21,11 @@
 //!
 //! Everything is deterministic: the same soak seed yields the same
 //! cases, outcomes and repro files. JSON is hand-rolled (writer *and*
-//! parser) because the vendored `serde_json` shim cannot round-trip
-//! nested structures.
+//! parser, via [`crate::util::codec`]) because the vendored
+//! `serde_json` shim cannot round-trip nested structures.
 
+use crate::util::codec::{esc_json, parse_json};
+use crate::util::write_atomic;
 use hq_des::rng::DetRng;
 use hq_des::time::Dur;
 use hq_gpu::prelude::*;
@@ -510,13 +512,10 @@ pub fn shrink(spec: &CaseSpec, kind: FailureKind) -> (CaseSpec, usize) {
 }
 
 // ---------------------------------------------------------------------
-// JSON repro files (hand-rolled writer + parser; the vendored
-// serde_json shim cannot round-trip nested structures)
+// JSON repro files (hand-rolled writer + the shared `util::codec`
+// parser; the vendored serde_json shim cannot round-trip nested
+// structures)
 // ---------------------------------------------------------------------
-
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
 
 /// Serialize a case (with format version) into a pretty JSON repro.
 pub fn case_to_json(spec: &CaseSpec) -> String {
@@ -563,7 +562,7 @@ pub fn case_to_json(spec: &CaseSpec) -> String {
     for (i, f) in spec.faults.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"kind\": \"{}\", \"app\": {}, \"nth\": {}}}",
-            esc(&f.kind.to_string()),
+            esc_json(&f.kind.to_string()),
             f.app,
             f.nth
         ));
@@ -581,201 +580,6 @@ pub fn case_to_json(spec: &CaseSpec) -> String {
     s
 }
 
-/// Minimal JSON value for the repro parser.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Num(u64),
-    Bool(bool),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn num(&self, key: &str) -> Result<u64, String> {
-        match self.get(key) {
-            Some(Json::Num(n)) => Ok(*n),
-            _ => Err(format!("missing or non-numeric field '{key}'")),
-        }
-    }
-
-    fn boolean(&self, key: &str) -> Result<bool, String> {
-        match self.get(key) {
-            Some(Json::Bool(b)) => Ok(*b),
-            _ => Err(format!("missing or non-boolean field '{key}'")),
-        }
-    }
-
-    fn arr<'a>(&'a self, key: &str) -> Result<&'a [Json], String> {
-        match self.get(key) {
-            Some(Json::Arr(items)) => Ok(items),
-            _ => Err(format!("missing or non-array field '{key}'")),
-        }
-    }
-
-    fn str_field<'a>(&'a self, key: &str) -> Result<&'a str, String> {
-        match self.get(key) {
-            Some(Json::Str(s)) => Ok(s),
-            _ => Err(format!("missing or non-string field '{key}'")),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {} of repro JSON",
-                c as char, self.pos
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') | Some(b'f') => self.boolean(),
-            Some(c) if c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected token {other:?} at byte {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', got {other:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', got {other:?}")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = self.bytes.get(self.pos) {
-            self.pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = self
-                        .bytes
-                        .get(self.pos)
-                        .copied()
-                        .ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    out.push(match esc {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'n' => '\n',
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    });
-                }
-                other => out.push(other as char),
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|c| c.is_ascii_digit())
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<u64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number '{text}': {e}"))
-    }
-
-    fn boolean(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let rest = &self.bytes[self.pos..];
-        if rest.starts_with(b"true") {
-            self.pos += 4;
-            Ok(Json::Bool(true))
-        } else if rest.starts_with(b"false") {
-            self.pos += 5;
-            Ok(Json::Bool(false))
-        } else {
-            Err(format!("expected boolean at byte {}", self.pos))
-        }
-    }
-}
-
 fn fault_kind_from_str(s: &str) -> Result<FaultKind, String> {
     match s {
         "copy-fail" => Ok(FaultKind::CopyFail),
@@ -787,8 +591,7 @@ fn fault_kind_from_str(s: &str) -> Result<FaultKind, String> {
 
 /// Parse a repro JSON back into a [`CaseSpec`].
 pub fn case_from_json(text: &str) -> Result<CaseSpec, String> {
-    let mut p = Parser::new(text);
-    let root = p.value()?;
+    let root = parse_json(text)?;
     let version = root.num("version")?;
     if version != REPRO_VERSION {
         return Err(format!(
@@ -847,6 +650,13 @@ pub fn case_from_json(text: &str) -> Result<CaseSpec, String> {
         kernel_hang_pm: root.num("kernel_hang_pm")? as u32,
         fault_seed: root.num("fault_seed")?,
     })
+}
+
+/// Write a repro file crash-safely: the JSON goes through
+/// [`write_atomic`] (fsync + rename), so a crash mid-shrink can never
+/// leave a torn repro behind — the file is either absent or complete.
+pub fn write_repro(path: &std::path::Path, spec: &CaseSpec) -> std::io::Result<()> {
+    write_atomic(path, &case_to_json(spec))
 }
 
 /// Load a repro file and replay it with the auditor enabled. Returns
@@ -917,6 +727,44 @@ mod tests {
         assert!(case_from_json("{}").is_err());
         assert!(case_from_json("{\"version\": 999}").is_err());
         assert!(case_from_json("not json at all").is_err());
+    }
+
+    /// A torn repro file (crash mid-write before `write_repro` existed,
+    /// disk-full copy, manual truncation) must yield a clean parse error
+    /// from every byte prefix — never a panic. This is the contract
+    /// `hyperq repro` relies on to turn unusable files into one-line
+    /// `error:` messages.
+    #[test]
+    fn truncated_repro_is_a_clean_parse_error() {
+        let spec = gen_case(&mut DetRng::seed_from_u64(31));
+        let json = case_to_json(&spec);
+        // Every cut before the closing brace loses structure; cuts after
+        // it only trim trailing whitespace and still parse.
+        for cut in 0..json.trim_end().len() {
+            if !json.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                case_from_json(&json[..cut]).is_err(),
+                "prefix of {cut} bytes parsed as a full case"
+            );
+        }
+        assert!(case_from_json(&json).is_ok());
+    }
+
+    /// `write_repro` round-trips through `run_repro` and leaves no
+    /// temp file behind.
+    #[test]
+    fn write_repro_round_trips() {
+        let dir = std::env::temp_dir().join(format!("hq_write_repro_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.json");
+        let spec = gen_case(&mut DetRng::seed_from_u64(8));
+        write_repro(&path, &spec).unwrap();
+        let back = case_from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(spec, back);
+        assert!(!dir.join("case.json.tmp").exists(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// End-to-end shrink demo with a synthetic oracle: a specific

@@ -13,6 +13,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod scenario;
+pub mod service;
 pub mod suite;
 pub mod util;
 

@@ -33,6 +33,7 @@
 //! (every call simulates), `mem` keeps only the in-process memo, and
 //! anything else (the default) enables memo + disk.
 
+use crate::util::codec::{esc, fnv1a, unesc, Cursor};
 use crate::util::{out_dir, write_atomic};
 use hq_des::record::TimeSeries;
 use hq_des::time::{Dur, SimTime};
@@ -83,16 +84,6 @@ impl ScenarioKey {
 /// iff the simulator would walk the same trajectory.
 pub fn preimage(cfg: &RunConfig, specs: &[AppSpec]) -> String {
     format!("sim={SIM_VERSION}|{cfg:?}|{specs:?}")
-}
-
-/// 64-bit FNV-1a.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Key for one `(config, schedule)` scenario.
@@ -213,39 +204,6 @@ pub fn run_scenario_workload(cfg: &RunConfig, kinds: &[AppKind]) -> Result<RunOu
 // config's device — except for its `hw_queues`, which the Degrade
 // recovery policy rewrites to 1, so that one field is stored.
 // ---------------------------------------------------------------------
-
-/// Escape a string onto one whitespace-free token (`%`, space, tab, CR
-/// and LF are percent-encoded).
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '%' => out.push_str("%25"),
-            ' ' => out.push_str("%20"),
-            '\t' => out.push_str("%09"),
-            '\r' => out.push_str("%0D"),
-            '\n' => out.push_str("%0A"),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-fn unesc(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '%' {
-            out.push(c);
-            continue;
-        }
-        let hi = chars.next()?;
-        let lo = chars.next()?;
-        let byte = (hi.to_digit(16)? * 16 + lo.to_digit(16)?) as u8;
-        out.push(byte as char);
-    }
-    Some(out)
-}
 
 fn opt_time(t: Option<SimTime>) -> String {
     match t {
@@ -399,66 +357,38 @@ fn encode(pre: &str, out: &RunOutcome) -> String {
     s
 }
 
-/// Line cursor with tag-checked field parsing; every accessor returns
-/// `Option` so a malformed (truncated, stale, corrupt) entry decodes to
-/// `None` — i.e. a cache miss — never a panic or a wrong result.
-struct Cursor<'a> {
-    lines: std::str::Lines<'a>,
+// Scenario-specific extensions over the shared line [`Cursor`] (the
+// cursor itself lives in `util::codec`; truncated or corrupt input
+// decodes to `None` — a cache miss — never a panic).
+
+fn read_series(c: &mut Cursor<'_>) -> Option<TimeSeries> {
+    let n = c.tagged_u64("ts")?;
+    let mut points = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let line = c.line()?;
+        let (t, v) = line.split_once(' ')?;
+        points.push((SimTime::from_ns(t.parse().ok()?), v.parse().ok()?));
+    }
+    if !points.windows(2).all(|w: &[(SimTime, f64)]| w[0].0 <= w[1].0) {
+        return None;
+    }
+    // `from_points` (not `set`): recorded series may legitimately
+    // hold repeated values, which `set` would dedupe away.
+    Some(TimeSeries::from_points(points))
 }
 
-impl<'a> Cursor<'a> {
-    fn line(&mut self) -> Option<&'a str> {
-        self.lines.next()
+fn read_transfers(c: &mut Cursor<'_>, tag: &str) -> Option<TransferStats> {
+    let t = c.tagged(tag)?;
+    if t.len() != 5 {
+        return None;
     }
-
-    /// Next line, which must start with `tag`; returns the remaining
-    /// whitespace-separated tokens.
-    fn tagged(&mut self, tag: &str) -> Option<Vec<&'a str>> {
-        let line = self.line()?;
-        let mut toks = line.split(' ');
-        if toks.next()? != tag {
-            return None;
-        }
-        Some(toks.collect())
-    }
-
-    fn tagged_u64(&mut self, tag: &str) -> Option<u64> {
-        let toks = self.tagged(tag)?;
-        if toks.len() != 1 {
-            return None;
-        }
-        toks[0].parse().ok()
-    }
-
-    fn series(&mut self) -> Option<TimeSeries> {
-        let n = self.tagged_u64("ts")?;
-        let mut points = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let line = self.line()?;
-            let (t, v) = line.split_once(' ')?;
-            points.push((SimTime::from_ns(t.parse().ok()?), v.parse().ok()?));
-        }
-        if !points.windows(2).all(|w: &[(SimTime, f64)]| w[0].0 <= w[1].0) {
-            return None;
-        }
-        // `from_points` (not `set`): recorded series may legitimately
-        // hold repeated values, which `set` would dedupe away.
-        Some(TimeSeries::from_points(points))
-    }
-
-    fn transfers(&mut self, tag: &str) -> Option<TransferStats> {
-        let t = self.tagged(tag)?;
-        if t.len() != 5 {
-            return None;
-        }
-        Some(TransferStats {
-            count: t[0].parse().ok()?,
-            bytes: t[1].parse().ok()?,
-            first_start: parse_opt_time(t[2])?,
-            last_end: parse_opt_time(t[3])?,
-            service_time: Dur::from_ns(t[4].parse().ok()?),
-        })
-    }
+    Some(TransferStats {
+        count: t[0].parse().ok()?,
+        bytes: t[1].parse().ok()?,
+        first_start: parse_opt_time(t[2])?,
+        last_end: parse_opt_time(t[3])?,
+        service_time: Dur::from_ns(t[4].parse().ok()?),
+    })
 }
 
 fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
@@ -468,7 +398,7 @@ fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
     if !text.ends_with("end\n") {
         return None;
     }
-    let mut c = Cursor { lines: text.lines() };
+    let mut c = Cursor::new(text);
     if c.line()? != format!("hq-scenario v{DISK_VERSION}") {
         return None;
     }
@@ -530,8 +460,8 @@ fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
             },
             _ => return None,
         };
-        let htod = c.transfers("h")?;
-        let dtoh = c.transfers("d")?;
+        let htod = read_transfers(&mut c, "h")?;
+        let dtoh = read_transfers(&mut c, "d")?;
         apps.push(AppStats {
             app: AppId(a[0].parse().ok()?),
             stream: StreamId(a[1].parse().ok()?),
@@ -547,10 +477,10 @@ fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
             faults: a[8].parse().ok()?,
         });
     }
-    let resident_threads = c.series()?;
-    let active_smx = c.series()?;
-    let dma0 = c.series()?;
-    let dma1 = c.series()?;
+    let resident_threads = read_series(&mut c)?;
+    let active_smx = read_series(&mut c)?;
+    let dma0 = read_series(&mut c)?;
+    let dma1 = read_series(&mut c)?;
     let t = c.tagged("trace")?;
     if t.len() != 2 {
         return None;
@@ -704,15 +634,6 @@ mod tests {
         let mut swapped = specs.clone();
         swapped.swap(0, 1);
         assert_ne!(scenario_key(&cfg, &specs), scenario_key(&cfg, &swapped));
-    }
-
-    #[test]
-    fn escaping_round_trips() {
-        for s in ["", "plain", "with space", "a%b", "tab\tnl\ncr\r end", "100% done"] {
-            let e = esc(s);
-            assert!(!e.contains(' ') && !e.contains('\n'), "not a token: {e:?}");
-            assert_eq!(unesc(&e).as_deref(), Some(s));
-        }
     }
 
     /// The memo layer serves an identical scenario without resimulating

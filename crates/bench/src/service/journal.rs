@@ -1,0 +1,336 @@
+//! Crash-safe write-ahead journal for the scenario service.
+//!
+//! Every accepted job is appended here — with `fsync` — *before* it
+//! becomes runnable, and marked done after it finishes, so a `kill -9`
+//! at any instant loses no accepted work: on restart the journal is
+//! scanned and every accepted-but-unfinished job is replayed. Replay is
+//! deterministic because execution goes through the content-addressed
+//! [`crate::scenario::run_scenario`] cache, so a replayed job produces
+//! a byte-identical artifact.
+//!
+//! ## Record format
+//!
+//! One record per line; each line is `<16-hex fnv1a of payload> <payload>`:
+//!
+//! ```text
+//! f30a…e1 hq-journal v1 sim 1
+//! 9bc2…04 A 1 wl=needle+gaussian%20ns=4%20…
+//! 20d1…77 D 1 ok
+//! 51f0…3a S
+//! ```
+//!
+//! * the header pins the journal format version and [`SIM_VERSION`];
+//! * `A <id> <escaped spec>` — job accepted;
+//! * `D <id> <status>` — job finished (`ok`/`deadline`/`panic`/`error`);
+//! * `S` — sealed by a graceful shutdown (nothing left to replay).
+//!
+//! ## Torn tails
+//!
+//! A crash mid-append can leave a torn final record (no newline, or a
+//! checksum mismatch). [`Journal::open`] detects the first invalid
+//! record, truncates the file back to the last valid boundary and keeps
+//! going — torn tails are expected wear, never fatal. A [`SIM_VERSION`]
+//! mismatch invalidates replay compatibility entirely (the cached
+//! scenarios the journal's jobs would replay against no longer exist):
+//! the old journal is archived next to itself and a fresh one started.
+
+use super::protocol::JobSpec;
+use crate::scenario::SIM_VERSION;
+use crate::util::codec::{esc, fnv1a, unesc};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Journal line-format version; bump when the record grammar changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One parsed journal record.
+#[derive(Clone, Debug, PartialEq)]
+enum Record {
+    Header { version: u32, sim: u32 },
+    Accept(u64, JobSpec),
+    Done(u64, String),
+    Seal,
+}
+
+/// What [`Journal::open`] found in an existing journal.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// `(id, status)` of jobs with a done marker — never re-run.
+    pub completed: Vec<(u64, String)>,
+    /// Accepted-but-unfinished jobs, in acceptance order: the replay
+    /// work list.
+    pub unfinished: Vec<(u64, JobSpec)>,
+    /// First id the server may assign (max journaled id + 1).
+    pub next_id: u64,
+    /// Bytes of torn tail truncated away, if any.
+    pub torn_bytes: u64,
+    /// Where an incompatible (wrong `sim`) journal was archived.
+    pub archived: Option<PathBuf>,
+    /// The previous run shut down gracefully (journal was sealed).
+    pub was_sealed: bool,
+}
+
+/// Append handle over the journal file. All appends are fsynced before
+/// returning, honouring the same discipline as
+/// [`crate::util::write_atomic`]: a record either is durably on disk or
+/// was never acknowledged.
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+fn encode_record(payload: &str) -> String {
+    format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()))
+}
+
+fn parse_record(line: &str) -> Option<Record> {
+    let (crc, payload) = line.split_once(' ')?;
+    if crc.len() != 16 || u64::from_str_radix(crc, 16).ok()? != fnv1a(payload.as_bytes()) {
+        return None;
+    }
+    let toks: Vec<&str> = payload.split(' ').collect();
+    match toks.as_slice() {
+        ["hq-journal", v, "sim", sim] => Some(Record::Header {
+            version: v.strip_prefix('v')?.parse().ok()?,
+            sim: sim.parse().ok()?,
+        }),
+        ["A", id, spec] => Some(Record::Accept(
+            id.parse().ok()?,
+            JobSpec::decode(&unesc(spec)?).ok()?,
+        )),
+        ["D", id, status] => Some(Record::Done(id.parse().ok()?, (*status).to_string())),
+        ["S"] => Some(Record::Seal),
+        _ => None,
+    }
+}
+
+/// Scan raw journal bytes into `(records, valid_prefix_len)`: parsing
+/// stops at the first torn record (missing newline, bad UTF-8, bad
+/// checksum, unknown grammar) and reports how many bytes were valid.
+fn scan(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let Some(nl) = bytes[off..].iter().position(|&b| b == b'\n') else {
+            break; // no trailing newline: torn
+        };
+        let Some(rec) = std::str::from_utf8(&bytes[off..off + nl])
+            .ok()
+            .and_then(parse_record)
+        else {
+            break;
+        };
+        records.push(rec);
+        off += nl + 1;
+    }
+    (records, off)
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal at `path`, recovering its
+    /// contents. Torn tails are truncated; an incompatible
+    /// [`SIM_VERSION`] archives the old journal; a sealed journal is
+    /// rotated (its jobs were fully drained, so ids restart at 1).
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Recovered)> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut rec = Recovered::default();
+        let mut fresh = true;
+        if path.exists() {
+            let bytes = std::fs::read(path)?;
+            let (records, valid) = scan(&bytes);
+            match records.first() {
+                Some(Record::Header { version, sim })
+                    if *version == JOURNAL_VERSION && *sim == SIM_VERSION =>
+                {
+                    if valid < bytes.len() {
+                        rec.torn_bytes = (bytes.len() - valid) as u64;
+                        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+                        f.set_len(valid as u64)?;
+                        f.sync_all()?;
+                    }
+                    rec.was_sealed = records.iter().any(|r| matches!(r, Record::Seal));
+                    if rec.was_sealed {
+                        // Graceful predecessor: everything drained.
+                        // Rotate so the file cannot grow without bound.
+                        std::fs::remove_file(path)?;
+                    } else {
+                        fresh = false;
+                        let mut done: Vec<u64> = Vec::new();
+                        for r in &records {
+                            if let Record::Done(id, status) = r {
+                                done.push(*id);
+                                rec.completed.push((*id, status.clone()));
+                            }
+                        }
+                        for r in &records {
+                            if let Record::Accept(id, spec) = r {
+                                rec.next_id = rec.next_id.max(*id + 1);
+                                if !done.contains(id) {
+                                    rec.unfinished.push((*id, spec.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(Record::Header { .. }) => {
+                    // Wrong journal or simulator version: the cached
+                    // scenarios its jobs rely on are gone, so replay
+                    // would not be byte-identical. Archive and restart.
+                    let mut archive = path.as_os_str().to_owned();
+                    archive.push(".stale");
+                    let archive = PathBuf::from(archive);
+                    std::fs::rename(path, &archive)?;
+                    rec.archived = Some(archive);
+                }
+                // Headerless (empty or torn-at-birth) journal: nothing
+                // recoverable; start over.
+                _ => std::fs::remove_file(path)?,
+            }
+        }
+        if rec.next_id == 0 {
+            rec.next_id = 1;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        if fresh {
+            journal.append(&format!("hq-journal v{JOURNAL_VERSION} sim {SIM_VERSION}"))?;
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok((journal, rec))
+    }
+
+    fn append(&mut self, payload: &str) -> std::io::Result<()> {
+        self.file.write_all(encode_record(payload).as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Journal an accepted job. Must be called (and return) before the
+    /// job becomes visible to any worker.
+    pub fn accept(&mut self, id: u64, spec: &JobSpec) -> std::io::Result<()> {
+        self.append(&format!("A {id} {}", esc(&spec.encode())))
+    }
+
+    /// Mark a job finished with its wire status code.
+    pub fn done(&mut self, id: u64, status: &str) -> std::io::Result<()> {
+        self.append(&format!("D {id} {status}"))
+    }
+
+    /// Seal on graceful shutdown: all accepted jobs have done markers.
+    pub fn seal(&mut self) -> std::io::Result<()> {
+        self.append("S")
+    }
+
+    /// Journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hq-journal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("service.wal")
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            seed,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_accept_and_done() {
+        let path = tmp("roundtrip");
+        {
+            let (mut j, rec) = Journal::open(&path).unwrap();
+            assert_eq!(rec.next_id, 1);
+            assert!(rec.unfinished.is_empty());
+            j.accept(1, &spec(1)).unwrap();
+            j.accept(2, &spec(2)).unwrap();
+            j.done(1, "ok").unwrap();
+        }
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.completed, vec![(1, "ok".to_string())]);
+        assert_eq!(rec.unfinished.len(), 1);
+        assert_eq!(rec.unfinished[0].0, 2);
+        assert_eq!(rec.unfinished[0].1, spec(2));
+        assert_eq!(rec.next_id, 3);
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn sealed_journal_rotates() {
+        let path = tmp("sealed");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(1, &spec(1)).unwrap();
+            j.done(1, "ok").unwrap();
+            j.seal().unwrap();
+        }
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert!(rec.was_sealed);
+        assert!(rec.unfinished.is_empty());
+        assert!(rec.completed.is_empty());
+        assert_eq!(rec.next_id, 1, "ids restart after a sealed run");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(1, &spec(1)).unwrap();
+        }
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"deadbeef00000000 A 2 torn-and-");
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.torn_bytes, 30);
+        assert_eq!(rec.unfinished.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+    }
+
+    #[test]
+    fn sim_version_mismatch_archives_and_restarts() {
+        let path = tmp("mismatch");
+        let stale_sim = SIM_VERSION + 1;
+        let header = format!("hq-journal v{JOURNAL_VERSION} sim {stale_sim}");
+        std::fs::write(&path, encode_record(&header)).unwrap();
+        let (_, rec) = Journal::open(&path).unwrap();
+        let archive = rec.archived.expect("archived");
+        assert!(archive.exists());
+        assert!(rec.unfinished.is_empty());
+        assert_eq!(rec.next_id, 1);
+    }
+
+    #[test]
+    fn garbage_file_restarts_clean() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"\xff\xfe not a journal at all").unwrap();
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert!(rec.unfinished.is_empty());
+        assert_eq!(rec.next_id, 1);
+        // The reopened file is a valid fresh journal.
+        let (_, rec2) = Journal::open(&path).unwrap();
+        assert_eq!(rec2.torn_bytes, 0);
+    }
+}

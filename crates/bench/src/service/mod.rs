@@ -1,0 +1,818 @@
+//! Resilient scenario service: a long-running job server over a
+//! Unix-domain socket (`hyperq serve`) with a matching client
+//! (`hyperq submit`).
+//!
+//! The experiment suite runs scenarios in batch; this module serves
+//! them on demand while staying robust to every failure the chaos
+//! harness knows how to inject:
+//!
+//! * **Backpressure** — the job queue is bounded (`--queue-depth`);
+//!   submits past the bound are rejected with a structured
+//!   `queue-full`, never buffered without limit.
+//! * **Deadlines** — each job may carry a deadline measured from
+//!   acceptance. Expired jobs are cancelled (before *or* during
+//!   execution — a late result is discarded) and answer
+//!   `deadline`.
+//! * **Panic isolation** — every job runs under
+//!   [`std::panic::catch_unwind`]; a panicking job answers `panic`
+//!   while the worker and server keep serving.
+//! * **Circuit breaker** — per scenario class (default: the spec's
+//!   [`JobSpec::signature`]), K consecutive panics/errors open the
+//!   breaker: submits fail fast with `circuit-open` until a cooldown
+//!   probe succeeds.
+//! * **Crash safety** — accepted jobs hit a fsynced write-ahead
+//!   [`journal`] *before* they become runnable; `kill -9` at any
+//!   instant loses nothing. On restart the journal is replayed:
+//!   completed jobs are skipped, unfinished ones re-execute through
+//!   the deterministic [`crate::scenario::run_scenario`] cache and
+//!   produce byte-identical artifacts.
+//! * **Graceful shutdown** — SIGTERM or a `shutdown` request stops
+//!   accepting, drains in-flight jobs, seals the journal and removes
+//!   the socket.
+//!
+//! Workers are plain [`std::thread`]s over the scenario cache; the
+//! whole service uses only `std` primitives (`Mutex` + `Condvar` —
+//! the vendored `parking_lot` shim has no condvar).
+
+pub mod journal;
+pub mod protocol;
+
+pub use journal::{Journal, Recovered};
+pub use protocol::{JobDone, JobSpec, Reject, Request, Response, StatusReport};
+
+use crate::scenario::{run_scenario_workload, SIM_VERSION};
+use crate::util::codec::esc;
+use crate::util::write_atomic;
+use hq_gpu::config::DeviceConfig;
+use hq_gpu::result::AppOutcome;
+use hyperq_core::harness::{RunConfig, RunOutcome};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Server tunables. `new` fills every knob with the serving defaults;
+/// the CLI overrides from flags, tests from code.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Unix-domain socket path to bind.
+    pub socket: PathBuf,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Bounded queue depth; submits past it get `queue-full`.
+    pub queue_depth: usize,
+    /// Consecutive failures that open a class's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting a probe.
+    pub breaker_cooldown_ms: u64,
+    /// Write-ahead journal path.
+    pub journal: PathBuf,
+    /// Directory artifacts are rendered into (`job-<id>.out`).
+    pub artifact_dir: PathBuf,
+}
+
+impl ServeOptions {
+    /// Defaults for a server on `socket`; journal and artifacts land
+    /// under the current results dir.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeOptions {
+            socket: socket.into(),
+            workers: 2,
+            queue_depth: 16,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            journal: crate::util::out_dir().join("journal").join("service.wal"),
+            artifact_dir: crate::util::out_dir().join("service"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic job execution (shared by workers, replay and the CLI's
+// `submit --direct` byte-for-byte comparison path).
+// ---------------------------------------------------------------------
+
+fn config_for(spec: &JobSpec) -> RunConfig {
+    let mut cfg = if spec.serial {
+        RunConfig::serial()
+    } else {
+        RunConfig::concurrent(spec.streams)
+    };
+    cfg.device = match spec.device.as_str() {
+        "k40" => DeviceConfig::tesla_k40(),
+        "fermi" => DeviceConfig::fermi_like(),
+        _ => DeviceConfig::tesla_k20(),
+    };
+    cfg.with_order(spec.order)
+        .with_memsync(spec.memsync)
+        .with_seed(spec.seed)
+}
+
+fn opt_ns(t: Option<hq_des::time::SimTime>) -> String {
+    t.map(|t| t.as_ns().to_string()).unwrap_or_else(|| "-".into())
+}
+
+/// Render the service artifact for one completed run. Everything here
+/// is a pure function of the deterministic [`RunOutcome`] (wall-clock
+/// perf counters are deliberately excluded), so an identical spec
+/// renders identical bytes — on first execution, on crash-recovery
+/// replay, and via [`run_job_direct`].
+pub fn render_artifact(spec: &JobSpec, out: &RunOutcome) -> String {
+    let mut s = String::with_capacity(512);
+    let _ = writeln!(s, "hq-service-artifact v1");
+    let _ = writeln!(s, "spec {}", esc(&spec.signature()));
+    let _ = writeln!(s, "sim {SIM_VERSION}");
+    let _ = writeln!(s, "makespan_ns {}", out.result.makespan.as_ns());
+    let _ = writeln!(s, "events {}", out.result.events);
+    let _ = writeln!(s, "energy_j {:?}", out.power.energy_j);
+    let _ = writeln!(s, "avg_power_w {:?}", out.power.avg_true_w);
+    let _ = writeln!(s, "retries {}", out.retries);
+    let _ = writeln!(s, "degraded {}", u8::from(out.degraded));
+    let _ = writeln!(s, "schedule {}", out.schedule.len());
+    for label in &out.schedule {
+        let _ = writeln!(s, "{}", esc(label));
+    }
+    let _ = writeln!(s, "apps {}", out.result.apps.len());
+    for a in &out.result.apps {
+        let code = match a.outcome {
+            AppOutcome::Completed => "ok".to_string(),
+            AppOutcome::Failed { reason } => format!("fail:{reason:?}"),
+            AppOutcome::Retried { attempts } => format!("retry:{attempts}"),
+        };
+        let _ = writeln!(s, "a {} {code} {}", esc(&a.label), opt_ns(a.finished));
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Run a spec to its rendered artifact, bypassing the server (no
+/// queue, no deadline, no journal). The CI crash-recovery gate compares
+/// served artifacts byte-for-byte against this.
+pub fn run_job_direct(spec: &JobSpec) -> Result<String, String> {
+    if spec.scripted_panic {
+        return Err("scripted-panic job has no artifact".to_string());
+    }
+    let cfg = config_for(spec);
+    let out = run_scenario_workload(&cfg, &spec.workload).map_err(|e| e.to_string())?;
+    Ok(render_artifact(spec, &out))
+}
+
+enum Exec {
+    Ok(String),
+    Panicked(String),
+    SimError(String),
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Execute one spec with panic isolation. The closure owns no locks,
+/// so unwinding cannot poison server state.
+fn execute_spec(spec: &JobSpec) -> Exec {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if spec.scripted_panic {
+            panic!("scripted panic requested by submitter");
+        }
+        run_job_direct(spec)
+    }));
+    match result {
+        Ok(Ok(artifact)) => Exec::Ok(artifact),
+        Ok(Err(msg)) => Exec::SimError(msg),
+        Err(payload) => Exec::Panicked(panic_msg(payload.as_ref())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker.
+// ---------------------------------------------------------------------
+
+/// Per-class circuit breaker: `threshold` consecutive failures open
+/// it; while open every submit fails fast; after the cooldown one
+/// probe job is admitted — success closes the breaker, failure
+/// re-opens it for another cooldown.
+#[derive(Clone, Debug, Default)]
+pub struct Breaker {
+    consecutive_failures: u32,
+    state: BreakerState,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+enum BreakerState {
+    #[default]
+    Closed,
+    Open {
+        until: Instant,
+    },
+    HalfOpen,
+}
+
+impl Breaker {
+    /// May a job of this class be admitted at `now`? `Err(retry_ms)`
+    /// when the circuit is open (or a probe is already in flight). An
+    /// `Ok` after cooldown marks the probe in flight — the caller must
+    /// enqueue the job or call [`Breaker::abort_probe`].
+    pub fn admit(&mut self, now: Instant) -> Result<(), u64> {
+        match self.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                Ok(())
+            }
+            BreakerState::Open { until } => {
+                Err((until.duration_since(now).as_millis() as u64).max(1))
+            }
+            BreakerState::HalfOpen => Err(1),
+        }
+    }
+
+    /// The admitted probe never made it into the queue (journal write
+    /// failed, queue raced full): allow the next submit to probe.
+    pub fn abort_probe(&mut self, now: Instant) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Open { until: now };
+        }
+    }
+
+    /// Record a job outcome for this class.
+    pub fn record(&mut self, success: bool, now: Instant, threshold: u32, cooldown: Duration) {
+        if success {
+            *self = Breaker::default();
+            return;
+        }
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= threshold {
+            self.state = BreakerState::Open {
+                until: now + cooldown,
+            };
+        }
+    }
+
+    /// Is the circuit currently rejecting submits?
+    pub fn is_open(&self) -> bool {
+        !matches!(self.state, BreakerState::Closed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    accepted_at: Instant,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    running: HashSet<u64>,
+    results: HashMap<u64, JobDone>,
+    breakers: HashMap<String, Breaker>,
+    next_id: u64,
+    completed: u64,
+    rejected: u64,
+    shutting_down: bool,
+    journal: Journal,
+}
+
+/// What crash recovery did on startup.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// `(id, status)` of jobs replayed just now.
+    pub replayed: Vec<(u64, String)>,
+    /// Jobs found already done in the journal (not re-run).
+    pub already_done: usize,
+    /// Torn tail bytes truncated from the journal.
+    pub torn_bytes: u64,
+    /// The journal was archived for a `SIM_VERSION` mismatch.
+    pub archived: bool,
+    /// The previous run shut down gracefully.
+    pub was_sealed: bool,
+}
+
+impl RecoveryReport {
+    /// One-line summary for logs and the CI gate.
+    pub fn summary(&self) -> String {
+        format!(
+            "recovery: replayed {} job(s), skipped {} already done, truncated {} torn byte(s), archived={}, sealed={}",
+            self.replayed.len(),
+            self.already_done,
+            self.torn_bytes,
+            u8::from(self.archived),
+            u8::from(self.was_sealed)
+        )
+    }
+}
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn install_sigterm() {
+    // No libc crate in the vendor set; declare the libc symbol
+    // directly. SIGTERM is 15 everywhere this repo runs.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+/// The scenario server. Construct with [`Server::new`] (which performs
+/// crash recovery), then either [`Server::run`] the socket accept loop
+/// or drive it in-process from tests via [`Server::handle`].
+pub struct Server {
+    state: Mutex<State>,
+    cond: Condvar,
+    opts: ServeOptions,
+    stop: AtomicBool,
+}
+
+impl Server {
+    /// Open (recovering) the journal, replay unfinished jobs, and
+    /// return the ready-to-serve server plus what recovery did.
+    pub fn new(opts: ServeOptions) -> Result<(Arc<Server>, RecoveryReport), String> {
+        let (journal, recovered) = Journal::open(&opts.journal)
+            .map_err(|e| format!("open journal {}: {e}", opts.journal.display()))?;
+        let mut report = RecoveryReport {
+            already_done: recovered.completed.len(),
+            torn_bytes: recovered.torn_bytes,
+            archived: recovered.archived.is_some(),
+            was_sealed: recovered.was_sealed,
+            ..RecoveryReport::default()
+        };
+        let mut state = State {
+            queue: VecDeque::new(),
+            running: HashSet::new(),
+            results: HashMap::new(),
+            breakers: HashMap::new(),
+            next_id: recovered.next_id,
+            completed: 0,
+            rejected: 0,
+            shutting_down: false,
+            journal,
+        };
+        // Replay before serving: sequential, deterministic, and marked
+        // done in the same journal so a crash *during* replay just
+        // replays the remainder next time. Jobs that carried a deadline
+        // are conservatively expired — their deadline was anchored at
+        // original acceptance, which the crash outlived.
+        for (id, spec) in recovered.unfinished {
+            let done = if spec.deadline_ms.is_some() {
+                JobDone::DeadlineExceeded
+            } else {
+                self::finish(&opts, id, execute_spec(&spec))
+            };
+            state
+                .journal
+                .done(id, done.code())
+                .map_err(|e| format!("journal replay mark: {e}"))?;
+            report.replayed.push((id, done.code().to_string()));
+            state.completed += 1;
+            state.results.insert(id, done);
+        }
+        let server = Arc::new(Server {
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+            opts,
+            stop: AtomicBool::new(false),
+        });
+        Ok((server, report))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Job panics are confined by catch_unwind; a poisoned lock can
+        // only mean a bug in server bookkeeping itself, and the state
+        // is still consistent enough to keep serving.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Handle one request to one response. Public so tests (and the
+    /// recover-only path) can drive the server without a socket.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Submit(spec) => self.submit(spec),
+            Request::Wait(id) => self.wait_for(id),
+            Request::Status => self.status(),
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    fn submit(&self, spec: JobSpec) -> Response {
+        let mut g = self.lock();
+        if g.shutting_down {
+            return Response::Rejected(Reject::ShuttingDown);
+        }
+        if g.queue.len() >= self.opts.queue_depth {
+            g.rejected += 1;
+            return Response::Rejected(Reject::QueueFull {
+                depth: self.opts.queue_depth,
+            });
+        }
+        let class = spec.class.clone().unwrap_or_else(|| spec.signature());
+        let now = Instant::now();
+        if let Err(retry_ms) = g.breakers.entry(class.clone()).or_default().admit(now) {
+            g.rejected += 1;
+            return Response::Rejected(Reject::CircuitOpen { class, retry_ms });
+        }
+        let id = g.next_id;
+        // Journal first — the job must be durable before any worker
+        // can see it, or a crash between dequeue and completion would
+        // lose it.
+        if let Err(e) = g.journal.accept(id, &spec) {
+            if let Some(b) = g.breakers.get_mut(&class) {
+                b.abort_probe(now);
+            }
+            return Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")));
+        }
+        g.next_id += 1;
+        g.queue.push_back(QueuedJob {
+            id,
+            spec,
+            accepted_at: now,
+        });
+        self.cond.notify_all();
+        Response::Accepted(id)
+    }
+
+    fn wait_for(&self, id: u64) -> Response {
+        let mut g = self.lock();
+        if id == 0 || id >= g.next_id {
+            return Response::Rejected(Reject::BadRequest(format!("unknown job id {id}")));
+        }
+        loop {
+            if let Some(done) = g.results.get(&id) {
+                return Response::Done(id, done.clone());
+            }
+            let pending = g.running.contains(&id) || g.queue.iter().any(|j| j.id == id);
+            if !pending {
+                // A pre-restart id whose result this process never held.
+                return Response::Rejected(Reject::BadRequest(format!(
+                    "job {id} predates this server instance"
+                )));
+            }
+            g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn status(&self) -> Response {
+        let g = self.lock();
+        let mut open_circuits: Vec<String> = g
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.is_open())
+            .map(|(class, _)| class.clone())
+            .collect();
+        open_circuits.sort();
+        Response::Status(StatusReport {
+            queued: g.queue.len() as u64,
+            running: g.running.len() as u64,
+            completed: g.completed,
+            rejected: g.rejected,
+            open_circuits,
+        })
+    }
+
+    fn shutdown(&self) -> Response {
+        let mut g = self.lock();
+        g.shutting_down = true;
+        self.stop.store(true, Ordering::SeqCst);
+        let draining = (g.queue.len() + g.running.len()) as u64;
+        self.cond.notify_all();
+        Response::Bye { draining }
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut g = self.lock();
+                loop {
+                    if let Some(job) = g.queue.pop_front() {
+                        g.running.insert(job.id);
+                        break job;
+                    }
+                    if g.shutting_down {
+                        return;
+                    }
+                    g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let deadline = job
+                .spec
+                .deadline_ms
+                .map(|ms| job.accepted_at + Duration::from_millis(ms));
+            let expired = |d: &Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+            let done = if expired(&deadline) {
+                // Cancelled before it ever ran.
+                JobDone::DeadlineExceeded
+            } else {
+                let exec = execute_spec(&job.spec);
+                if expired(&deadline) {
+                    // Finished too late: the result is discarded, no
+                    // artifact is written.
+                    JobDone::DeadlineExceeded
+                } else {
+                    finish(&self.opts, job.id, exec)
+                }
+            };
+            let success = !matches!(done, JobDone::Panicked(_) | JobDone::SimError(_));
+            let class = job
+                .spec
+                .class
+                .clone()
+                .unwrap_or_else(|| job.spec.signature());
+            let mut g = self.lock();
+            g.running.remove(&job.id);
+            g.completed += 1;
+            g.breakers.entry(class).or_default().record(
+                success,
+                Instant::now(),
+                self.opts.breaker_threshold,
+                Duration::from_millis(self.opts.breaker_cooldown_ms),
+            );
+            if let Err(e) = g.journal.done(job.id, done.code()) {
+                eprintln!("service: journal done mark for job {}: {e}", job.id);
+            }
+            g.results.insert(job.id, done);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Bind the socket and serve until SIGTERM or a `shutdown`
+    /// request, then drain in-flight jobs, seal the journal and remove
+    /// the socket.
+    pub fn run(self: &Arc<Self>) -> Result<(), String> {
+        let socket = &self.opts.socket;
+        if socket.exists() {
+            match UnixStream::connect(socket) {
+                Ok(_) => return Err(format!("{} already has a live server", socket.display())),
+                // Stale socket from a crashed predecessor.
+                Err(_) => std::fs::remove_file(socket)
+                    .map_err(|e| format!("remove stale socket: {e}"))?,
+            }
+        }
+        if let Some(dir) = socket.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create socket dir: {e}"))?;
+        }
+        let listener =
+            UnixListener::bind(socket).map_err(|e| format!("bind {}: {e}", socket.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+        install_sigterm();
+        let workers: Vec<_> = (0..self.opts.workers.max(1))
+            .map(|i| {
+                let server = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("hq-service-worker-{i}"))
+                    .spawn(move || server.worker_loop())
+                    .map_err(|e| format!("spawn worker: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        eprintln!(
+            "service: listening on {} ({} workers, queue depth {})",
+            socket.display(),
+            self.opts.workers.max(1),
+            self.opts.queue_depth
+        );
+        while !TERM.load(Ordering::SeqCst) && !self.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let server = Arc::clone(self);
+                    let _ = std::thread::Builder::new()
+                        .name("hq-service-conn".to_string())
+                        .spawn(move || server.handle_conn(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => eprintln!("service: accept: {e}"),
+            }
+        }
+        // Drain: stop admitting, let workers finish what is queued and
+        // running, then seal so the next start knows nothing is owed.
+        {
+            let mut g = self.lock();
+            g.shutting_down = true;
+            self.cond.notify_all();
+            while !g.queue.is_empty() || !g.running.is_empty() {
+                g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            g.journal
+                .seal()
+                .map_err(|e| format!("seal journal: {e}"))?;
+        }
+        self.cond.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(socket);
+        eprintln!("service: drained and sealed, bye");
+        Ok(())
+    }
+
+    fn handle_conn(self: Arc<Self>, stream: UnixStream) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        loop {
+            let payload = match protocol::read_frame(&mut reader) {
+                Ok(Some(p)) => p,
+                Ok(None) | Err(_) => return,
+            };
+            let response = match Request::decode(&payload) {
+                Ok(req) => self.handle(req),
+                Err(e) => Response::Rejected(Reject::BadRequest(e)),
+            };
+            let last = matches!(response, Response::Bye { .. });
+            if protocol::write_frame(&mut writer, &response.encode()).is_err() || last {
+                return;
+            }
+        }
+    }
+}
+
+/// Render and persist the artifact for an execution result.
+fn finish(opts: &ServeOptions, id: u64, exec: Exec) -> JobDone {
+    match exec {
+        Exec::Panicked(msg) => JobDone::Panicked(msg),
+        Exec::SimError(msg) => JobDone::SimError(msg),
+        Exec::Ok(artifact) => {
+            let path = opts.artifact_dir.join(format!("job-{id}.out"));
+            if let Err(e) = std::fs::create_dir_all(&opts.artifact_dir)
+                .and_then(|()| write_atomic(&path, &artifact))
+            {
+                return JobDone::SimError(format!("write artifact {}: {e}", path.display()));
+            }
+            JobDone::Ok {
+                artifact: path.display().to_string(),
+            }
+        }
+    }
+}
+
+/// `hyperq serve` entry point. With `recover_only`, performs journal
+/// recovery (replaying unfinished jobs) and returns without binding
+/// the socket — the deterministic crash-recovery gate CI uses.
+pub fn serve(opts: ServeOptions, recover_only: bool) -> Result<RecoveryReport, String> {
+    let (server, report) = Server::new(opts)?;
+    eprintln!("service: {}", report.summary());
+    for (id, status) in &report.replayed {
+        eprintln!("service: replayed job {id} -> {status}");
+    }
+    if !recover_only {
+        server.run()?;
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------
+
+/// Client connection holding one request/response conversation.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connect to a serving socket.
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+        let read_half = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// One request, one response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, String> {
+        protocol::write_frame(&mut self.writer, &req.encode())
+            .map_err(|e| format!("send request: {e}"))?;
+        match protocol::read_frame(&mut self.reader) {
+            Ok(Some(payload)) => Response::decode(&payload),
+            Ok(None) => Err("server closed the connection".to_string()),
+            Err(e) => Err(format!("read response: {e}")),
+        }
+    }
+
+    /// Submit and, when accepted, block until the job finishes.
+    pub fn submit_and_wait(&mut self, spec: JobSpec) -> Result<Response, String> {
+        match self.call(&Request::Submit(spec))? {
+            Response::Accepted(id) => self.call(&Request::Wait(id)),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(100);
+        let mut b = Breaker::default();
+        assert_eq!(b.admit(t0), Ok(()));
+        b.record(false, t0, 3, cooldown);
+        b.record(false, t0, 3, cooldown);
+        assert!(!b.is_open(), "below threshold stays closed");
+        b.record(false, t0, 3, cooldown);
+        assert!(b.is_open(), "third consecutive failure opens");
+        let retry = b.admit(at(t0, 10)).unwrap_err();
+        assert!(retry > 0 && retry <= 100, "retry hint {retry}");
+        // Cooldown elapsed: exactly one probe gets through.
+        assert_eq!(b.admit(at(t0, 150)), Ok(()));
+        assert_eq!(b.admit(at(t0, 151)), Err(1), "second probe rejected");
+        // Probe success closes the breaker and resets the count.
+        b.record(true, at(t0, 160), 3, cooldown);
+        assert!(!b.is_open());
+        b.record(false, at(t0, 170), 3, cooldown);
+        assert!(!b.is_open(), "failure count restarted after success");
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_probe() {
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(50);
+        let mut b = Breaker::default();
+        for _ in 0..3 {
+            b.record(false, t0, 3, cooldown);
+        }
+        assert_eq!(b.admit(at(t0, 60)), Ok(()));
+        // The probe itself fails: straight back to open, full cooldown.
+        b.record(false, at(t0, 61), 3, cooldown);
+        assert!(b.admit(at(t0, 62)).is_err());
+        assert_eq!(b.admit(at(t0, 120)), Ok(()));
+    }
+
+    #[test]
+    fn aborted_probe_allows_the_next_submit_to_probe() {
+        let t0 = Instant::now();
+        let cooldown = Duration::from_millis(50);
+        let mut b = Breaker::default();
+        for _ in 0..3 {
+            b.record(false, t0, 3, cooldown);
+        }
+        assert_eq!(b.admit(at(t0, 60)), Ok(()));
+        b.abort_probe(at(t0, 60));
+        // Without abort_probe this would be Err(1) forever.
+        assert_eq!(b.admit(at(t0, 61)), Ok(()));
+    }
+
+    #[test]
+    fn artifact_rendering_is_deterministic_and_spec_tagged() {
+        let spec = JobSpec::default();
+        let a = run_job_direct(&spec).expect("direct run");
+        let b = run_job_direct(&spec).expect("direct rerun");
+        assert_eq!(a, b, "identical spec must render identical bytes");
+        assert!(a.starts_with("hq-service-artifact v1\n"));
+        assert!(a.contains(&format!("spec {}", esc(&spec.signature()))));
+        assert!(a.ends_with("end\n"));
+        let panicky = JobSpec {
+            scripted_panic: true,
+            ..JobSpec::default()
+        };
+        assert!(run_job_direct(&panicky).is_err());
+    }
+
+    #[test]
+    fn execute_spec_isolates_panics() {
+        let spec = JobSpec {
+            scripted_panic: true,
+            ..JobSpec::default()
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let exec = execute_spec(&spec);
+        std::panic::set_hook(prev);
+        match exec {
+            Exec::Panicked(msg) => assert!(msg.contains("scripted panic"), "{msg}"),
+            _ => panic!("expected Panicked"),
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! Wire protocol for the scenario service: length-prefixed frames over
+//! a Unix-domain socket carrying one-line requests and responses.
+//!
+//! The vendored `serde_json` shim cannot round-trip nested structures,
+//! so the protocol reuses the crate's hand-rolled line codec
+//! ([`crate::util::codec`]): every payload is a single line of
+//! space-separated tokens whose string-valued fields are percent-escaped
+//! with [`esc`]. A frame is
+//!
+//! ```text
+//! <decimal payload length>\n<payload bytes>
+//! ```
+//!
+//! and every payload starts with the protocol magic [`MAGIC`] so a
+//! stray client speaking something else gets a structured
+//! `bad-request`, never a panic. Decoding is total: malformed frames
+//! and payloads produce `Err(String)` describing the problem.
+
+use crate::util::codec::{esc, unesc};
+use hq_workloads::apps::AppKind;
+use hyperq_core::harness::MemsyncMode;
+use hyperq_core::ordering::ScheduleOrder;
+use std::io::{BufRead, Write};
+
+/// Protocol magic + version prefix on every payload. Bump the digit if
+/// the request/response grammar changes incompatibly.
+pub const MAGIC: &str = "hq1";
+
+/// Upper bound on a single frame payload; anything larger is rejected
+/// before allocation, so a corrupt length prefix cannot OOM the server.
+pub const MAX_FRAME: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Write one `<len>\n<payload>` frame and flush.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary;
+/// `Err` on a torn frame, an oversized length or malformed UTF-8.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim_end()
+        .parse()
+        .map_err(|_| bad_data(format!("bad frame length {header:?}")))?;
+    if len > MAX_FRAME {
+        return Err(bad_data(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| bad_data("frame payload is not UTF-8".to_string()))
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------
+// Job specification.
+// ---------------------------------------------------------------------
+
+/// Everything needed to run one scenario job, encodable onto one wire
+/// token line. The device is kept as its preset name so the service
+/// stays independent of the CLI's `DevicePreset` type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Application multiset to schedule.
+    pub workload: Vec<AppKind>,
+    /// Stream count.
+    pub streams: u32,
+    /// Launch order.
+    pub order: ScheduleOrder,
+    /// Memory-synchronization mode.
+    pub memsync: MemsyncMode,
+    /// Serialized baseline instead of concurrent execution.
+    pub serial: bool,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Device preset name: `k20` | `k40` | `fermi`.
+    pub device: String,
+    /// Per-job deadline in milliseconds from acceptance, if any.
+    pub deadline_ms: Option<u64>,
+    /// Circuit-breaker class override; defaults to the spec signature.
+    pub class: Option<String>,
+    /// Panic deliberately instead of simulating (isolation testing).
+    pub scripted_panic: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            workload: vec![AppKind::Needle],
+            streams: 4,
+            order: ScheduleOrder::NaiveFifo,
+            memsync: MemsyncMode::Off,
+            serial: false,
+            seed: 0xC0FFEE,
+            device: "k20".to_string(),
+            deadline_ms: None,
+            class: None,
+            scripted_panic: false,
+        }
+    }
+}
+
+fn order_name(o: ScheduleOrder) -> &'static str {
+    match o {
+        ScheduleOrder::NaiveFifo => "fifo",
+        ScheduleOrder::RoundRobin => "rr",
+        ScheduleOrder::RandomShuffle => "shuffle",
+        ScheduleOrder::ReverseFifo => "rfifo",
+        ScheduleOrder::ReverseRoundRobin => "rrr",
+    }
+}
+
+fn order_from(s: &str) -> Option<ScheduleOrder> {
+    Some(match s {
+        "fifo" => ScheduleOrder::NaiveFifo,
+        "rr" => ScheduleOrder::RoundRobin,
+        "shuffle" => ScheduleOrder::RandomShuffle,
+        "rfifo" => ScheduleOrder::ReverseFifo,
+        "rrr" => ScheduleOrder::ReverseRoundRobin,
+        _ => return None,
+    })
+}
+
+fn memsync_name(m: MemsyncMode) -> &'static str {
+    match m {
+        MemsyncMode::Off => "off",
+        MemsyncMode::Enqueue => "enqueue",
+        MemsyncMode::Synced => "synced",
+    }
+}
+
+fn memsync_from(s: &str) -> Option<MemsyncMode> {
+    Some(match s {
+        "off" => MemsyncMode::Off,
+        "enqueue" => MemsyncMode::Enqueue,
+        "synced" => MemsyncMode::Synced,
+        _ => return None,
+    })
+}
+
+impl JobSpec {
+    /// Everything that determines the *simulation* (not the service
+    /// bookkeeping): identical signatures run identical scenarios, so
+    /// this doubles as the default circuit-breaker class and is
+    /// embedded in the rendered artifact.
+    pub fn signature(&self) -> String {
+        let wl: Vec<&str> = self.workload.iter().map(|k| k.name()).collect();
+        format!(
+            "wl={} ns={} order={} memsync={} serial={} seed={} dev={}",
+            wl.join("+"),
+            self.streams,
+            order_name(self.order),
+            memsync_name(self.memsync),
+            u8::from(self.serial),
+            self.seed,
+            self.device
+        )
+    }
+
+    /// One-line wire/journal encoding (whitespace-separated `k=v`
+    /// tokens). Inverse of [`JobSpec::decode`].
+    pub fn encode(&self) -> String {
+        let mut s = self.signature();
+        match self.deadline_ms {
+            Some(ms) => s.push_str(&format!(" deadline={ms}")),
+            None => s.push_str(" deadline=-"),
+        }
+        match &self.class {
+            Some(c) => s.push_str(&format!(" class={}", esc(c))),
+            None => s.push_str(" class=-"),
+        }
+        s.push_str(&format!(" panic={}", u8::from(self.scripted_panic)));
+        s
+    }
+
+    /// Decode [`JobSpec::encode`] output. Structured errors, no panics.
+    pub fn decode(line: &str) -> Result<JobSpec, String> {
+        let mut spec = JobSpec {
+            workload: Vec::new(),
+            ..JobSpec::default()
+        };
+        let mut seen = 0u32;
+        for tok in line.split(' ').filter(|t| !t.is_empty()) {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("malformed job token '{tok}'"))?;
+            seen += 1;
+            match key {
+                "wl" => {
+                    for name in val.split('+') {
+                        spec.workload.push(
+                            AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))?,
+                        );
+                    }
+                }
+                "ns" => spec.streams = val.parse().map_err(|_| format!("bad ns '{val}'"))?,
+                "order" => {
+                    spec.order = order_from(val).ok_or_else(|| format!("bad order '{val}'"))?
+                }
+                "memsync" => {
+                    spec.memsync =
+                        memsync_from(val).ok_or_else(|| format!("bad memsync '{val}'"))?
+                }
+                "serial" => spec.serial = val == "1",
+                "seed" => spec.seed = val.parse().map_err(|_| format!("bad seed '{val}'"))?,
+                "dev" => {
+                    if !matches!(val, "k20" | "k40" | "fermi") {
+                        return Err(format!("unknown device '{val}'"));
+                    }
+                    spec.device = val.to_string();
+                }
+                "deadline" => {
+                    spec.deadline_ms = match val {
+                        "-" => None,
+                        ms => Some(ms.parse().map_err(|_| format!("bad deadline '{ms}'"))?),
+                    }
+                }
+                "class" => {
+                    spec.class = match val {
+                        "-" => None,
+                        c => Some(unesc(c).ok_or_else(|| format!("bad class '{c}'"))?),
+                    }
+                }
+                "panic" => spec.scripted_panic = val == "1",
+                other => return Err(format!("unknown job field '{other}'")),
+            }
+        }
+        if seen < 10 {
+            return Err(format!("job spec has {seen} fields, expected 10"));
+        }
+        if spec.workload.is_empty() {
+            return Err("job spec has an empty workload".to_string());
+        }
+        if spec.streams == 0 || spec.streams > 1024 {
+            return Err("job streams must be in 1..=1024".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+/// A client request. One connection may carry any number of requests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Enqueue a job; answered with `Accepted` or `Rejected`.
+    Submit(JobSpec),
+    /// Block until job `id` completes; answered with `Done`.
+    Wait(u64),
+    /// Queue/breaker snapshot; answered with `Status`.
+    Status,
+    /// Graceful shutdown: drain in-flight jobs, reject new ones.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode onto one payload line.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(spec) => format!("{MAGIC} submit {}", esc(&spec.encode())),
+            Request::Wait(id) => format!("{MAGIC} wait {id}"),
+            Request::Status => format!("{MAGIC} status"),
+            Request::Shutdown => format!("{MAGIC} shutdown"),
+        }
+    }
+
+    /// Decode a payload line. Structured errors, no panics.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let mut toks = line.split(' ');
+        if toks.next() != Some(MAGIC) {
+            return Err(format!("request does not start with '{MAGIC}'"));
+        }
+        match (toks.next(), toks.next(), toks.next()) {
+            (Some("submit"), Some(spec), None) => {
+                let raw = unesc(spec).ok_or("malformed submit escape")?;
+                Ok(Request::Submit(JobSpec::decode(&raw)?))
+            }
+            (Some("wait"), Some(id), None) => id
+                .parse()
+                .map(Request::Wait)
+                .map_err(|_| format!("bad wait id '{id}'")),
+            (Some("status"), None, _) => Ok(Request::Status),
+            (Some("shutdown"), None, _) => Ok(Request::Shutdown),
+            _ => Err(format!("unknown request '{line}'")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------
+
+/// Why a submit was refused. Every variant is a normal, recoverable
+/// answer: the server keeps serving after sending one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reject {
+    /// The bounded queue is at `--queue-depth`; resubmit later.
+    QueueFull {
+        /// Configured depth the queue was at.
+        depth: usize,
+    },
+    /// The job's breaker class is open after repeated failures.
+    CircuitOpen {
+        /// Breaker class that is open.
+        class: String,
+        /// Milliseconds until the next cooldown probe is admitted.
+        retry_ms: u64,
+    },
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Malformed or unserviceable request.
+    BadRequest(String),
+}
+
+/// Terminal state of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobDone {
+    /// Completed; artifact written to this path.
+    Ok {
+        /// Path of the rendered artifact file.
+        artifact: String,
+    },
+    /// Deadline elapsed before or during execution; no artifact.
+    DeadlineExceeded,
+    /// The job panicked; the worker caught it and kept serving.
+    Panicked(String),
+    /// The simulator returned a structured error.
+    SimError(String),
+}
+
+impl JobDone {
+    /// Stable status code used on the wire and in the journal.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobDone::Ok { .. } => "ok",
+            JobDone::DeadlineExceeded => "deadline",
+            JobDone::Panicked(_) => "panic",
+            JobDone::SimError(_) => "error",
+        }
+    }
+}
+
+/// Point-in-time queue snapshot.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StatusReport {
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished with any status.
+    pub completed: u64,
+    /// Submits rejected so far (queue-full + circuit-open).
+    pub rejected: u64,
+    /// Breaker classes currently open.
+    pub open_circuits: Vec<String>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Job accepted and journaled under this id.
+    Accepted(u64),
+    /// Submit refused.
+    Rejected(Reject),
+    /// Job `id` finished.
+    Done(u64, JobDone),
+    /// Status snapshot.
+    Status(StatusReport),
+    /// Shutdown acknowledged; `draining` jobs still in flight.
+    Bye {
+        /// Queued + running jobs that will drain before exit.
+        draining: u64,
+    },
+}
+
+impl Response {
+    /// Encode onto one payload line.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted(id) => format!("{MAGIC} accepted {id}"),
+            Response::Rejected(Reject::QueueFull { depth }) => {
+                format!("{MAGIC} rejected queue-full {depth}")
+            }
+            Response::Rejected(Reject::CircuitOpen { class, retry_ms }) => {
+                format!("{MAGIC} rejected circuit-open {} {retry_ms}", esc(class))
+            }
+            Response::Rejected(Reject::ShuttingDown) => {
+                format!("{MAGIC} rejected shutting-down")
+            }
+            Response::Rejected(Reject::BadRequest(msg)) => {
+                format!("{MAGIC} rejected bad-request {}", esc(msg))
+            }
+            Response::Done(id, done) => {
+                let detail = match done {
+                    JobDone::Ok { artifact } => esc(artifact),
+                    JobDone::DeadlineExceeded => "-".to_string(),
+                    JobDone::Panicked(msg) | JobDone::SimError(msg) => esc(msg),
+                };
+                format!("{MAGIC} done {id} {} {detail}", done.code())
+            }
+            Response::Status(s) => {
+                let circuits: Vec<String> = s.open_circuits.iter().map(|c| esc(c)).collect();
+                format!(
+                    "{MAGIC} status {} {} {} {} {}",
+                    s.queued,
+                    s.running,
+                    s.completed,
+                    s.rejected,
+                    if circuits.is_empty() {
+                        "-".to_string()
+                    } else {
+                        circuits.join(",")
+                    }
+                )
+            }
+            Response::Bye { draining } => format!("{MAGIC} bye {draining}"),
+        }
+    }
+
+    /// Decode a payload line. Structured errors, no panics.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let toks: Vec<&str> = line.split(' ').collect();
+        if toks.first() != Some(&MAGIC) {
+            return Err(format!("response does not start with '{MAGIC}'"));
+        }
+        let num = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("bad number '{s}'"))
+        };
+        match toks.get(1).copied() {
+            Some("accepted") if toks.len() == 3 => Ok(Response::Accepted(num(toks[2])?)),
+            Some("rejected") => match (toks.get(2).copied(), toks.len()) {
+                (Some("queue-full"), 4) => Ok(Response::Rejected(Reject::QueueFull {
+                    depth: num(toks[3])? as usize,
+                })),
+                (Some("circuit-open"), 5) => Ok(Response::Rejected(Reject::CircuitOpen {
+                    class: unesc(toks[3]).ok_or("bad class escape")?,
+                    retry_ms: num(toks[4])?,
+                })),
+                (Some("shutting-down"), 3) => Ok(Response::Rejected(Reject::ShuttingDown)),
+                (Some("bad-request"), 4) => Ok(Response::Rejected(Reject::BadRequest(
+                    unesc(toks[3]).ok_or("bad message escape")?,
+                ))),
+                _ => Err(format!("unknown rejection '{line}'")),
+            },
+            Some("done") if toks.len() == 5 => {
+                let id = num(toks[2])?;
+                let detail = toks[4];
+                let done = match toks[3] {
+                    "ok" => JobDone::Ok {
+                        artifact: unesc(detail).ok_or("bad artifact escape")?,
+                    },
+                    "deadline" => JobDone::DeadlineExceeded,
+                    "panic" => JobDone::Panicked(unesc(detail).ok_or("bad panic escape")?),
+                    "error" => JobDone::SimError(unesc(detail).ok_or("bad error escape")?),
+                    other => return Err(format!("unknown done status '{other}'")),
+                };
+                Ok(Response::Done(id, done))
+            }
+            Some("status") if toks.len() == 7 => {
+                let open_circuits = if toks[6] == "-" {
+                    Vec::new()
+                } else {
+                    toks[6]
+                        .split(',')
+                        .map(|c| unesc(c).ok_or("bad circuit escape".to_string()))
+                        .collect::<Result<_, _>>()?
+                };
+                Ok(Response::Status(StatusReport {
+                    queued: num(toks[2])?,
+                    running: num(toks[3])?,
+                    completed: num(toks[4])?,
+                    rejected: num(toks[5])?,
+                    open_circuits,
+                }))
+            }
+            Some("bye") if toks.len() == 3 => Ok(Response::Bye {
+                draining: num(toks[2])?,
+            }),
+            _ => Err(format!("unknown response '{line}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            workload: vec![AppKind::Gaussian, AppKind::Needle, AppKind::Needle],
+            streams: 6,
+            order: ScheduleOrder::RoundRobin,
+            memsync: MemsyncMode::Synced,
+            serial: false,
+            seed: 42,
+            device: "k40".to_string(),
+            deadline_ms: Some(1500),
+            class: Some("figure 6 burst".to_string()),
+            scripted_panic: false,
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips() {
+        for spec in [
+            sample_spec(),
+            JobSpec::default(),
+            JobSpec {
+                deadline_ms: Some(0),
+                class: None,
+                scripted_panic: true,
+                serial: true,
+                ..sample_spec()
+            },
+        ] {
+            let line = spec.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(JobSpec::decode(&line).as_ref(), Ok(&spec), "{line}");
+        }
+    }
+
+    #[test]
+    fn job_spec_rejects_malformed() {
+        assert!(JobSpec::decode("").is_err());
+        assert!(JobSpec::decode("wl=needle").is_err(), "missing fields");
+        let good = sample_spec().encode();
+        assert!(JobSpec::decode(&good.replace("dev=k40", "dev=k99")).is_err());
+        assert!(JobSpec::decode(&good.replace("order=rr", "order=zz")).is_err());
+        assert!(JobSpec::decode(&good.replace("ns=6", "ns=0")).is_err());
+        assert!(JobSpec::decode(&good.replace("wl=gaussian+needle+needle", "wl=quux")).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Submit(sample_spec()),
+            Request::Wait(17),
+            Request::Status,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(&req));
+        }
+        assert!(Request::decode("hq0 status").is_err());
+        assert!(Request::decode("hq1 frobnicate").is_err());
+        assert!(Request::decode("hq1 wait nope").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Accepted(3),
+            Response::Rejected(Reject::QueueFull { depth: 16 }),
+            Response::Rejected(Reject::CircuitOpen {
+                class: "wl=needle ns=4".to_string(),
+                retry_ms: 250,
+            }),
+            Response::Rejected(Reject::ShuttingDown),
+            Response::Rejected(Reject::BadRequest("what even is this".to_string())),
+            Response::Done(
+                9,
+                Response::decode(&Response::Done(9, JobDone::DeadlineExceeded).encode())
+                    .map(|r| match r {
+                        Response::Done(_, d) => d,
+                        _ => unreachable!(),
+                    })
+                    .unwrap(),
+            ),
+            Response::Done(
+                7,
+                JobDone::Ok {
+                    artifact: "results/service/job-7.out".to_string(),
+                },
+            ),
+            Response::Done(8, JobDone::Panicked("scripted panic".to_string())),
+            Response::Done(10, JobDone::SimError("deadlock at t=3".to_string())),
+            Response::Status(StatusReport {
+                queued: 2,
+                running: 1,
+                completed: 40,
+                rejected: 3,
+                open_circuits: vec!["class a".to_string(), "class b".to_string()],
+            }),
+            Response::Status(StatusReport::default()),
+            Response::Bye { draining: 5 },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).as_ref(), Ok(&resp));
+        }
+        assert!(Response::decode("hq1 done 1 maybe x").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_torn_input() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hq1 status").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hq1 status"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // Torn payload: header promises more bytes than exist.
+        let mut r = std::io::BufReader::new(&b"10\nabc"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Oversized and malformed lengths are structured errors.
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        assert!(read_frame(&mut std::io::BufReader::new(huge.as_bytes())).is_err());
+        assert!(read_frame(&mut std::io::BufReader::new(&b"nope\nx"[..])).is_err());
+    }
+}

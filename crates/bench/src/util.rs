@@ -1,7 +1,10 @@
 //! Shared experiment plumbing: scale selection, result persistence and
 //! a small parallel map for independent simulation runs.
 
+pub mod codec;
+
 use parking_lot::Mutex;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -74,15 +77,29 @@ impl ExperimentReport {
 }
 
 /// Crash-safe file write: the contents go to a sibling temp file which
-/// is atomically renamed over `path`, so a crash or interrupt can never
+/// is fsynced and then atomically renamed over `path`, so a crash or
+/// interrupt (including power loss, not just process death) can never
 /// leave a truncated artifact — `path` either holds the old bytes or
-/// the complete new ones.
+/// the complete new ones. The parent directory is synced best-effort so
+/// the rename itself is durable.
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Directory fsync makes the rename durable; failure to open the
+        // directory (exotic filesystems) degrades to the old behaviour.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// True when the experiment with artifact id `id` already has its

@@ -22,11 +22,54 @@
 #      geometry x workload mix x fault plan) must all run with zero
 #      invariant-auditor and validate() violations; a failure shrinks
 #      to a JSON repro under results/ replayable with `hyperq repro`,
-#   5. clippy with warnings denied (skipped with a notice when the
+#   5. a service crash-recovery smoke: start `hyperq serve`, prove that
+#      panicking and deadline-exceeded jobs come back as structured
+#      errors while the server keeps serving, then `kill -9` it
+#      mid-burst, restart with `--recover-only`, and require that the
+#      journal replays the unfinished jobs and every accepted job's
+#      artifact is byte-identical to a direct `run_scenario` rendering,
+#   6. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
+#
+# Every timed or served binary goes through fresh_bin first: `cargo
+# build --release` has been observed to report success while leaving a
+# stale binary behind; the guard compares the binary's mtime against
+# the source tree and forces a rebuild when it lags.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SMOKE_RESULTS=""
+SMOKE_SNAP=""
+SMOKE_LOG=""
+SVC_DIR=""
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    [ -n "$SMOKE_RESULTS" ] && rm -rf "$SMOKE_RESULTS"
+    [ -n "$SMOKE_SNAP" ] && rm -rf "$SMOKE_SNAP"
+    [ -n "$SMOKE_LOG" ] && rm -f "$SMOKE_LOG"
+    [ -n "$SVC_DIR" ] && rm -rf "$SVC_DIR"
+    true
+}
+trap cleanup EXIT
+
+# Guard against the stale-release-binary trap: build the specific bin,
+# then require it to be newer than every workspace source file; if not,
+# delete it and rebuild once, failing hard if it is still stale.
+fresh_bin() {
+    local pkg="$1" bin="$2" path="target/release/$2"
+    cargo build --release -q -p "$pkg" --bin "$bin"
+    if [ -n "$(find src crates -name '*.rs' -newer "$path" 2>/dev/null | head -1)" ]; then
+        echo "stale release binary $bin detected; forcing a rebuild"
+        rm -f "$path"
+        cargo build --release -q -p "$pkg" --bin "$bin"
+        if [ -n "$(find src crates -name '*.rs' -newer "$path" 2>/dev/null | head -1)" ]; then
+            echo "FAIL: $bin is still older than the source tree after a forced rebuild"
+            exit 1
+        fi
+    fi
+}
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
@@ -38,16 +81,17 @@ echo "==> cargo test --workspace --release -q -- --include-ignored"
 cargo test --workspace --release -q -- --include-ignored
 
 echo "==> perf_baseline --check BENCH_PR4.json"
-cargo run --release -q -p hq-bench --bin perf_baseline -- --check BENCH_PR4.json
+fresh_bin hq-bench perf_baseline
+target/release/perf_baseline --check BENCH_PR4.json
 
 echo "==> scenario-cache correctness smoke (quick suite twice)"
+fresh_bin hq-bench all_experiments
 SMOKE_RESULTS="$(mktemp -d)"
 SMOKE_SNAP="$(mktemp -d)"
 SMOKE_LOG="$(mktemp)"
-trap 'rm -rf "$SMOKE_RESULTS" "$SMOKE_SNAP" "$SMOKE_LOG"' EXIT
-HQ_RESULTS="$SMOKE_RESULTS" cargo run --release -q -p hq-bench --bin all_experiments -- --quick >/dev/null
+HQ_RESULTS="$SMOKE_RESULTS" target/release/all_experiments --quick >/dev/null
 cp "$SMOKE_RESULTS"/*.md "$SMOKE_RESULTS"/*.csv "$SMOKE_SNAP"/
-HQ_RESULTS="$SMOKE_RESULTS" cargo run --release -q -p hq-bench --bin all_experiments -- --quick >/dev/null 2>"$SMOKE_LOG"
+HQ_RESULTS="$SMOKE_RESULTS" target/release/all_experiments --quick >/dev/null 2>"$SMOKE_LOG"
 # The warm run must be served almost entirely from the scenario cache
 # (the counters land on stderr as "scenario cache: H hits, M misses").
 awk '/^scenario cache:/ {
@@ -64,7 +108,74 @@ done
 echo "warm-cache rerun reproduced every artifact byte-for-byte"
 
 echo "==> chaos soak (200 cases, seed 7)"
-cargo run --release -q -p hq-bench --bin chaos -- --cases 200 --seed 7
+fresh_bin hq-bench chaos
+target/release/chaos --cases 200 --seed 7
+
+echo "==> service crash-recovery smoke"
+fresh_bin hyperq-repro hyperq
+HQ=target/release/hyperq
+SVC_DIR="$(mktemp -d)"
+SOCK="$SVC_DIR/hq.sock"
+HQ_RESULTS="$SVC_DIR" "$HQ" serve --socket "$SOCK" --workers 1 --queue-depth 16 \
+    >"$SVC_DIR/serve.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "FAIL: server never bound $SOCK"; cat "$SVC_DIR/serve.log"; exit 1; }
+
+# Structured failures must come back as answers, not connection drops.
+PANIC_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w needle --panic)"
+echo "$PANIC_OUT" | grep -q "panicked" \
+    || { echo "FAIL: scripted panic did not answer 'panicked': $PANIC_OUT"; exit 1; }
+DEADLINE_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w needle --deadline-ms 0 --seed 5)"
+echo "$DEADLINE_OUT" | grep -q "deadline-exceeded" \
+    || { echo "FAIL: zero deadline did not answer 'deadline-exceeded': $DEADLINE_OUT"; exit 1; }
+# ... and the server keeps serving afterwards.
+OK_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w gaussian+needle --streams 4 --seed 9)"
+echo "$OK_OUT" | grep -q "^job [0-9]*: ok" \
+    || { echo "FAIL: healthy job after failures did not succeed: $OK_OUT"; exit 1; }
+ART="$(echo "$OK_OUT" | sed -n 's/^artifact: //p')"
+HQ_RESULTS="$SVC_DIR" "$HQ" submit --direct -w gaussian+needle --streams 4 --seed 9 >"$SVC_DIR/direct.tmp"
+cmp "$ART" "$SVC_DIR/direct.tmp" \
+    || { echo "FAIL: served artifact differs from direct run"; exit 1; }
+
+# Burst: one heavy job pins the single worker, light jobs queue behind
+# it, and kill -9 lands mid-burst — the journal must carry them all.
+HEAVY_WL="gaussian*6+srad*6"
+HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" --no-wait -w "$HEAVY_WL" --streams 16 --seed 100 >/dev/null
+for s in 101 102 103 104 105; do
+    HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" --no-wait -w gaussian+needle --streams 4 --seed "$s" >/dev/null
+done
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+REC_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" serve --socket "$SOCK" --recover-only 2>/dev/null)"
+echo "$REC_OUT" | head -1
+REPLAYED="$(printf '%s\n' "$REC_OUT" | sed -n 's/^recovery: replayed \([0-9]*\) job(s).*/\1/p')"
+[ -n "$REPLAYED" ] || { echo "FAIL: no recovery summary in: $REC_OUT"; exit 1; }
+[ "$REPLAYED" -ge 1 ] || { echo "FAIL: kill -9 mid-burst left nothing to replay"; exit 1; }
+
+# Every burst job's artifact must be byte-identical to a direct
+# rendering of the same spec, whether it ran before the crash or was
+# replayed from the journal after it.
+check_artifact() {
+    local wl="$1" streams="$2" seed="$3" f
+    HQ_RESULTS="$SVC_DIR" "$HQ" submit --direct -w "$wl" --streams "$streams" --seed "$seed" >"$SVC_DIR/direct.tmp"
+    for f in "$SVC_DIR"/service/job-*.out; do
+        cmp -s "$f" "$SVC_DIR/direct.tmp" && return 0
+    done
+    echo "FAIL: no served artifact matches direct run of -w $wl --streams $streams --seed $seed"
+    return 1
+}
+check_artifact "$HEAVY_WL" 16 100
+for s in 101 102 103 104 105; do
+    check_artifact gaussian+needle 4 "$s"
+done
+# A second recovery pass finds nothing left to do.
+REC2="$(HQ_RESULTS="$SVC_DIR" "$HQ" serve --socket "$SOCK" --recover-only 2>/dev/null)"
+printf '%s\n' "$REC2" | grep -q "^recovery: replayed 0 job(s)" \
+    || { echo "FAIL: second recovery pass was not idempotent: $REC2"; exit 1; }
+echo "crash recovery replayed $REPLAYED job(s); all burst artifacts byte-identical to direct runs"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -21,6 +21,14 @@ USAGE:
   hyperq faults    [--workload SPEC] [--streams N] [--faults FAULTS]
                    [--recovery failfast|retry|degrade] [--attempts N] [--seed N]
   hyperq repro     FILE
+  hyperq serve     --socket PATH [--workers N] [--queue-depth N]
+                   [--breaker-threshold K] [--breaker-cooldown-ms MS]
+                   [--recover-only]
+  hyperq submit    --socket PATH --workload SPEC [--streams N] [--order ORDER]
+                   [--memsync MODE] [--serial] [--seed N] [--device DEV]
+                   [--deadline-ms N] [--class NAME] [--panic] [--no-wait]
+  hyperq submit    --socket PATH --status | --shutdown
+  hyperq submit    --direct --workload SPEC [run flags]
   hyperq table3
   hyperq devices
   hyperq help
@@ -59,6 +67,10 @@ pub enum Command {
     Faults,
     /// Replay a chaos-soak repro file under the invariant auditor.
     Repro,
+    /// Long-running scenario server over a Unix-domain socket.
+    Serve,
+    /// Submit a job to (or query/stop) a running scenario server.
+    Submit,
     /// Print Table III.
     Table3,
     /// List device presets.
@@ -104,6 +116,32 @@ pub struct Cli {
     pub attempts: u32,
     /// Repro file to replay (`repro FILE`).
     pub repro_file: Option<String>,
+    /// Unix-domain socket path (`serve` / `submit`).
+    pub socket: Option<String>,
+    /// Server worker thread count (`serve --workers`).
+    pub serve_workers: usize,
+    /// Bounded job-queue depth (`serve --queue-depth`).
+    pub queue_depth: usize,
+    /// Consecutive failures that open a circuit (`--breaker-threshold`).
+    pub breaker_threshold: u32,
+    /// Open-circuit cooldown in ms (`--breaker-cooldown-ms`).
+    pub breaker_cooldown_ms: u64,
+    /// Recover the journal (replaying unfinished jobs) and exit.
+    pub recover_only: bool,
+    /// Per-job deadline in ms from acceptance (`submit --deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Circuit-breaker class override (`submit --class`).
+    pub job_class: Option<String>,
+    /// Submit a job that panics deliberately (`submit --panic`).
+    pub scripted_panic: bool,
+    /// Return after acceptance instead of waiting (`submit --no-wait`).
+    pub no_wait: bool,
+    /// Query server status instead of submitting (`submit --status`).
+    pub submit_status: bool,
+    /// Ask the server to shut down gracefully (`submit --shutdown`).
+    pub submit_shutdown: bool,
+    /// Run the job in-process and print the artifact (`submit --direct`).
+    pub direct: bool,
 }
 
 /// Which recovery policy the harness should apply to failed apps.
@@ -138,6 +176,19 @@ impl Default for Cli {
             recovery: RecoveryChoice::FailFast,
             attempts: 2,
             repro_file: None,
+            socket: None,
+            serve_workers: 2,
+            queue_depth: 16,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            recover_only: false,
+            deadline_ms: None,
+            job_class: None,
+            scripted_panic: false,
+            no_wait: false,
+            submit_status: false,
+            submit_shutdown: false,
+            direct: false,
         }
     }
 }
@@ -194,6 +245,8 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         "autosched" => Command::Autosched,
         "faults" => Command::Faults,
         "repro" => Command::Repro,
+        "serve" => Command::Serve,
+        "submit" => Command::Submit,
         "table3" => Command::Table3,
         "devices" => Command::Devices,
         "help" | "--help" | "-h" => Command::Help,
@@ -257,6 +310,50 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                     return Err("--attempts must be in 1..=16".into());
                 }
             }
+            "--socket" => cli.socket = Some(value(&mut it, "--socket")?),
+            "--workers" => {
+                cli.serve_workers = value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+                if cli.serve_workers == 0 || cli.serve_workers > 64 {
+                    return Err("--workers must be in 1..=64".into());
+                }
+            }
+            "--queue-depth" => {
+                cli.queue_depth = value(&mut it, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer".to_string())?;
+                if cli.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+            }
+            "--breaker-threshold" => {
+                cli.breaker_threshold = value(&mut it, "--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "--breaker-threshold needs an integer".to_string())?;
+                if cli.breaker_threshold == 0 {
+                    return Err("--breaker-threshold must be at least 1".into());
+                }
+            }
+            "--breaker-cooldown-ms" => {
+                cli.breaker_cooldown_ms = value(&mut it, "--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|_| "--breaker-cooldown-ms needs an integer".to_string())?;
+            }
+            "--recover-only" => cli.recover_only = true,
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    value(&mut it, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
+                );
+            }
+            "--class" => cli.job_class = Some(value(&mut it, "--class")?),
+            "--panic" => cli.scripted_panic = true,
+            "--no-wait" => cli.no_wait = true,
+            "--status" => cli.submit_status = true,
+            "--shutdown" => cli.submit_shutdown = true,
+            "--direct" => cli.direct = true,
             other if cli.command == Command::Repro && !other.starts_with('-') => {
                 if cli.repro_file.is_some() {
                     return Err("repro takes exactly one FILE".into());
@@ -275,6 +372,21 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     }
     if cli.command == Command::Repro && cli.repro_file.is_none() {
         return Err("repro requires a FILE argument".into());
+    }
+    if cli.command == Command::Serve && cli.socket.is_none() {
+        return Err("serve requires --socket".into());
+    }
+    if cli.command == Command::Submit {
+        if cli.direct && (cli.submit_status || cli.submit_shutdown) {
+            return Err("--direct cannot be combined with --status/--shutdown".into());
+        }
+        if !cli.direct && cli.socket.is_none() {
+            return Err("submit requires --socket (or --direct)".into());
+        }
+        let is_query = cli.submit_status || cli.submit_shutdown;
+        if !is_query && cli.workload.is_empty() {
+            return Err("submit requires --workload (or --status/--shutdown)".into());
+        }
     }
     Ok(cli)
 }
@@ -379,6 +491,47 @@ mod tests {
         assert!(parse_args(argv("repro")).is_err());
         assert!(parse_args(argv("repro a.json b.json")).is_err());
         assert!(parse_args(argv("repro --bogus a.json")).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse_and_socket_is_required() {
+        let cli = parse_args(argv(
+            "serve --socket /tmp/hq.sock --workers 3 --queue-depth 5 \
+             --breaker-threshold 2 --breaker-cooldown-ms 100 --recover-only",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.socket.as_deref(), Some("/tmp/hq.sock"));
+        assert_eq!(cli.serve_workers, 3);
+        assert_eq!(cli.queue_depth, 5);
+        assert_eq!(cli.breaker_threshold, 2);
+        assert_eq!(cli.breaker_cooldown_ms, 100);
+        assert!(cli.recover_only);
+        assert!(parse_args(argv("serve")).is_err());
+        assert!(parse_args(argv("serve --socket s --workers 0")).is_err());
+        assert!(parse_args(argv("serve --socket s --queue-depth 0")).is_err());
+    }
+
+    #[test]
+    fn submit_flags_parse_with_modes() {
+        let cli = parse_args(argv(
+            "submit --socket /tmp/hq.sock -w nn*2 --deadline-ms 500 --class burst --no-wait",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Submit);
+        assert_eq!(cli.deadline_ms, Some(500));
+        assert_eq!(cli.job_class.as_deref(), Some("burst"));
+        assert!(cli.no_wait && !cli.scripted_panic);
+        let cli = parse_args(argv("submit --socket s --status")).unwrap();
+        assert!(cli.submit_status);
+        let cli = parse_args(argv("submit --socket s --shutdown")).unwrap();
+        assert!(cli.submit_shutdown);
+        let cli = parse_args(argv("submit --direct -w needle --panic")).unwrap();
+        assert!(cli.direct && cli.scripted_panic);
+        // Missing socket (without --direct) or workload are usage errors.
+        assert!(parse_args(argv("submit -w nn")).is_err());
+        assert!(parse_args(argv("submit --socket s")).is_err());
+        assert!(parse_args(argv("submit --direct --status")).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::cli::args::{Cli, Command, DevicePreset, RecoveryChoice, USAGE};
 use crate::cli::workload_spec::format_workload;
+use hq_bench::service::{JobSpec, ServeOptions};
 use hq_des::time::Dur;
 use hq_gpu::prelude::*;
 use hq_gpu::types::Dir;
@@ -306,6 +307,122 @@ fn cmd_repro(cli: &Cli) -> Result<String, String> {
     }
 }
 
+fn device_name(preset: DevicePreset) -> &'static str {
+    match preset {
+        DevicePreset::K20 => "k20",
+        DevicePreset::K40 => "k40",
+        DevicePreset::Fermi => "fermi",
+    }
+}
+
+fn job_spec_from(cli: &Cli) -> JobSpec {
+    JobSpec {
+        workload: cli.workload.clone(),
+        streams: cli.streams,
+        order: cli.order,
+        memsync: cli.memsync,
+        serial: cli.serial,
+        seed: cli.seed,
+        device: device_name(cli.device).to_string(),
+        deadline_ms: cli.deadline_ms,
+        class: cli.job_class.clone(),
+        scripted_panic: cli.scripted_panic,
+    }
+}
+
+/// `hyperq serve`: run the scenario service (or, with `--recover-only`,
+/// just replay the journal and report what recovery did).
+fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    let socket = cli.socket.as_deref().expect("checked by parse_args");
+    let mut opts = ServeOptions::new(socket);
+    opts.workers = cli.serve_workers;
+    opts.queue_depth = cli.queue_depth;
+    opts.breaker_threshold = cli.breaker_threshold;
+    opts.breaker_cooldown_ms = cli.breaker_cooldown_ms;
+    let report = hq_bench::service::serve(opts, cli.recover_only)?;
+    let mut s = report.summary();
+    for (id, status) in &report.replayed {
+        s.push_str(&format!("\nreplayed job {id} -> {status}"));
+    }
+    Ok(s)
+}
+
+fn render_done(id: u64, done: &hq_bench::service::JobDone) -> String {
+    use hq_bench::service::JobDone;
+    match done {
+        JobDone::Ok { artifact } => format!("job {id}: ok\nartifact: {artifact}"),
+        JobDone::DeadlineExceeded => format!("job {id}: deadline-exceeded"),
+        JobDone::Panicked(msg) => format!("job {id}: panicked: {msg}"),
+        JobDone::SimError(msg) => format!("job {id}: sim-error: {msg}"),
+    }
+}
+
+fn render_rejection(reject: &hq_bench::service::Reject) -> String {
+    use hq_bench::service::Reject;
+    match reject {
+        Reject::QueueFull { depth } => format!("rejected: queue-full (depth {depth})"),
+        Reject::CircuitOpen { class, retry_ms } => {
+            format!("rejected: circuit-open for class '{class}' (retry in {retry_ms} ms)")
+        }
+        Reject::ShuttingDown => "rejected: shutting-down".to_string(),
+        Reject::BadRequest(msg) => format!("rejected: bad-request: {msg}"),
+    }
+}
+
+/// `hyperq submit`: talk to a running server (submit / status /
+/// shutdown), or with `--direct` run the job in-process and print the
+/// artifact bytes — the reference output the CI crash-recovery gate
+/// compares served artifacts against.
+fn cmd_submit(cli: &Cli) -> Result<String, String> {
+    use hq_bench::service::{Client, Request, Response};
+    if cli.direct {
+        let artifact = hq_bench::service::run_job_direct(&job_spec_from(cli))?;
+        // `main_with` prints with a trailing newline; hand it the
+        // artifact minus its own final newline so stdout is byte-equal
+        // to the artifact file.
+        return Ok(artifact.trim_end_matches('\n').to_string());
+    }
+    let socket = std::path::Path::new(cli.socket.as_deref().expect("checked by parse_args"));
+    let mut client = Client::connect(socket)?;
+    if cli.submit_status {
+        return match client.call(&Request::Status)? {
+            Response::Status(s) => Ok(format!(
+                "queued {} running {} completed {} rejected {}\nopen circuits: {}",
+                s.queued,
+                s.running,
+                s.completed,
+                s.rejected,
+                if s.open_circuits.is_empty() {
+                    "none".to_string()
+                } else {
+                    s.open_circuits.join(", ")
+                }
+            )),
+            other => Err(format!("unexpected response: {other:?}")),
+        };
+    }
+    if cli.submit_shutdown {
+        return match client.call(&Request::Shutdown)? {
+            Response::Bye { draining } => {
+                Ok(format!("server shutting down, draining {draining} job(s)"))
+            }
+            other => Err(format!("unexpected response: {other:?}")),
+        };
+    }
+    let spec = job_spec_from(cli);
+    let response = if cli.no_wait {
+        client.call(&Request::Submit(spec))?
+    } else {
+        client.submit_and_wait(spec)?
+    };
+    match response {
+        Response::Accepted(id) => Ok(format!("accepted job {id}")),
+        Response::Done(id, done) => Ok(render_done(id, &done)),
+        Response::Rejected(reject) => Err(render_rejection(&reject)),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
 /// Execute a parsed CLI invocation, returning the text to print.
 pub fn execute(cli: Cli) -> Result<String, String> {
     match cli.command {
@@ -315,6 +432,8 @@ pub fn execute(cli: Cli) -> Result<String, String> {
         Command::Autosched => cmd_autosched(&cli),
         Command::Faults => cmd_faults(&cli),
         Command::Repro => cmd_repro(&cli),
+        Command::Serve => cmd_serve(&cli),
+        Command::Submit => cmd_submit(&cli),
         Command::Table3 => {
             geometry::validate_against_builders();
             Ok(geometry::render_markdown())
@@ -439,6 +558,33 @@ mod tests {
         assert!(out.contains("retry"), "{out}");
         assert!(out.contains("degrade"), "{out}");
         assert!(out.contains("faults injected"), "{out}");
+    }
+
+    #[test]
+    fn submit_direct_prints_the_deterministic_artifact() {
+        let a = run("submit --direct -w nn*2+needle*2 --streams 4 --seed 11").unwrap();
+        let b = run("submit --direct -w nn*2+needle*2 --streams 4 --seed 11").unwrap();
+        assert_eq!(a, b, "direct artifact must be deterministic");
+        assert!(a.starts_with("hq-service-artifact v1\n"), "{a}");
+        assert!(a.ends_with("end"), "newline re-added by main_with");
+        // The artifact matches the service's own renderer byte-for-byte.
+        let cli = parse_args(
+            "submit --direct -w nn*2+needle*2 --streams 4 --seed 11"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap();
+        let direct = hq_bench::service::run_job_direct(&super::job_spec_from(&cli)).unwrap();
+        assert_eq!(format!("{a}\n"), direct);
+        // A scripted-panic job has no artifact to print.
+        assert!(run("submit --direct -w nn --panic").is_err());
+    }
+
+    #[test]
+    fn submit_to_a_dead_socket_is_a_structured_error() {
+        let err = run("submit --socket /tmp/hq-definitely-not-served.sock -w nn").unwrap_err();
+        assert!(err.contains("connect"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! End-to-end tests for the resilient scenario service: journal crash
+//! recovery (including a truncation sweep over every byte of the final
+//! record), queue backpressure, circuit breaking, deadline
+//! cancellation, panic isolation and graceful shutdown over a real
+//! Unix-domain socket.
+
+use hq_bench::service::protocol::{read_frame, write_frame};
+use hq_bench::service::{
+    run_job_direct, Client, JobDone, Journal, JobSpec, Reject, Request, Response, Server,
+    ServeOptions,
+};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Tests mutate the process-global `HQ_RESULTS` (the scenario cache
+/// root); each test holds this for its whole body.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct TestDirs {
+    root: PathBuf,
+}
+
+impl TestDirs {
+    fn new(name: &str) -> TestDirs {
+        let root = std::env::temp_dir().join(format!("hq-service-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create test dir");
+        std::env::set_var("HQ_RESULTS", &root);
+        TestDirs { root }
+    }
+
+    fn opts(&self) -> ServeOptions {
+        let mut opts = ServeOptions::new(self.root.join("hq.sock"));
+        opts.journal = self.root.join("journal").join("service.wal");
+        opts.artifact_dir = self.root.join("service");
+        opts
+    }
+}
+
+impl Drop for TestDirs {
+    fn drop(&mut self) {
+        std::env::remove_var("HQ_RESULTS");
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        seed,
+        ..JobSpec::default()
+    }
+}
+
+/// Satellite: append N jobs, truncate the journal at every byte offset
+/// of the final record, replay, and assert (a) no panic, (b) completed
+/// jobs are not re-run, (c) unfinished jobs re-execute to
+/// byte-identical artifacts.
+#[test]
+fn journal_truncation_sweep_recovers_at_every_offset() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("truncation-sweep");
+    let opts = dirs.opts();
+
+    // Journal three accepted jobs; job 1 completed, jobs 2 and 3 not.
+    {
+        let (mut j, _) = Journal::open(&opts.journal).expect("fresh journal");
+        j.accept(1, &spec(1)).unwrap();
+        j.done(1, "ok").unwrap();
+        j.accept(2, &spec(2)).unwrap();
+        j.accept(3, &spec(3)).unwrap();
+    }
+    let full = std::fs::read(&opts.journal).expect("journal bytes");
+    // The final record is job 3's accept line.
+    let last_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|i| i + 1)
+        .expect("final record start");
+
+    let direct2 = run_job_direct(&spec(2)).expect("direct job 2");
+    let direct3 = run_job_direct(&spec(3)).expect("direct job 3");
+
+    for cut in last_start..=full.len() {
+        std::fs::write(&opts.journal, &full[..cut]).unwrap();
+        let _ = std::fs::remove_dir_all(&opts.artifact_dir);
+        let (_, report) = Server::new(opts.clone()).expect("recovery must not fail");
+
+        let replayed: Vec<u64> = report.replayed.iter().map(|(id, _)| *id).collect();
+        assert!(
+            !replayed.contains(&1),
+            "cut {cut}: completed job 1 must not re-run"
+        );
+        assert!(
+            replayed.contains(&2),
+            "cut {cut}: job 2's record is intact and must replay"
+        );
+        let torn = cut < full.len();
+        assert_eq!(
+            replayed.contains(&3),
+            !torn,
+            "cut {cut}: job 3 replays iff its record survived whole"
+        );
+        let expect_torn = if torn { (cut - last_start) as u64 } else { 0 };
+        assert_eq!(report.torn_bytes, expect_torn, "cut {cut}");
+
+        assert!(
+            !opts.artifact_dir.join("job-1.out").exists(),
+            "cut {cut}: job 1 must produce no artifact"
+        );
+        let got2 = std::fs::read_to_string(opts.artifact_dir.join("job-2.out"))
+            .expect("job 2 artifact");
+        assert_eq!(got2, direct2, "cut {cut}: job 2 artifact not byte-identical");
+        if !torn {
+            let got3 = std::fs::read_to_string(opts.artifact_dir.join("job-3.out"))
+                .expect("job 3 artifact");
+            assert_eq!(got3, direct3, "cut {cut}: job 3 artifact not byte-identical");
+        }
+
+        // Recovery marked the replayed jobs done: reopening finds
+        // nothing left to do.
+        let (_, rec) = Journal::open(&opts.journal).expect("reopen");
+        assert!(
+            rec.unfinished.is_empty(),
+            "cut {cut}: replay must leave no unfinished jobs"
+        );
+    }
+}
+
+/// A crash *during* replay (simulated by recovering, then restoring an
+/// older journal plus the new done-markers) never loses or duplicates
+/// work: done markers appended by replay are honoured on the next pass.
+#[test]
+fn replay_is_resumable_and_marks_jobs_done() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("replay-marks");
+    let opts = dirs.opts();
+    {
+        let (mut j, _) = Journal::open(&opts.journal).expect("fresh journal");
+        j.accept(1, &spec(21)).unwrap();
+        j.accept(2, &spec(22)).unwrap();
+    }
+    let (_, first) = Server::new(opts.clone()).expect("first recovery");
+    assert_eq!(first.replayed.len(), 2);
+    // Second recovery of the same journal: everything already done.
+    let (_, second) = Server::new(opts.clone()).expect("second recovery");
+    assert!(second.replayed.is_empty(), "{second:?}");
+    assert_eq!(second.already_done, 2);
+    // Jobs that carried a deadline are conservatively expired on
+    // replay, not executed.
+    {
+        let (mut j, _) = Journal::open(&opts.journal).expect("journal");
+        let deadline_spec = JobSpec {
+            deadline_ms: Some(60_000),
+            ..spec(23)
+        };
+        j.accept(7, &deadline_spec).unwrap();
+    }
+    let (_, third) = Server::new(opts.clone()).expect("third recovery");
+    assert_eq!(third.replayed, vec![(7, "deadline".to_string())]);
+    assert!(!opts.artifact_dir.join("job-7.out").exists());
+}
+
+/// Backpressure and shutdown at the state-machine level (no workers
+/// running, so the queue cannot drain underneath the test).
+#[test]
+fn bounded_queue_rejects_and_shutdown_drains() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("backpressure");
+    let mut opts = dirs.opts();
+    opts.queue_depth = 2;
+    let (server, _) = Server::new(opts).expect("server");
+
+    assert_eq!(server.handle(Request::Submit(spec(1))), Response::Accepted(1));
+    assert_eq!(server.handle(Request::Submit(spec(2))), Response::Accepted(2));
+    assert_eq!(
+        server.handle(Request::Submit(spec(3))),
+        Response::Rejected(Reject::QueueFull { depth: 2 }),
+        "third submit must hit the bound"
+    );
+    match server.handle(Request::Status) {
+        Response::Status(s) => {
+            assert_eq!(s.queued, 2);
+            assert_eq!(s.rejected, 1);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    // Waiting for an id that was never accepted is a structured error.
+    assert!(matches!(
+        server.handle(Request::Wait(99)),
+        Response::Rejected(Reject::BadRequest(_))
+    ));
+    // Shutdown reports the backlog and rejects all further submits.
+    assert_eq!(server.handle(Request::Shutdown), Response::Bye { draining: 2 });
+    assert_eq!(
+        server.handle(Request::Submit(spec(4))),
+        Response::Rejected(Reject::ShuttingDown)
+    );
+}
+
+fn connect_with_retry(socket: &Path) -> Client {
+    for _ in 0..200 {
+        if let Ok(c) = Client::connect(socket) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never bound {}", socket.display());
+}
+
+/// Full service lifecycle over a real socket: healthy jobs, deadline
+/// cancellation, panic isolation, the per-class circuit breaker, and a
+/// graceful shutdown that seals the journal.
+#[test]
+fn service_over_socket_survives_panics_deadlines_and_breaker_trips() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("socket-e2e");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    opts.breaker_threshold = 1;
+    opts.breaker_cooldown_ms = 100;
+    let socket = opts.socket.clone();
+    let journal_path = opts.journal.clone();
+    let artifact_dir = opts.artifact_dir.clone();
+
+    let (server, report) = Server::new(opts).expect("server");
+    assert!(report.replayed.is_empty());
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+
+    // Healthy job: served artifact is byte-identical to a direct run.
+    let healthy = spec(31);
+    match client.submit_and_wait(healthy.clone()).expect("submit") {
+        Response::Done(id, JobDone::Ok { artifact }) => {
+            let served = std::fs::read_to_string(&artifact).expect("artifact file");
+            assert_eq!(served, run_job_direct(&healthy).unwrap());
+            assert!(artifact.ends_with(&format!("job-{id}.out")));
+        }
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // Deadline 0 expires before the worker can start it.
+    let doomed = JobSpec {
+        deadline_ms: Some(0),
+        ..spec(32)
+    };
+    match client.submit_and_wait(doomed).expect("submit") {
+        Response::Done(_, JobDone::DeadlineExceeded) => {}
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+
+    // A panicking job answers `panic` — and opens its class's breaker
+    // (threshold 1) without taking the worker down.
+    let bomb = JobSpec {
+        scripted_panic: true,
+        class: Some("bombs".to_string()),
+        ..spec(33)
+    };
+    match client.submit_and_wait(bomb.clone()).expect("submit") {
+        Response::Done(_, JobDone::Panicked(msg)) => {
+            assert!(msg.contains("scripted panic"), "{msg}")
+        }
+        other => panic!("expected panicked, got {other:?}"),
+    }
+    match client.submit_and_wait(bomb.clone()).expect("submit") {
+        Response::Rejected(Reject::CircuitOpen { class, retry_ms }) => {
+            assert_eq!(class, "bombs");
+            assert!(retry_ms <= 100);
+        }
+        other => panic!("expected circuit-open, got {other:?}"),
+    }
+    match client.call(&Request::Status).expect("status") {
+        Response::Status(s) => assert_eq!(s.open_circuits, vec!["bombs".to_string()]),
+        other => panic!("expected status, got {other:?}"),
+    }
+    // Other classes keep serving while the breaker is open.
+    match client.submit_and_wait(spec(34)).expect("submit") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("expected ok, got {other:?}"),
+    }
+    // After the cooldown a healthy probe of the same class closes it.
+    std::thread::sleep(Duration::from_millis(150));
+    let probe = JobSpec {
+        class: Some("bombs".to_string()),
+        ..spec(35)
+    };
+    match client.submit_and_wait(probe.clone()).expect("probe") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("expected probe success, got {other:?}"),
+    }
+    match client.submit_and_wait(probe).expect("post-probe") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("breaker should be closed, got {other:?}"),
+    }
+
+    // A malformed payload gets a structured rejection, not a hangup.
+    let mut raw = std::os::unix::net::UnixStream::connect(&socket).expect("raw connect");
+    write_frame(&mut raw, "not even close").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let payload = read_frame(&mut reader).unwrap().expect("response");
+    assert!(
+        matches!(
+            Response::decode(&payload),
+            Ok(Response::Rejected(Reject::BadRequest(_)))
+        ),
+        "{payload}"
+    );
+
+    // Graceful shutdown drains and seals.
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+    assert!(!socket.exists(), "socket removed on shutdown");
+    let (_, rec) = Journal::open(&journal_path).expect("reopen journal");
+    assert!(rec.was_sealed, "journal sealed by graceful shutdown");
+    assert!(rec.unfinished.is_empty());
+    // Artifacts only for the jobs that completed in time.
+    assert!(artifact_dir.join("job-1.out").exists());
+    assert!(!artifact_dir.join("job-2.out").exists(), "deadline job");
+    assert!(!artifact_dir.join("job-3.out").exists(), "panicked job");
+}
