@@ -236,6 +236,51 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Read-only recovery scan of a journal that belongs to *another*
+    /// process (a dead fleet worker): reports completed/unfinished jobs
+    /// exactly like [`Journal::open`] but never truncates, archives,
+    /// rotates or appends — the owning worker may be restarted later
+    /// and must find its journal byte-for-byte as it left it. A torn
+    /// tail is simply skipped; an incompatible header yields an empty
+    /// `Recovered` (nothing can be safely replayed from it). Missing
+    /// files are not an error: a worker that died before journaling
+    /// anything has nothing to recover.
+    pub fn peek(path: &Path) -> std::io::Result<Recovered> {
+        let mut rec = Recovered {
+            next_id: 1,
+            ..Recovered::default()
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(rec),
+            Err(e) => return Err(e),
+        };
+        let (records, valid) = scan(&bytes);
+        rec.torn_bytes = (bytes.len() - valid) as u64;
+        match records.first() {
+            Some(Record::Header { version, sim })
+                if *version == JOURNAL_VERSION && *sim == SIM_VERSION => {}
+            _ => return Ok(rec),
+        }
+        rec.was_sealed = records.iter().any(|r| matches!(r, Record::Seal));
+        let mut done: Vec<u64> = Vec::new();
+        for r in &records {
+            if let Record::Done(id, status) = r {
+                done.push(*id);
+                rec.completed.push((*id, status.clone()));
+            }
+        }
+        for r in &records {
+            if let Record::Accept(id, spec) = r {
+                rec.next_id = rec.next_id.max(*id + 1);
+                if !done.contains(id) {
+                    rec.unfinished.push((*id, spec.clone()));
+                }
+            }
+        }
+        Ok(rec)
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +365,32 @@ mod tests {
         assert!(archive.exists());
         assert!(rec.unfinished.is_empty());
         assert_eq!(rec.next_id, 1);
+    }
+
+    #[test]
+    fn peek_reads_without_mutating() {
+        let path = tmp("peek");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(1, &spec(1)).unwrap();
+            j.accept(2, &spec(2)).unwrap();
+            j.done(1, "ok").unwrap();
+        }
+        // Append a torn tail; peek must skip it AND leave it in place.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"deadbeef00000000 A 3 torn");
+        std::fs::write(&path, &bytes).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let rec = Journal::peek(&path).unwrap();
+        assert_eq!(rec.completed, vec![(1, "ok".to_string())]);
+        assert_eq!(rec.unfinished.len(), 1);
+        assert_eq!(rec.unfinished[0].0, 2);
+        assert_eq!(rec.next_id, 3);
+        assert_eq!(rec.torn_bytes, 25);
+        assert_eq!(std::fs::read(&path).unwrap(), before, "peek mutated the file");
+        // A journal that never existed recovers nothing, not an error.
+        let ghost = Journal::peek(&path.with_extension("ghost")).unwrap();
+        assert!(ghost.unfinished.is_empty() && ghost.completed.is_empty());
     }
 
     #[test]

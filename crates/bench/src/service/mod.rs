@@ -34,11 +34,15 @@
 //! whole service uses only `std` primitives (`Mutex` + `Condvar` —
 //! the vendored `parking_lot` shim has no condvar).
 
+pub mod fleet;
 pub mod journal;
 pub mod protocol;
+pub mod ring;
 
+pub use fleet::{Fleet, FleetOptions};
 pub use journal::{Journal, Recovered};
 pub use protocol::{JobDone, JobSpec, Reject, Request, Response, StatusReport};
+pub use ring::Ring;
 
 use crate::scenario::{run_scenario_workload, SIM_VERSION};
 use crate::util::codec::esc;
@@ -48,7 +52,8 @@ use hq_gpu::result::AppOutcome;
 use hyperq_core::harness::{RunConfig, RunOutcome};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -320,7 +325,13 @@ extern "C" fn on_term(_sig: i32) {
     TERM.store(true, Ordering::SeqCst);
 }
 
-fn install_sigterm() {
+/// Has SIGTERM been delivered to this process? Shared by the
+/// single-process server loop and the fleet coordinator.
+pub(crate) fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+pub(crate) fn install_sigterm() {
     // No libc crate in the vendor set; declare the libc symbol
     // directly. SIGTERM is 15 everywhere this repo runs.
     extern "C" {
@@ -365,6 +376,29 @@ impl Server {
             shutting_down: false,
             journal,
         };
+        // Jobs the journal says were already done get their results
+        // reconstructed so a `wait` that arrives after the restart (a
+        // fleet coordinator reattaching to a revived worker) still gets
+        // its answer. The `ok` artifact path is trustworthy — the
+        // artifact is written durably *before* the done mark — while a
+        // pre-restart panic/error message is gone; only its status
+        // survives.
+        for (id, status) in &recovered.completed {
+            let done = match status.as_str() {
+                "ok" => JobDone::Ok {
+                    artifact: opts
+                        .artifact_dir
+                        .join(format!("job-{id}.out"))
+                        .display()
+                        .to_string(),
+                },
+                "deadline" => JobDone::DeadlineExceeded,
+                "panic" => JobDone::Panicked("panicked before a restart".to_string()),
+                _ => JobDone::SimError("failed before a restart".to_string()),
+            };
+            state.results.insert(*id, done);
+            state.completed += 1;
+        }
         // Replay before serving: sequential, deterministic, and marked
         // done in the same journal so a crash *during* replay just
         // replays the remainder next time. Jobs that carried a deadline
@@ -407,6 +441,7 @@ impl Server {
             Request::Submit(spec) => self.submit(spec),
             Request::Wait(id) => self.wait_for(id),
             Request::Status => self.status(),
+            Request::Ping => Response::Pong,
             Request::Shutdown => self.shutdown(),
         }
     }
@@ -631,20 +666,7 @@ impl Server {
         };
         let mut reader = BufReader::new(read_half);
         let mut writer = stream;
-        loop {
-            let payload = match protocol::read_frame(&mut reader) {
-                Ok(Some(p)) => p,
-                Ok(None) | Err(_) => return,
-            };
-            let response = match Request::decode(&payload) {
-                Ok(req) => self.handle(req),
-                Err(e) => Response::Rejected(Reject::BadRequest(e)),
-            };
-            let last = matches!(response, Response::Bye { .. });
-            if protocol::write_frame(&mut writer, &response.encode()).is_err() || last {
-                return;
-            }
-        }
+        protocol::serve_frames(&mut reader, &mut writer, |req| self.handle(req));
     }
 }
 
@@ -686,22 +708,96 @@ pub fn serve(opts: ServeOptions, recover_only: bool) -> Result<RecoveryReport, S
 // Client.
 // ---------------------------------------------------------------------
 
+/// One client-side byte stream: the Unix socket the single-process
+/// server binds, or the TCP front door of a fleet coordinator. Both
+/// carry identical frames; only connection setup differs.
+enum Transport {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    fn try_clone(&self) -> std::io::Result<Transport> {
+        match self {
+            Transport::Unix(s) => s.try_clone().map(Transport::Unix),
+            Transport::Tcp(s) => s.try_clone().map(Transport::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.set_read_timeout(dur),
+            Transport::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.flush(),
+            Transport::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 /// Client connection holding one request/response conversation.
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    reader: BufReader<Transport>,
+    writer: Transport,
+    timeout_ms: Option<u64>,
 }
 
 impl Client {
-    /// Connect to a serving socket.
-    pub fn connect(socket: &Path) -> Result<Client, String> {
-        let stream = UnixStream::connect(socket)
-            .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    fn from_transport(stream: Transport) -> Result<Client, String> {
         let read_half = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: stream,
+            timeout_ms: None,
         })
+    }
+
+    /// Connect to a serving Unix socket.
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+        Client::from_transport(Transport::Unix(stream))
+    }
+
+    /// Connect to a fleet coordinator's TCP front door.
+    pub fn connect_tcp(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Client::from_transport(Transport::Tcp(stream))
+    }
+
+    /// Bound every subsequent response read: a wedged server answers
+    /// with a structured timeout error instead of hanging the caller
+    /// forever. `None` restores blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        self.timeout_ms = timeout.map(|d| d.as_millis() as u64);
+        Ok(())
     }
 
     /// One request, one response.
@@ -711,6 +807,17 @@ impl Client {
         match protocol::read_frame(&mut self.reader) {
             Ok(Some(payload)) => Response::decode(&payload),
             Ok(None) => Err("server closed the connection".to_string()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(match self.timeout_ms {
+                    Some(ms) => format!("timed out after {ms}ms waiting for a response"),
+                    None => "timed out waiting for a response".to_string(),
+                })
+            }
             Err(e) => Err(format!("read response: {e}")),
         }
     }

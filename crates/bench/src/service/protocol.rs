@@ -27,7 +27,9 @@ use std::io::{BufRead, Write};
 pub const MAGIC: &str = "hq1";
 
 /// Upper bound on a single frame payload; anything larger is rejected
-/// before allocation, so a corrupt length prefix cannot OOM the server.
+/// before allocation, so a corrupt length prefix cannot OOM the
+/// coordinator or a worker. Violations are answered with a *framed*
+/// `bad-request` by [`serve_frames`], never a silent connection drop.
 pub const MAX_FRAME: usize = 1 << 20;
 
 // ---------------------------------------------------------------------
@@ -64,6 +66,42 @@ pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
 
 fn bad_data(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Serve one connection: read request frames, answer each with one
+/// response frame, until clean EOF, a transport error, or a `Bye`.
+/// Protocol violations — a frame whose declared length exceeds
+/// [`MAX_FRAME`] (rejected before any allocation), a malformed length
+/// prefix, non-UTF-8 payload bytes — are answered with a framed
+/// `bad-request` carrying the violation before the connection closes,
+/// so a confused client sees a structured error rather than a silent
+/// hangup. Shared by the single-process server (Unix socket) and the
+/// fleet coordinator (TCP): both front doors speak identical frames.
+pub fn serve_frames<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    mut handle: impl FnMut(Request) -> Response,
+) {
+    loop {
+        let payload = match read_frame(reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let refuse = Response::Rejected(Reject::BadRequest(format!("protocol: {e}")));
+                let _ = write_frame(writer, &refuse.encode());
+                return;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle(req),
+            Err(e) => Response::Rejected(Reject::BadRequest(e)),
+        };
+        let last = matches!(response, Response::Bye { .. });
+        if write_frame(writer, &response.encode()).is_err() || last {
+            return;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -265,6 +303,9 @@ pub enum Request {
     Wait(u64),
     /// Queue/breaker snapshot; answered with `Status`.
     Status,
+    /// Liveness probe; answered with `Pong` without touching the job
+    /// queue. The fleet coordinator heartbeats workers with this.
+    Ping,
     /// Graceful shutdown: drain in-flight jobs, reject new ones.
     Shutdown,
 }
@@ -276,6 +317,7 @@ impl Request {
             Request::Submit(spec) => format!("{MAGIC} submit {}", esc(&spec.encode())),
             Request::Wait(id) => format!("{MAGIC} wait {id}"),
             Request::Status => format!("{MAGIC} status"),
+            Request::Ping => format!("{MAGIC} ping"),
             Request::Shutdown => format!("{MAGIC} shutdown"),
         }
     }
@@ -296,6 +338,7 @@ impl Request {
                 .map(Request::Wait)
                 .map_err(|_| format!("bad wait id '{id}'")),
             (Some("status"), None, _) => Ok(Request::Status),
+            (Some("ping"), None, _) => Ok(Request::Ping),
             (Some("shutdown"), None, _) => Ok(Request::Shutdown),
             _ => Err(format!("unknown request '{line}'")),
         }
@@ -324,6 +367,10 @@ pub enum Reject {
     },
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// No worker could take the job right now (fleet dispatch
+    /// exhausted its bounded retries, or every shard is down).
+    /// Resubmitting later is safe — nothing was accepted.
+    Unavailable(String),
     /// Malformed or unserviceable request.
     BadRequest(String),
 }
@@ -382,6 +429,8 @@ pub enum Response {
     Done(u64, JobDone),
     /// Status snapshot.
     Status(StatusReport),
+    /// Liveness probe answer.
+    Pong,
     /// Shutdown acknowledged; `draining` jobs still in flight.
     Bye {
         /// Queued + running jobs that will drain before exit.
@@ -402,6 +451,9 @@ impl Response {
             }
             Response::Rejected(Reject::ShuttingDown) => {
                 format!("{MAGIC} rejected shutting-down")
+            }
+            Response::Rejected(Reject::Unavailable(msg)) => {
+                format!("{MAGIC} rejected unavailable {}", esc(msg))
             }
             Response::Rejected(Reject::BadRequest(msg)) => {
                 format!("{MAGIC} rejected bad-request {}", esc(msg))
@@ -429,6 +481,7 @@ impl Response {
                     }
                 )
             }
+            Response::Pong => format!("{MAGIC} pong"),
             Response::Bye { draining } => format!("{MAGIC} bye {draining}"),
         }
     }
@@ -453,6 +506,9 @@ impl Response {
                     retry_ms: num(toks[4])?,
                 })),
                 (Some("shutting-down"), 3) => Ok(Response::Rejected(Reject::ShuttingDown)),
+                (Some("unavailable"), 4) => Ok(Response::Rejected(Reject::Unavailable(
+                    unesc(toks[3]).ok_or("bad message escape")?,
+                ))),
                 (Some("bad-request"), 4) => Ok(Response::Rejected(Reject::BadRequest(
                     unesc(toks[3]).ok_or("bad message escape")?,
                 ))),
@@ -489,6 +545,7 @@ impl Response {
                     open_circuits,
                 }))
             }
+            Some("pong") if toks.len() == 2 => Ok(Response::Pong),
             Some("bye") if toks.len() == 3 => Ok(Response::Bye {
                 draining: num(toks[2])?,
             }),
@@ -552,6 +609,7 @@ mod tests {
             Request::Submit(sample_spec()),
             Request::Wait(17),
             Request::Status,
+            Request::Ping,
             Request::Shutdown,
         ] {
             assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(&req));
@@ -571,6 +629,7 @@ mod tests {
                 retry_ms: 250,
             }),
             Response::Rejected(Reject::ShuttingDown),
+            Response::Rejected(Reject::Unavailable("all shards down".to_string())),
             Response::Rejected(Reject::BadRequest("what even is this".to_string())),
             Response::Done(
                 9,
@@ -597,6 +656,7 @@ mod tests {
                 open_circuits: vec!["class a".to_string(), "class b".to_string()],
             }),
             Response::Status(StatusReport::default()),
+            Response::Pong,
             Response::Bye { draining: 5 },
         ] {
             assert_eq!(Response::decode(&resp.encode()).as_ref(), Ok(&resp));
@@ -621,5 +681,64 @@ mod tests {
         let huge = format!("{}\n", MAX_FRAME + 1);
         assert!(read_frame(&mut std::io::BufReader::new(huge.as_bytes())).is_err());
         assert!(read_frame(&mut std::io::BufReader::new(&b"nope\nx"[..])).is_err());
+    }
+
+    #[test]
+    fn serve_frames_answers_protocol_violations_with_framed_errors() {
+        // An oversized declared length must produce a framed
+        // bad-request response, not a silent close — and must do so
+        // without allocating the claimed buffer.
+        let huge = format!("{}\nwhatever", usize::MAX);
+        let mut out = Vec::new();
+        serve_frames(
+            &mut std::io::BufReader::new(huge.as_bytes()),
+            &mut out,
+            |_| unreachable!("no frame should ever decode"),
+        );
+        let mut r = std::io::BufReader::new(&out[..]);
+        let reply = read_frame(&mut r).unwrap().expect("a framed error");
+        match Response::decode(&reply) {
+            Ok(Response::Rejected(Reject::BadRequest(msg))) => {
+                assert!(msg.contains("protocol"), "{msg}");
+            }
+            other => panic!("expected framed bad-request, got {other:?}"),
+        }
+
+        // A well-formed frame with a garbage payload gets a framed
+        // bad-request too, and the connection keeps serving.
+        let mut input = Vec::new();
+        write_frame(&mut input, "not-the-magic at all").unwrap();
+        write_frame(&mut input, &Request::Ping.encode()).unwrap();
+        let mut out = Vec::new();
+        serve_frames(
+            &mut std::io::BufReader::new(&input[..]),
+            &mut out,
+            |req| match req {
+                Request::Ping => Response::Pong,
+                other => panic!("unexpected {other:?}"),
+            },
+        );
+        let mut r = std::io::BufReader::new(&out[..]);
+        let first = read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&first),
+            Ok(Response::Rejected(Reject::BadRequest(_)))
+        ));
+        let second = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(Response::decode(&second), Ok(Response::Pong));
+
+        // Bye terminates the loop after one response.
+        let mut input = Vec::new();
+        write_frame(&mut input, &Request::Shutdown.encode()).unwrap();
+        write_frame(&mut input, &Request::Ping.encode()).unwrap();
+        let mut out = Vec::new();
+        serve_frames(
+            &mut std::io::BufReader::new(&input[..]),
+            &mut out,
+            |_| Response::Bye { draining: 0 },
+        );
+        let mut r = std::io::BufReader::new(&out[..]);
+        assert!(read_frame(&mut r).unwrap().is_some());
+        assert!(read_frame(&mut r).unwrap().is_none(), "loop stopped at Bye");
     }
 }

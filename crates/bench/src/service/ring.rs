@@ -1,0 +1,265 @@
+//! Consistent-hash ring for fleet job placement.
+//!
+//! Jobs are sharded across worker processes by their scenario-cache
+//! key (the [`super::protocol::JobSpec::signature`]), so repeated
+//! submissions of the same spec land on the same worker and hit its
+//! warm per-shard scenario cache. The ring gives that placement two
+//! properties the fleet's failover story depends on:
+//!
+//! * **Bounded churn** — removing one worker remaps *only* the keys
+//!   that worker owned; every other key keeps its shard (and its warm
+//!   cache). Adding a worker steals keys only for the new worker.
+//! * **Determinism** — placement is a pure function of the member set
+//!   and the key (finalized [`crate::util::codec::fnv1a`], no random
+//!   state), so a restarted coordinator, a test, and the CI gate all
+//!   compute identical placements, regardless of the order members
+//!   were added in.
+//!
+//! Each member contributes [`Ring::vnodes`] points to the ring (hash
+//! of `"{name}#{i}"`); a key is owned by the first point clockwise
+//! from the key's own hash. [`Ring::route`] additionally walks past
+//! unhealthy members (open circuit breaker, restarting worker) so
+//! dispatch can fail over without mutating the ring itself —
+//! membership changes are reserved for permanent departures, keeping
+//! churn at the bounded-by-construction minimum.
+
+use crate::util::codec::fnv1a;
+
+/// Default virtual nodes per member: enough to spread load evenly
+/// across a handful of worker processes without making rebuilds
+/// noticeable.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Ring hash: [`fnv1a`] with a 64-bit avalanche finalizer
+/// (MurmurHash3's fmix64 constants). Raw FNV-1a mixes too weakly for
+/// ring placement — strings that differ only in a short infix
+/// (`shard-0#7` vs `shard-1#7`, or trailing seed digits) land at
+/// near-constant offsets from each other, which collapses arc lengths
+/// and starves whole members. The finalizer restores full-width
+/// dispersion while staying a pure deterministic function of the key.
+fn ring_hash(s: &str) -> u64 {
+    let mut h = fnv1a(s.as_bytes());
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A consistent-hash ring over named members.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    vnodes: u32,
+    /// Member names, kept sorted so the point table is independent of
+    /// insertion order.
+    nodes: Vec<String>,
+    /// `(point hash, index into nodes)`, sorted by hash (ties broken
+    /// by the sorted node index, so equal hashes are still
+    /// deterministic).
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Empty ring with `vnodes` points per member (0 is clamped to 1).
+    pub fn new(vnodes: u32) -> Ring {
+        Ring {
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Current members, sorted by name.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a member. Idempotent: re-adding an existing name is a no-op.
+    pub fn add(&mut self, name: &str) {
+        if self.nodes.iter().any(|n| n == name) {
+            return;
+        }
+        self.nodes.push(name.to_string());
+        self.nodes.sort();
+        self.rebuild();
+    }
+
+    /// Remove a member. Unknown names are a no-op.
+    pub fn remove(&mut self, name: &str) {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| n != name);
+        if self.nodes.len() != before {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points
+            .reserve(self.nodes.len() * self.vnodes as usize);
+        for (idx, name) in self.nodes.iter().enumerate() {
+            for v in 0..self.vnodes {
+                let point = ring_hash(&format!("{name}#{v}"));
+                self.points.push((point, idx as u32));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Index of the first ring point clockwise from `key`'s hash.
+    fn start(&self, key: &str) -> usize {
+        let h = ring_hash(key);
+        match self.points.binary_search(&(h, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap around
+            Err(i) => i,
+        }
+    }
+
+    /// Owner of `key`: the member whose point is first clockwise from
+    /// the key's hash. `None` on an empty ring.
+    pub fn node_for(&self, key: &str) -> Option<&str> {
+        self.points
+            .get(self.start(key))
+            .map(|&(_, idx)| self.nodes[idx as usize].as_str())
+    }
+
+    /// Owner of `key` among members passing the `healthy` predicate:
+    /// walks the ring clockwise from the key's own position, so an
+    /// unhealthy owner's keys spill to the *next* member on the ring
+    /// (each distinct member is consulted once). `None` when no
+    /// member is healthy.
+    pub fn route<F: Fn(&str) -> bool>(&self, key: &str, healthy: F) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.start(key);
+        let mut seen = vec![false; self.nodes.len()];
+        let mut remaining = self.nodes.len();
+        for off in 0..self.points.len() {
+            let (_, idx) = self.points[(start + off) % self.points.len()];
+            let idx = idx as usize;
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            if healthy(&self.nodes[idx]) {
+                return Some(self.nodes[idx].as_str());
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(names: &[&str]) -> Ring {
+        let mut r = Ring::new(DEFAULT_VNODES);
+        for n in names {
+            r.add(n);
+        }
+        r
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("wl=needle seed={i}")).collect()
+    }
+
+    #[test]
+    fn placement_is_insertion_order_independent() {
+        let a = ring_of(&["shard-0", "shard-1", "shard-2"]);
+        let b = ring_of(&["shard-2", "shard-0", "shard-1"]);
+        for k in keys(500) {
+            assert_eq!(a.node_for(&k), b.node_for(&k), "{k}");
+        }
+    }
+
+    #[test]
+    fn removal_remaps_only_the_removed_members_keys() {
+        let full = ring_of(&["shard-0", "shard-1", "shard-2", "shard-3"]);
+        let mut reduced = full.clone();
+        reduced.remove("shard-2");
+        let mut remapped = 0usize;
+        for k in keys(800) {
+            let before = full.node_for(&k).unwrap().to_string();
+            let after = reduced.node_for(&k).unwrap().to_string();
+            if before == "shard-2" {
+                assert_ne!(after, "shard-2");
+                remapped += 1;
+            } else {
+                assert_eq!(before, after, "{k} moved despite its owner surviving");
+            }
+        }
+        assert!(remapped > 0, "shard-2 owned no keys?");
+    }
+
+    #[test]
+    fn load_spreads_across_members() {
+        let r = ring_of(&["shard-0", "shard-1", "shard-2"]);
+        let mut counts = std::collections::HashMap::new();
+        for k in keys(900) {
+            *counts.entry(r.node_for(&k).unwrap().to_string()).or_insert(0usize) += 1;
+        }
+        for name in r.nodes() {
+            let c = counts.get(name).copied().unwrap_or(0);
+            assert!(
+                (90..=600).contains(&c),
+                "{name} owns {c}/900 keys — vnode spread is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn route_walks_past_unhealthy_members_without_remapping_the_rest() {
+        let r = ring_of(&["shard-0", "shard-1", "shard-2"]);
+        for k in keys(200) {
+            let owner = r.node_for(&k).unwrap().to_string();
+            // All healthy: route == node_for.
+            assert_eq!(r.route(&k, |_| true), Some(owner.as_str()));
+            // Owner unhealthy: the key spills to a different member...
+            let spilled = r.route(&k, |n| n != owner).unwrap().to_string();
+            assert_ne!(spilled, owner);
+            // ...and keys of healthy owners do not move at all.
+            let other = r.route(&k, |n| *n != *"shard-never").unwrap();
+            assert_eq!(other, owner);
+        }
+        // No healthy member at all.
+        assert_eq!(r.route("anything", |_| false), None);
+        assert_eq!(Ring::new(8).route("anything", |_| true), None);
+    }
+
+    #[test]
+    fn empty_and_idempotent_membership() {
+        let mut r = Ring::new(0); // clamped to 1 vnode
+        assert!(r.is_empty());
+        assert_eq!(r.node_for("k"), None);
+        r.add("a");
+        r.add("a");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.node_for("k"), Some("a"));
+        r.remove("missing");
+        r.remove("a");
+        assert!(r.is_empty());
+    }
+}

@@ -28,7 +28,14 @@
 #      mid-burst, restart with `--recover-only`, and require that the
 #      journal replays the unfinished jobs and every accepted job's
 #      artifact is byte-identical to a direct `run_scenario` rendering,
-#   6. clippy with warnings denied (skipped with a notice when the
+#   6. a fleet failover smoke: start the TCP coordinator with three
+#      supervised worker processes, drive a verified loadgen burst that
+#      gates jobs/s-per-core against the committed BENCH_PR6.json (>20%
+#      regression fails, with re-measurement), then a second burst that
+#      `kill -9`s a worker mid-burst — every accepted job must still
+#      complete with artifacts byte-identical to direct runs — and a
+#      SIGTERM drain that must seal every shard's journal,
+#   7. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
 #
 # Every timed or served binary goes through fresh_bin first: `cargo
@@ -44,12 +51,22 @@ SMOKE_SNAP=""
 SMOKE_LOG=""
 SVC_DIR=""
 SRV_PID=""
+FLEET_TMP=""
+FLEET_PID=""
 cleanup() {
     [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    if [ -n "$FLEET_PID" ]; then
+        kill -9 "$FLEET_PID" 2>/dev/null || true
+        # The coordinator's workers survive a kill -9 of their parent.
+        for pf in "$FLEET_TMP"/fleet/shard-*/worker.pid; do
+            [ -f "$pf" ] && kill -9 "$(cat "$pf")" 2>/dev/null || true
+        done
+    fi
     [ -n "$SMOKE_RESULTS" ] && rm -rf "$SMOKE_RESULTS"
     [ -n "$SMOKE_SNAP" ] && rm -rf "$SMOKE_SNAP"
     [ -n "$SMOKE_LOG" ] && rm -f "$SMOKE_LOG"
     [ -n "$SVC_DIR" ] && rm -rf "$SVC_DIR"
+    [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
     true
 }
 trap cleanup EXIT
@@ -176,6 +193,59 @@ REC2="$(HQ_RESULTS="$SVC_DIR" "$HQ" serve --socket "$SOCK" --recover-only 2>/dev
 printf '%s\n' "$REC2" | grep -q "^recovery: replayed 0 job(s)" \
     || { echo "FAIL: second recovery pass was not idempotent: $REC2"; exit 1; }
 echo "crash recovery replayed $REPLAYED job(s); all burst artifacts byte-identical to direct runs"
+
+echo "==> fleet failover smoke (3 workers, kill -9 mid-burst)"
+fresh_bin hq-bench loadgen
+FLEET_TMP="$(mktemp -d)"
+FLEET_DIR="$FLEET_TMP/fleet"
+HQ_RESULTS="$FLEET_TMP/coord-results" "$HQ" serve --tcp 127.0.0.1:0 --fleet 3 \
+    --fleet-dir "$FLEET_DIR" --heartbeat-ms 100 >"$FLEET_TMP/fleet.log" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 300); do [ -s "$FLEET_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$FLEET_DIR/addr" ] || { echo "FAIL: coordinator never published its address"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+ADDR="$(cat "$FLEET_DIR/addr")"
+
+# Healthy burst: verified artifacts, with a jobs/s-per-core gate against
+# the committed baseline. Re-measure on a miss: shared CI boxes jitter.
+GATE_OK=0
+for attempt in 1 2 3; do
+    if HQ_RESULTS="$FLEET_TMP/client-results" target/release/loadgen --tcp "$ADDR" \
+        --jobs 48 --conns 4 --verify --json "$FLEET_TMP/burst.json" --check BENCH_PR6.json; then
+        GATE_OK=1
+        break
+    fi
+    echo "fleet gate attempt $attempt missed; re-measuring"
+done
+[ "$GATE_OK" = 1 ] || { echo "FAIL: fleet throughput gate missed on every attempt"; exit 1; }
+
+# Chaos burst: kill -9 one worker after the 5th completion. Zero
+# accepted-job loss and byte-identical artifacts, or loadgen exits 1.
+HQ_RESULTS="$FLEET_TMP/client-results" target/release/loadgen --tcp "$ADDR" \
+    --jobs 40 --conns 4 --verify \
+    --kill-pidfile "$FLEET_DIR/shard-1/worker.pid" --kill-after 5 \
+    || { echo "FAIL: jobs lost or diverged across a mid-burst worker crash"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+grep -q "restarting shard-1 in place" "$FLEET_TMP/fleet.log" \
+    || { echo "FAIL: supervisor never restarted the killed worker"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+
+# Graceful drain: SIGTERM must seal every shard's journal and reap all
+# worker processes before the coordinator exits 0.
+kill -TERM "$FLEET_PID"
+FLEET_OK=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$FLEET_PID" 2>/dev/null; then FLEET_OK=1; break; fi
+    sleep 0.1
+done
+[ "$FLEET_OK" = 1 ] || { echo "FAIL: coordinator did not drain after SIGTERM"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+wait "$FLEET_PID" 2>/dev/null || { echo "FAIL: coordinator exited non-zero"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+FLEET_PID=""
+grep -q "drained, workers sealed and reaped" "$FLEET_TMP/fleet.log" \
+    || { echo "FAIL: no drain summary in coordinator log"; cat "$FLEET_TMP/fleet.log"; exit 1; }
+for shard in shard-0 shard-1 shard-2; do
+    tail -1 "$FLEET_DIR/$shard/journal/service.wal" | awk -v s="$shard" \
+        '{ if ($2 != "S") { print "FAIL: " s " journal not sealed (last record type " $2 ")"; exit 1 } }' \
+        || exit 1
+done
+echo "fleet smoke: gate passed, mid-burst crash lost nothing, all journals sealed"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

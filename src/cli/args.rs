@@ -23,11 +23,15 @@ USAGE:
   hyperq repro     FILE
   hyperq serve     --socket PATH [--workers N] [--queue-depth N]
                    [--breaker-threshold K] [--breaker-cooldown-ms MS]
-                   [--recover-only]
-  hyperq submit    --socket PATH --workload SPEC [--streams N] [--order ORDER]
-                   [--memsync MODE] [--serial] [--seed N] [--device DEV]
-                   [--deadline-ms N] [--class NAME] [--panic] [--no-wait]
-  hyperq submit    --socket PATH --status | --shutdown
+                   [--journal PATH] [--artifact-dir DIR] [--recover-only]
+  hyperq serve     --tcp ADDR --fleet N [--fleet-dir DIR] [--queue-depth N]
+                   [--workers N] [--heartbeat-ms MS] [--max-restarts K]
+                   [--breaker-threshold K] [--breaker-cooldown-ms MS]
+  hyperq submit    --socket PATH|--tcp ADDR --workload SPEC [--streams N]
+                   [--order ORDER] [--memsync MODE] [--serial] [--seed N]
+                   [--device DEV] [--deadline-ms N] [--class NAME] [--panic]
+                   [--no-wait] [--timeout-ms MS]
+  hyperq submit    --socket PATH|--tcp ADDR --status | --shutdown
   hyperq submit    --direct --workload SPEC [run flags]
   hyperq table3
   hyperq devices
@@ -118,6 +122,23 @@ pub struct Cli {
     pub repro_file: Option<String>,
     /// Unix-domain socket path (`serve` / `submit`).
     pub socket: Option<String>,
+    /// TCP address of a fleet coordinator (`serve --tcp` / `submit --tcp`).
+    pub tcp: Option<String>,
+    /// Worker process count for fleet mode (`serve --fleet`, 0 = off).
+    pub fleet: usize,
+    /// Fleet state directory (`serve --fleet-dir`).
+    pub fleet_dir: Option<String>,
+    /// Supervisor heartbeat period in ms (`serve --heartbeat-ms`).
+    pub heartbeat_ms: u64,
+    /// In-place restarts per worker before rehashing (`--max-restarts`).
+    pub max_restarts: u32,
+    /// Journal path override (`serve --journal`).
+    pub journal: Option<String>,
+    /// Artifact directory override (`serve --artifact-dir`).
+    pub artifact_dir: Option<String>,
+    /// Client read timeout in ms (`submit --timeout-ms`; falls back to
+    /// `HQ_SUBMIT_TIMEOUT_MS`, then a generous default).
+    pub timeout_ms: Option<u64>,
     /// Server worker thread count (`serve --workers`).
     pub serve_workers: usize,
     /// Bounded job-queue depth (`serve --queue-depth`).
@@ -177,6 +198,14 @@ impl Default for Cli {
             attempts: 2,
             repro_file: None,
             socket: None,
+            tcp: None,
+            fleet: 0,
+            fleet_dir: None,
+            heartbeat_ms: 200,
+            max_restarts: 3,
+            journal: None,
+            artifact_dir: None,
+            timeout_ms: None,
             serve_workers: 2,
             queue_depth: 16,
             breaker_threshold: 3,
@@ -311,6 +340,40 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 }
             }
             "--socket" => cli.socket = Some(value(&mut it, "--socket")?),
+            "--tcp" => cli.tcp = Some(value(&mut it, "--tcp")?),
+            "--fleet" => {
+                cli.fleet = value(&mut it, "--fleet")?
+                    .parse()
+                    .map_err(|_| "--fleet needs an integer".to_string())?;
+                if cli.fleet == 0 || cli.fleet > 16 {
+                    return Err("--fleet must be in 1..=16".into());
+                }
+            }
+            "--fleet-dir" => cli.fleet_dir = Some(value(&mut it, "--fleet-dir")?),
+            "--heartbeat-ms" => {
+                cli.heartbeat_ms = value(&mut it, "--heartbeat-ms")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-ms needs an integer".to_string())?;
+                if cli.heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".into());
+                }
+            }
+            "--max-restarts" => {
+                cli.max_restarts = value(&mut it, "--max-restarts")?
+                    .parse()
+                    .map_err(|_| "--max-restarts needs an integer".to_string())?;
+            }
+            "--journal" => cli.journal = Some(value(&mut it, "--journal")?),
+            "--artifact-dir" => cli.artifact_dir = Some(value(&mut it, "--artifact-dir")?),
+            "--timeout-ms" => {
+                let ms: u64 = value(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms needs an integer".to_string())?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".into());
+                }
+                cli.timeout_ms = Some(ms);
+            }
             "--workers" => {
                 cli.serve_workers = value(&mut it, "--workers")?
                     .parse()
@@ -373,15 +436,27 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     if cli.command == Command::Repro && cli.repro_file.is_none() {
         return Err("repro requires a FILE argument".into());
     }
-    if cli.command == Command::Serve && cli.socket.is_none() {
-        return Err("serve requires --socket".into());
+    if cli.command == Command::Serve {
+        if cli.fleet > 0 {
+            if cli.tcp.is_none() {
+                return Err("serve --fleet requires --tcp ADDR".into());
+            }
+            if cli.recover_only {
+                return Err("--recover-only does not apply to fleet mode".into());
+            }
+        } else if cli.socket.is_none() {
+            return Err("serve requires --socket (or --tcp with --fleet)".into());
+        }
     }
     if cli.command == Command::Submit {
         if cli.direct && (cli.submit_status || cli.submit_shutdown) {
             return Err("--direct cannot be combined with --status/--shutdown".into());
         }
-        if !cli.direct && cli.socket.is_none() {
-            return Err("submit requires --socket (or --direct)".into());
+        if cli.socket.is_some() && cli.tcp.is_some() {
+            return Err("submit takes --socket or --tcp, not both".into());
+        }
+        if !cli.direct && cli.socket.is_none() && cli.tcp.is_none() {
+            return Err("submit requires --socket or --tcp (or --direct)".into());
         }
         let is_query = cli.submit_status || cli.submit_shutdown;
         if !is_query && cli.workload.is_empty() {
@@ -510,6 +585,43 @@ mod tests {
         assert!(parse_args(argv("serve")).is_err());
         assert!(parse_args(argv("serve --socket s --workers 0")).is_err());
         assert!(parse_args(argv("serve --socket s --queue-depth 0")).is_err());
+    }
+
+    #[test]
+    fn fleet_serve_flags_parse_and_validate() {
+        let cli = parse_args(argv(
+            "serve --tcp 127.0.0.1:0 --fleet 3 --fleet-dir /tmp/fleet \
+             --heartbeat-ms 100 --max-restarts 1 --queue-depth 32",
+        ))
+        .unwrap();
+        assert_eq!(cli.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.fleet, 3);
+        assert_eq!(cli.fleet_dir.as_deref(), Some("/tmp/fleet"));
+        assert_eq!(cli.heartbeat_ms, 100);
+        assert_eq!(cli.max_restarts, 1);
+        // Fleet mode needs the TCP front door; plain serve still needs
+        // its socket; recover-only is single-process-only.
+        assert!(parse_args(argv("serve --fleet 3")).is_err());
+        assert!(parse_args(argv("serve --tcp 127.0.0.1:0")).is_err());
+        assert!(parse_args(argv("serve --tcp a:1 --fleet 0")).is_err());
+        assert!(parse_args(argv("serve --tcp a:1 --fleet 3 --recover-only")).is_err());
+        // Journal/artifact overrides ride on plain serve.
+        let cli = parse_args(argv(
+            "serve --socket /tmp/s --journal /tmp/j.wal --artifact-dir /tmp/a",
+        ))
+        .unwrap();
+        assert_eq!(cli.journal.as_deref(), Some("/tmp/j.wal"));
+        assert_eq!(cli.artifact_dir.as_deref(), Some("/tmp/a"));
+    }
+
+    #[test]
+    fn submit_tcp_and_timeout_flags() {
+        let cli = parse_args(argv("submit --tcp 127.0.0.1:9911 -w nn --timeout-ms 250")).unwrap();
+        assert_eq!(cli.tcp.as_deref(), Some("127.0.0.1:9911"));
+        assert_eq!(cli.timeout_ms, Some(250));
+        assert!(parse_args(argv("submit --tcp a:1 --socket s -w nn")).is_err());
+        assert!(parse_args(argv("submit --tcp a:1 -w nn --timeout-ms 0")).is_err());
+        assert!(parse_args(argv("submit --tcp a:1 --status")).is_ok());
     }
 
     #[test]

@@ -330,15 +330,41 @@ fn job_spec_from(cli: &Cli) -> JobSpec {
     }
 }
 
-/// `hyperq serve`: run the scenario service (or, with `--recover-only`,
-/// just replay the journal and report what recovery did).
+/// `hyperq serve`: run the scenario service — a fleet coordinator with
+/// `--fleet N` (supervised worker processes behind a TCP front door),
+/// the single-process Unix-socket server otherwise (or, with
+/// `--recover-only`, just replay the journal and report what recovery
+/// did).
 fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    if cli.fleet > 0 {
+        let addr = cli.tcp.as_deref().expect("checked by parse_args");
+        let dir = cli
+            .fleet_dir
+            .clone()
+            .unwrap_or_else(|| "results/fleet".to_string());
+        let mut opts = hq_bench::service::FleetOptions::new(addr, dir);
+        opts.workers = cli.fleet;
+        opts.queue_depth = cli.queue_depth;
+        opts.worker_threads = cli.serve_workers.min(4);
+        opts.breaker_threshold = cli.breaker_threshold;
+        opts.breaker_cooldown_ms = cli.breaker_cooldown_ms;
+        opts.heartbeat_ms = cli.heartbeat_ms;
+        opts.max_restarts = cli.max_restarts;
+        hq_bench::service::fleet::serve_fleet(opts)?;
+        return Ok("fleet drained and stopped".to_string());
+    }
     let socket = cli.socket.as_deref().expect("checked by parse_args");
     let mut opts = ServeOptions::new(socket);
     opts.workers = cli.serve_workers;
     opts.queue_depth = cli.queue_depth;
     opts.breaker_threshold = cli.breaker_threshold;
     opts.breaker_cooldown_ms = cli.breaker_cooldown_ms;
+    if let Some(journal) = &cli.journal {
+        opts.journal = journal.into();
+    }
+    if let Some(dir) = &cli.artifact_dir {
+        opts.artifact_dir = dir.into();
+    }
     let report = hq_bench::service::serve(opts, cli.recover_only)?;
     let mut s = report.summary();
     for (id, status) in &report.replayed {
@@ -365,8 +391,24 @@ fn render_rejection(reject: &hq_bench::service::Reject) -> String {
             format!("rejected: circuit-open for class '{class}' (retry in {retry_ms} ms)")
         }
         Reject::ShuttingDown => "rejected: shutting-down".to_string(),
+        Reject::Unavailable(msg) => format!("rejected: unavailable: {msg}"),
         Reject::BadRequest(msg) => format!("rejected: bad-request: {msg}"),
     }
+}
+
+/// Effective submit read timeout: `--timeout-ms`, else the
+/// `HQ_SUBMIT_TIMEOUT_MS` environment variable, else two minutes —
+/// generous enough for a worker restart plus journal replay, but a
+/// wedged server can no longer hang `hyperq submit` forever.
+fn submit_timeout_ms(cli: &Cli) -> u64 {
+    cli.timeout_ms
+        .or_else(|| {
+            std::env::var("HQ_SUBMIT_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&ms| ms > 0)
+        })
+        .unwrap_or(120_000)
 }
 
 /// `hyperq submit`: talk to a running server (submit / status /
@@ -382,8 +424,12 @@ fn cmd_submit(cli: &Cli) -> Result<String, String> {
         // to the artifact file.
         return Ok(artifact.trim_end_matches('\n').to_string());
     }
-    let socket = std::path::Path::new(cli.socket.as_deref().expect("checked by parse_args"));
-    let mut client = Client::connect(socket)?;
+    let mut client = match (&cli.socket, &cli.tcp) {
+        (Some(socket), _) => Client::connect(std::path::Path::new(socket))?,
+        (None, Some(addr)) => Client::connect_tcp(addr)?,
+        (None, None) => unreachable!("checked by parse_args"),
+    };
+    client.set_read_timeout(Some(std::time::Duration::from_millis(submit_timeout_ms(cli))))?;
     if cli.submit_status {
         return match client.call(&Request::Status)? {
             Response::Status(s) => Ok(format!(
@@ -585,6 +631,31 @@ mod tests {
     fn submit_to_a_dead_socket_is_a_structured_error() {
         let err = run("submit --socket /tmp/hq-definitely-not-served.sock -w nn").unwrap_err();
         assert!(err.contains("connect"), "{err}");
+        let err = run("submit --tcp 127.0.0.1:1 -w nn").unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+    }
+
+    #[test]
+    fn submit_timeout_precedence_is_flag_env_default() {
+        let cli = |s: &str| {
+            parse_args(s.split_whitespace().map(String::from).collect()).expect("parse")
+        };
+        std::env::remove_var("HQ_SUBMIT_TIMEOUT_MS");
+        assert_eq!(submit_timeout_ms(&cli("submit --tcp a:1 -w nn")), 120_000);
+        assert_eq!(
+            submit_timeout_ms(&cli("submit --tcp a:1 -w nn --timeout-ms 77")),
+            77
+        );
+        std::env::set_var("HQ_SUBMIT_TIMEOUT_MS", "5000");
+        assert_eq!(submit_timeout_ms(&cli("submit --tcp a:1 -w nn")), 5_000);
+        assert_eq!(
+            submit_timeout_ms(&cli("submit --tcp a:1 -w nn --timeout-ms 77")),
+            77,
+            "the flag outranks the environment"
+        );
+        std::env::set_var("HQ_SUBMIT_TIMEOUT_MS", "not-a-number");
+        assert_eq!(submit_timeout_ms(&cli("submit --tcp a:1 -w nn")), 120_000);
+        std::env::remove_var("HQ_SUBMIT_TIMEOUT_MS");
     }
 
     #[test]

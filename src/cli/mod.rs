@@ -27,7 +27,15 @@ pub fn main_with(args: Vec<String>) -> u8 {
     match parse_args(args) {
         Ok(cli) => match commands::execute(cli) {
             Ok(output) => {
-                println!("{output}");
+                // Rust ignores SIGPIPE, so `hyperq ... | head` surfaces
+                // a closed pipe as a write error here; `println!` would
+                // turn that into a panic. Write explicitly and end the
+                // process quietly instead. Resetting SIGPIPE to its
+                // default disposition is not an option: a disconnecting
+                // client would then kill a running `serve` outright.
+                use std::io::Write;
+                let mut stdout = std::io::stdout().lock();
+                let _ = writeln!(stdout, "{output}").and_then(|()| stdout.flush());
                 0
             }
             Err(e) => {

@@ -328,3 +328,101 @@ fn service_over_socket_survives_panics_deadlines_and_breaker_trips() {
     assert!(!artifact_dir.join("job-2.out").exists(), "deadline job");
     assert!(!artifact_dir.join("job-3.out").exists(), "panicked job");
 }
+
+/// Satellite: a `submit` against a server that accepts the connection
+/// but never replies must fail with a clear timeout error and a
+/// non-zero exit code — not hang forever.
+#[test]
+fn submit_times_out_against_a_silent_server_with_a_clear_error() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("silent-server");
+    let socket = dirs.root.join("silent.sock");
+    let listener = std::os::unix::net::UnixListener::bind(&socket).expect("bind silent socket");
+    // Accept connections and read forever without ever replying.
+    let silent = std::thread::spawn(move || {
+        use std::io::Read;
+        while let Ok((mut s, _)) = listener.accept() {
+            let mut sink = [0u8; 256];
+            while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    });
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hyperq"))
+        .args([
+            "submit",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--workload",
+            "needle",
+            "--timeout-ms",
+            "300",
+        ])
+        .output()
+        .expect("run hyperq submit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1, got {:?}; stderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("timed out after 300ms"),
+        "expected a timeout error, got: {stderr}"
+    );
+
+    // The env var sets the default; the flag still wins over it.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hyperq"))
+        .args(["submit", "--socket", socket.to_str().unwrap(), "--workload", "needle"])
+        .env("HQ_SUBMIT_TIMEOUT_MS", "250")
+        .output()
+        .expect("run hyperq submit");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("timed out after 250ms"),
+        "env-provided timeout not honored: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    drop(silent);
+}
+
+/// Satellite: a frame whose length header exceeds `MAX_FRAME` is
+/// bounced with a framed error *before* any allocation, over a real
+/// socket; the connection then closes without taking the server down.
+#[test]
+fn oversized_frame_is_rejected_without_allocation_over_socket() {
+    use std::io::Write;
+
+    let _env = env_lock();
+    let dirs = TestDirs::new("oversize");
+    let opts = dirs.opts();
+    let socket = opts.socket.clone();
+    let (server, _) = Server::new(opts).expect("server");
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let _probe = connect_with_retry(&socket);
+
+    let mut raw = std::os::unix::net::UnixStream::connect(&socket).expect("raw connect");
+    raw.write_all(format!("{}\n", u64::MAX).as_bytes()).unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let payload = read_frame(&mut reader).unwrap().expect("framed error");
+    match Response::decode(&payload) {
+        Ok(Response::Rejected(Reject::BadRequest(msg))) => {
+            assert!(msg.contains("protocol:"), "{msg}")
+        }
+        other => panic!("expected framed bad-request, got {other:?} ({payload})"),
+    }
+    // The server is still healthy for well-formed clients.
+    let mut client = connect_with_retry(&socket);
+    match client.submit_and_wait(spec(77)).expect("submit after abuse") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("expected ok, got {other:?}"),
+    }
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+}
