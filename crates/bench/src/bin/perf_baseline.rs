@@ -3,24 +3,27 @@
 //! Runs a fixed event-queue microbench (against both the production
 //! queue and a frozen copy of the pre-overhaul implementation), a
 //! fixed end-to-end workload mix, a label-heavy interner stress
-//! (hundreds of distinct kernel/buffer names with tracing on), and the
+//! (hundreds of distinct kernel/buffer names with tracing on), the
 //! full experiment suite twice — cold and then warm through the
-//! scenario cache — then reports events/sec and wall-clock numbers.
+//! scenario cache — and a chaos-case batch bench (serial uncached vs.
+//! K-lane batched, cold and memo-warm), then reports events/sec and
+//! wall-clock numbers.
 //!
 //! Modes:
 //!
 //! * default — print the measurements as pretty JSON on stdout;
-//! * `--write [FILE]` — also save them (default `BENCH_PR4.json`);
+//! * `--write [FILE]` — also save them (default `BENCH_PR7.json`);
 //! * `--check FILE` — compare against a saved baseline and exit
 //!   non-zero if any headline events/sec metric regressed more than
 //!   20%, or if an absolute floor is missed: `sim_speedup_vs_pr2`
 //!   (end-to-end events/sec over the recorded PR 2 baseline) must stay
-//!   ≥ 1.5× and `suite_warm_speedup` (cold suite wall clock over
-//!   warm-cache wall clock) ≥ 1.3× (the CI gates). A below-baseline
-//!   reading triggers up to two re-measurements (keeping the per-key
-//!   best) before the gate fails, so a one-off scheduler stall on a
-//!   loaded single-core box cannot fail CI — only a *repeatable*
-//!   slowdown can.
+//!   ≥ 1.5×, `suite_warm_speedup` (cold suite wall clock over
+//!   warm-cache wall clock) ≥ 1.3×, and `chaos_batch_speedup` (serial
+//!   uncached µs/case over memo-warm batched µs/case) ≥ 10× (the CI
+//!   gates). A below-baseline reading triggers up to two
+//!   re-measurements (keeping the per-key best) before the gate fails,
+//!   so a one-off scheduler stall on a loaded single-core box cannot
+//!   fail CI — only a *repeatable* slowdown can.
 //!
 //! Timing uses best-of-`REPS` wall clock per pattern, which rejects
 //! scheduler noise far better than averaging on a loaded machine.
@@ -31,7 +34,7 @@
 
 use hq_bench::util::codec::json_f64;
 use hq_bench::util::Scale;
-use hq_bench::{scenario, suite};
+use hq_bench::{chaos, scenario, suite};
 use hq_des::prelude::*;
 use hq_des::time::{Dur, SimTime};
 use hq_gpu::config::{DeviceConfig, HostConfig};
@@ -313,12 +316,22 @@ struct SuiteBench {
 }
 
 #[derive(Clone, Debug)]
+struct BatchBench {
+    serial_us_per_case: f64,
+    batch_cold_us_per_case: f64,
+    batch_warm_us_per_case: f64,
+    batch_events_per_s: f64,
+    chaos_batch_speedup: f64,
+}
+
+#[derive(Clone, Debug)]
 struct Baseline {
     schema: String,
     queue: QueueBench,
     sim: SimBench,
     label_heavy: LabelBench,
     suite: SuiteBench,
+    batch: BatchBench,
 }
 
 // The vendored serde_json shim cannot serialize nested structs, so the
@@ -349,7 +362,12 @@ impl Baseline {
              \"label_heavy_events_per_sec\": {:.0}\n  }},\n  \"suite\": {{\n    \
              \"suite_cold_secs\": {:.3},\n    \
              \"suite_warm_secs\": {:.3},\n    \
-             \"suite_warm_speedup\": {:.3}\n  }}\n}}",
+             \"suite_warm_speedup\": {:.3}\n  }},\n  \"batch\": {{\n    \
+             \"serial_us_per_case\": {:.2},\n    \
+             \"batch_cold_us_per_case\": {:.2},\n    \
+             \"batch_warm_us_per_case\": {:.2},\n    \
+             \"batch_events_per_s\": {:.0},\n    \
+             \"chaos_batch_speedup\": {:.2}\n  }}\n}}",
             self.schema,
             q.schedule_pop_events_per_sec,
             q.cancel_heavy_events_per_sec,
@@ -370,6 +388,11 @@ impl Baseline {
             self.suite.cold_secs,
             self.suite.warm_secs,
             self.suite.warm_speedup,
+            self.batch.serial_us_per_case,
+            self.batch.batch_cold_us_per_case,
+            self.batch.batch_warm_us_per_case,
+            self.batch.batch_events_per_s,
+            self.batch.chaos_batch_speedup,
         )
     }
 }
@@ -508,6 +531,73 @@ fn bench_suite() -> SuiteBench {
     }
 }
 
+/// Chaos-case throughput: the serial soak vs. the K-lane batch
+/// executor, over one fixed deterministic case set, measured three
+/// ways:
+///
+/// * `serial` — `run_case` per spec, which always simulates (it is
+///   the shrinker path and deliberately bypasses the per-case memo):
+///   the pre-batch cost per soak case;
+/// * `batch cold` — one `run_case_batch` over the whole set against an
+///   empty memo, so every lane simulates inside the merged event loop.
+///   This is the honest event-loop figure, reported as
+///   `batch_events_per_s`;
+/// * `batch warm` — the same batch again, served entirely from the
+///   per-case memo: the steady-state cost of a soak or sweep that
+///   revisits configurations (the autoscheduler's dominant regime).
+///
+/// `chaos_batch_speedup` is serial over warm — the same cold-over-warm
+/// framing as `suite_warm_speedup` — and carries the CI ≥10× floor.
+fn bench_batch() -> BatchBench {
+    const CASES: usize = 96;
+    const REPS: usize = 3;
+    let mut rng = DetRng::seed_from_u64(0xba7c);
+    let specs: Vec<chaos::CaseSpec> = (0..CASES).map(|_| chaos::gen_case(&mut rng)).collect();
+
+    let mut serial_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for s in &specs {
+            std::hint::black_box(chaos::run_case(s));
+        }
+        serial_best = serial_best.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Cold reps reset the memo so every lane genuinely simulates; the
+    // event total comes from the best rep's outcomes.
+    let mut cold_best = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..REPS {
+        chaos::reset_case_cache();
+        let t0 = Instant::now();
+        let outcomes = chaos::run_case_batch(&specs);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < cold_best {
+            cold_best = dt;
+            events = outcomes.iter().map(|o| o.events()).sum();
+        }
+    }
+
+    // The last cold rep primed the memo; warm reps never simulate.
+    let mut warm_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        std::hint::black_box(chaos::run_case_batch(&specs));
+        warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+    }
+    chaos::reset_case_cache();
+
+    let serial_us = serial_best * 1e6 / CASES as f64;
+    let warm_us = warm_best * 1e6 / CASES as f64;
+    BatchBench {
+        serial_us_per_case: serial_us,
+        batch_cold_us_per_case: cold_best * 1e6 / CASES as f64,
+        batch_warm_us_per_case: warm_us,
+        batch_events_per_s: events as f64 / cold_best,
+        chaos_batch_speedup: serial_us / warm_us,
+    }
+}
+
 /// Fold a re-measurement into `a`, keeping the best reading of every
 /// gated metric. Best-of-attempts is the right estimator here for the
 /// same reason best-of-reps is: throughput can only be *under*-observed
@@ -530,6 +620,9 @@ fn merge_best(a: &mut Baseline, b: &Baseline) {
     }
     if b.suite.warm_speedup > a.suite.warm_speedup {
         a.suite = b.suite.clone();
+    }
+    if b.batch.chaos_batch_speedup > a.batch.chaos_batch_speedup {
+        a.batch = b.batch.clone();
     }
 }
 
@@ -571,6 +664,11 @@ fn check(current: &Baseline, saved_text: &str) -> Result<(), Vec<String>> {
         "label_heavy_events_per_sec",
         current.label_heavy.events_per_sec,
     );
+    gate(
+        "batch.events_per_s",
+        "batch_events_per_s",
+        current.batch.batch_events_per_s,
+    );
     // Absolute floors — machine-independent ratios, gated against fixed
     // thresholds rather than the saved file.
     if current.sim.speedup_vs_pr2 < 1.5 {
@@ -584,6 +682,15 @@ fn check(current: &Baseline, saved_text: &str) -> Result<(), Vec<String>> {
         failures.push(format!(
             "suite_warm_speedup: {:.3} is below the required 1.3x (cold {:.3}s, warm {:.3}s)",
             current.suite.warm_speedup, current.suite.cold_secs, current.suite.warm_secs
+        ));
+    }
+    if current.batch.chaos_batch_speedup < 10.0 {
+        failures.push(format!(
+            "chaos_batch_speedup: {:.2} is below the required 10x \
+             (serial {:.1}µs/case, batch warm {:.1}µs/case)",
+            current.batch.chaos_batch_speedup,
+            current.batch.serial_us_per_case,
+            current.batch.batch_warm_us_per_case
         ));
     }
     if failures.is_empty() {
@@ -609,12 +716,15 @@ fn main() {
     let label_heavy = bench_label_heavy();
     eprintln!("measuring full suite cold vs. warm scenario cache (takes a minute)...");
     let suite = bench_suite();
+    eprintln!("measuring chaos cases serial vs. batched (cold and memo-warm)...");
+    let batch = bench_batch();
     let mut current = Baseline {
-        schema: "hq-perf-baseline-v2".to_string(),
+        schema: "hq-perf-baseline-v3".to_string(),
         queue,
         sim,
         label_heavy,
         suite,
+        batch,
     };
 
     let json = current.to_json();
@@ -633,6 +743,15 @@ fn main() {
         current.suite.cold_secs,
         current.suite.warm_secs,
     );
+    eprintln!(
+        "chaos batch: serial {:.1}µs/case, cold batch {:.1}µs/case ({:.2}M ev/s), \
+         warm batch {:.2}µs/case — speedup {:.1}x",
+        current.batch.serial_us_per_case,
+        current.batch.batch_cold_us_per_case,
+        current.batch.batch_events_per_s / 1e6,
+        current.batch.batch_warm_us_per_case,
+        current.batch.chaos_batch_speedup,
+    );
 
     if write {
         let path = args
@@ -641,7 +760,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .filter(|p| !p.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+            .unwrap_or_else(|| "BENCH_PR7.json".to_string());
         std::fs::write(&path, format!("{json}\n")).expect("write baseline file");
         eprintln!("baseline written to {path}");
     }
@@ -661,6 +780,7 @@ fn main() {
                 sim: bench_sim(),
                 label_heavy: bench_label_heavy(),
                 suite: bench_suite(),
+                batch: bench_batch(),
             };
             merge_best(&mut current, &retry);
             result = check(&current, &text);

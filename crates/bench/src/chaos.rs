@@ -24,8 +24,12 @@
 //! parser, via [`crate::util::codec`]) because the vendored
 //! `serde_json` shim cannot round-trip nested structures.
 
-use crate::util::codec::{esc_json, parse_json};
+use crate::util::codec::{esc_json, fnv1a, parse_json};
 use crate::util::write_atomic;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use hq_des::rng::DetRng;
 use hq_des::time::Dur;
 use hq_gpu::prelude::*;
@@ -257,7 +261,12 @@ pub enum FailureKind {
 #[derive(Clone, Debug)]
 pub enum CaseOutcome {
     /// The case ran clean: no panic, no error, no validate violations.
-    Pass,
+    /// Carries the number of simulation events the case processed, so
+    /// the soak can report events/s throughput.
+    Pass {
+        /// Events popped by the case's event loop.
+        events: u64,
+    },
     /// The case failed (category + human-readable detail).
     Fail(FailureKind, String),
 }
@@ -265,7 +274,15 @@ pub enum CaseOutcome {
 impl CaseOutcome {
     /// True for [`CaseOutcome::Pass`].
     pub fn passed(&self) -> bool {
-        matches!(self, CaseOutcome::Pass)
+        matches!(self, CaseOutcome::Pass { .. })
+    }
+
+    /// Events processed by a passing case (0 for failures).
+    pub fn events(&self) -> u64 {
+        match self {
+            CaseOutcome::Pass { events } => *events,
+            CaseOutcome::Fail(..) => 0,
+        }
     }
 }
 
@@ -339,32 +356,21 @@ fn build_sim(spec: &CaseSpec) -> GpuSim {
     sim
 }
 
-/// Build and run one case with the auditor enabled; classify the
-/// outcome. Panics inside the simulator are caught and reported as
-/// failures rather than tearing down the soak.
-pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
-    let spec = spec.clone();
-    let run = catch_unwind(AssertUnwindSafe(move || build_sim(&spec).run()));
+/// Classify one simulation result (shared by the serial and batched
+/// paths, so both produce identical outcomes for identical runs).
+fn classify(run: Result<SimResult, SimError>) -> CaseOutcome {
     match run {
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(|s| s.as_str())
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic>");
-            CaseOutcome::Fail(FailureKind::Panic, format!("panic: {msg}"))
-        }
-        Ok(Err(e @ SimError::AuditFailure { .. })) => {
+        Err(e @ SimError::AuditFailure { .. }) => {
             CaseOutcome::Fail(FailureKind::Audit, e.to_string())
         }
-        Ok(Err(e @ SimError::Deadlock { .. })) => {
-            CaseOutcome::Fail(FailureKind::Deadlock, e.to_string())
-        }
-        Ok(Err(e)) => CaseOutcome::Fail(FailureKind::Error, e.to_string()),
-        Ok(Ok(result)) => {
+        Err(e @ SimError::Deadlock { .. }) => CaseOutcome::Fail(FailureKind::Deadlock, e.to_string()),
+        Err(e) => CaseOutcome::Fail(FailureKind::Error, e.to_string()),
+        Ok(result) => {
             let violations = validate(&result);
             if violations.is_empty() {
-                CaseOutcome::Pass
+                CaseOutcome::Pass {
+                    events: result.events,
+                }
             } else {
                 CaseOutcome::Fail(
                     FailureKind::Validate,
@@ -377,6 +383,129 @@ pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
             }
         }
     }
+}
+
+fn panic_outcome(panic: Box<dyn std::any::Any + Send>) -> CaseOutcome {
+    let msg = panic
+        .downcast_ref::<String>()
+        .map(|s| s.as_str())
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>");
+    CaseOutcome::Fail(FailureKind::Panic, format!("panic: {msg}"))
+}
+
+/// Build and run one case with the auditor enabled; classify the
+/// outcome. Panics inside the simulator are caught and reported as
+/// failures rather than tearing down the soak. Bypasses the per-case
+/// memo (the shrinker *wants* fresh runs of mutated specs; they would
+/// miss anyway).
+pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
+    let spec = spec.clone();
+    match catch_unwind(AssertUnwindSafe(move || build_sim(&spec).run())) {
+        Err(panic) => panic_outcome(panic),
+        Ok(run) => classify(run),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched case execution
+// ---------------------------------------------------------------------
+
+/// Per-case outcome memo keyed by the case's canonical JSON rendering
+/// ([`case_to_json`] — fully self-describing, so equal JSON ⇔ equal
+/// trajectory). Outcomes are tiny (an events count or a failure
+/// string), so the memo stays cheap across hundreds of thousands of
+/// cases. Honors `HQ_SCENARIO_CACHE=off|0` like the scenario cache.
+type CaseMemo = Mutex<HashMap<u64, (String, CaseOutcome)>>;
+
+fn case_memo() -> &'static CaseMemo {
+    static MEMO: OnceLock<CaseMemo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static CASE_HITS: AtomicU64 = AtomicU64::new(0);
+static CASE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn case_cache_enabled() -> bool {
+    !matches!(
+        std::env::var("HQ_SCENARIO_CACHE").as_deref(),
+        Ok("off") | Ok("0")
+    )
+}
+
+/// Process-lifetime `(hits, misses)` of the per-case outcome memo.
+pub fn case_cache_stats() -> (u64, u64) {
+    (
+        CASE_HITS.load(Ordering::Relaxed),
+        CASE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Drop the per-case memo and zero its counters (cold-measurement hook
+/// for benchmarks and tests).
+pub fn reset_case_cache() {
+    case_memo().lock().clear();
+    CASE_HITS.store(0, Ordering::Relaxed);
+    CASE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Run many cases as lanes of one merged event loop (see
+/// `hq_gpu::sim::run_batch`), consulting the per-case memo first.
+/// Outcome classification is identical to [`run_case`] per spec, in
+/// order. If anything in the batched pass panics, the whole chunk
+/// falls back to serial [`run_case`] calls — the batch loop cannot
+/// attribute a panic to a lane the way `catch_unwind` around a single
+/// case can, and chaos cases are exactly the workload expected to
+/// probe such corners.
+pub fn run_case_batch(specs: &[CaseSpec]) -> Vec<CaseOutcome> {
+    let cached = case_cache_enabled();
+    let mut results: Vec<Option<CaseOutcome>> = specs.iter().map(|_| None).collect();
+    let mut keys: Vec<Option<(u64, String)>> = specs.iter().map(|_| None).collect();
+    let mut cold: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if !cached {
+            cold.push(i);
+            continue;
+        }
+        let pre = case_to_json(spec);
+        let key = fnv1a(pre.as_bytes());
+        if let Some(out) = {
+            let memo = case_memo().lock();
+            memo.get(&key)
+                .filter(|(stored, _)| *stored == pre)
+                .map(|(_, out)| out.clone())
+        } {
+            CASE_HITS.fetch_add(1, Ordering::Relaxed);
+            results[i] = Some(out);
+            continue;
+        }
+        CASE_MISSES.fetch_add(1, Ordering::Relaxed);
+        keys[i] = Some((key, pre));
+        cold.push(i);
+    }
+    if !cold.is_empty() {
+        let cold_specs: Vec<CaseSpec> = cold.iter().map(|&i| specs[i].clone()).collect();
+        let batched = catch_unwind(AssertUnwindSafe(|| {
+            let sims: Vec<GpuSim> = cold_specs.iter().map(build_sim).collect();
+            hq_gpu::sim::run_batch(sims)
+        }));
+        let outcomes: Vec<CaseOutcome> = match batched {
+            Ok(batch) => batch.results.into_iter().map(classify).collect(),
+            // A panic mid-batch poisons lane attribution: rerun the
+            // cold cases serially, each under its own catch_unwind.
+            Err(_) => cold_specs.iter().map(run_case).collect(),
+        };
+        for (&i, out) in cold.iter().zip(outcomes) {
+            if let Some((key, pre)) = keys[i].take() {
+                case_memo().lock().insert(key, (pre, out.clone()));
+            }
+            results[i] = Some(out);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every case resolved"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------

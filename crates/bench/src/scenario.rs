@@ -45,7 +45,9 @@ use hq_gpu::result::{
 use hq_gpu::types::{AppId, StreamId};
 use hq_power::PowerMonitor;
 use hq_workloads::apps::AppKind;
-use hyperq_core::harness::{build_schedule, run_schedule, AppSpec, RunConfig, RunOutcome};
+use hyperq_core::harness::{
+    build_schedule, run_schedule, run_schedule_batch, AppSpec, RunConfig, RunOutcome,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -188,6 +190,103 @@ pub fn run_scenario(cfg: &RunConfig, specs: &[AppSpec]) -> Result<RunOutcome, Si
 pub fn run_scenario_workload(cfg: &RunConfig, kinds: &[AppKind]) -> Result<RunOutcome, SimError> {
     let specs = build_schedule(kinds, cfg.order, cfg.seed);
     run_scenario(cfg, &specs)
+}
+
+/// Batched [`run_scenario`]: run `lanes.len()` schedules of one shared
+/// config as lanes of one merged event loop (see
+/// `hq_gpu::sim::run_batch`). Cache integration is per lane: each lane
+/// gets its own [`ScenarioKey`]; warm lanes are served from the
+/// memo/disk cache and skipped *before* batch assembly, cold lanes run
+/// batched and are inserted into both cache layers on completion.
+/// Outputs are element-for-element identical to serial
+/// [`run_scenario`] calls.
+pub fn run_scenario_batch(
+    cfg: &RunConfig,
+    lanes: &[Vec<AppSpec>],
+) -> Vec<Result<RunOutcome, SimError>> {
+    let jobs: Vec<(RunConfig, Vec<AppSpec>)> =
+        lanes.iter().map(|specs| (cfg.clone(), specs.clone())).collect();
+    run_scenario_batch_jobs(&jobs)
+}
+
+/// Fully general batched scenario entry: each job carries its own
+/// config (the fault sweep batches across fault rates and policies this
+/// way). Two identical cold jobs in one batch both run — the batch is
+/// not deduplicated, only cache-filtered — which is wasteful but
+/// correct: both lanes produce the same bytes and the same cache entry.
+pub fn run_scenario_batch_jobs(
+    jobs: &[(RunConfig, Vec<AppSpec>)],
+) -> Vec<Result<RunOutcome, SimError>> {
+    let mode = cache_mode();
+    let mut results: Vec<Option<Result<RunOutcome, SimError>>> =
+        jobs.iter().map(|_| None).collect();
+    // Per-job `(key, preimage)` for cold lanes that must be inserted on
+    // completion (`None` with the cache off).
+    let mut keys: Vec<Option<(u64, String)>> = jobs.iter().map(|_| None).collect();
+    let mut cold: Vec<usize> = Vec::new();
+    for (i, (cfg, specs)) in jobs.iter().enumerate() {
+        if mode == CacheMode::Off {
+            cold.push(i);
+            continue;
+        }
+        let pre = preimage(cfg, specs);
+        let key = ScenarioKey(fnv1a(pre.as_bytes()));
+        if let Some(out) = {
+            let memo = memo().lock();
+            memo.get(&key.0)
+                .filter(|(stored, _)| *stored == pre)
+                .map(|(_, out)| out.clone())
+        } {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            results[i] = Some(Ok(out));
+            continue;
+        }
+        if mode == CacheMode::MemoAndDisk {
+            let path = cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex()));
+            if let Some(out) = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| decode(&text, &pre, cfg))
+            {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                memo().lock().insert(key.0, (pre, out.clone()));
+                results[i] = Some(Ok(out));
+                continue;
+            }
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        keys[i] = Some((key.0, pre));
+        cold.push(i);
+    }
+    if !cold.is_empty() {
+        let cold_jobs: Vec<(RunConfig, Vec<AppSpec>)> =
+            cold.iter().map(|&i| jobs[i].clone()).collect();
+        let outs = run_schedule_batch(&cold_jobs);
+        debug_assert_eq!(outs.len(), cold.len());
+        for (&i, out) in cold.iter().zip(outs) {
+            if let (Ok(ok), Some((key, pre))) = (&out, &keys[i]) {
+                if mode == CacheMode::MemoAndDisk && std::fs::create_dir_all(cache_dir()).is_ok() {
+                    let path =
+                        cache_dir().join(format!("{}.v{DISK_VERSION}", ScenarioKey(*key).hex()));
+                    // Best-effort: a failed write just means a future miss.
+                    let _ = write_atomic(&path, &encode(pre, ok));
+                }
+                memo().lock().insert(*key, (pre.clone(), ok.clone()));
+            }
+            results[i] = Some(out);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every batched lane resolved"))
+        .collect()
+}
+
+/// Encode an outcome exactly as its cache entry would be written — the
+/// byte-identity tests compare serial and batched runs through this
+/// (the `perf ` line carries wall-clock numbers and is the one
+/// documented-nondeterministic line; strip it before comparing).
+pub fn encode_outcome(cfg: &RunConfig, specs: &[AppSpec], out: &RunOutcome) -> String {
+    encode(&preimage(cfg, specs), out)
 }
 
 // ---------------------------------------------------------------------

@@ -240,6 +240,29 @@ fn run_schedule_once(
     plan: &FaultPlan,
     seed: u64,
 ) -> Result<RunOutcome, SimError> {
+    let (sim, labels) = build_run(cfg, specs, plan, seed);
+    let result = sim.run()?;
+    let power = PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&result);
+    Ok(RunOutcome {
+        schedule: labels,
+        result,
+        power,
+        retries: 0,
+        degraded: false,
+    })
+}
+
+/// Assemble (but do not run) the simulator for one schedule: streams,
+/// memsync mutexes, compiled applications, fault plan, optional
+/// auditor. Shared verbatim by the serial path and
+/// [`run_schedule_batch`], which is what keeps batched lanes
+/// byte-identical to serial runs.
+fn build_run(
+    cfg: &RunConfig,
+    specs: &[AppSpec],
+    plan: &FaultPlan,
+    seed: u64,
+) -> (GpuSim, Vec<String>) {
     let num_streams = if cfg.serialize { 1 } else { cfg.num_streams };
     let mut host = cfg.host;
     if !plan.is_empty() && host.watchdog_timeout.is_none() {
@@ -274,15 +297,50 @@ fn run_schedule_once(
             prev = Some(id);
         }
     }
-    let result = sim.run()?;
-    let power = PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&result);
-    Ok(RunOutcome {
-        schedule: labels,
-        result,
-        power,
-        retries: 0,
-        degraded: false,
-    })
+    (sim, labels)
+}
+
+/// Run many schedules as lanes of one merged event loop (see
+/// `hq_gpu::sim::run_batch`): one shared K-lane queue, each lane an
+/// independent simulator built by the same [`build_run`] the serial
+/// path uses. Recovery re-runs happen serially per lane afterwards
+/// (they are rare fault-path follow-ups, not the hot path). Output is
+/// element-for-element identical to calling [`run_schedule`] on each
+/// job in order.
+pub fn run_schedule_batch(jobs: &[(RunConfig, Vec<AppSpec>)]) -> Vec<Result<RunOutcome, SimError>> {
+    let mut sims = Vec::with_capacity(jobs.len());
+    let mut labels = Vec::with_capacity(jobs.len());
+    for (cfg, specs) in jobs {
+        let (sim, l) = build_run(cfg, specs, &cfg.faults, cfg.seed);
+        sims.push(sim);
+        labels.push(l);
+    }
+    let batch = run_batch(sims);
+    batch
+        .results
+        .into_iter()
+        .zip(labels)
+        .zip(jobs)
+        .map(|((res, schedule), (cfg, specs))| {
+            let result = res?;
+            let power =
+                PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&result);
+            let mut out = RunOutcome {
+                schedule,
+                result,
+                power,
+                retries: 0,
+                degraded: false,
+            };
+            let any_failed = out.result.apps.iter().any(|a| a.outcome.is_failed());
+            if !cfg.faults.is_empty() && any_failed {
+                apply_recovery(cfg, specs, &mut out)?;
+                out.power =
+                    PowerMonitor::with_period(cfg.power, cfg.sample_period).measure(&out.result);
+            }
+            Ok(out)
+        })
+        .collect()
 }
 
 /// The fault plan a recovery re-run sees: scripted faults are transient

@@ -298,7 +298,7 @@ fn cmd_devices() -> String {
 fn cmd_repro(cli: &Cli) -> Result<String, String> {
     let path = cli.repro_file.as_deref().expect("checked by parse_args");
     match hq_bench::chaos::run_repro(std::path::Path::new(path))? {
-        hq_bench::chaos::CaseOutcome::Pass => Ok(format!(
+        hq_bench::chaos::CaseOutcome::Pass { .. } => Ok(format!(
             "repro {path}: PASS — the case runs clean (bug no longer reproduces)"
         )),
         hq_bench::chaos::CaseOutcome::Fail(kind, detail) => Ok(format!(
