@@ -43,11 +43,15 @@ struct Options {
     kill_after: u64,
     json: Option<PathBuf>,
     check: Option<PathBuf>,
+    tenant: Option<String>,
+    pace_ms: u64,
+    allow_shed: bool,
 }
 
 fn usage() -> String {
     "usage: loadgen (--socket PATH | --tcp ADDR) [--jobs N] [--conns C] \
      [--seed BASE] [--seed-pool P] [--deadline-ms MS] [--timeout-ms MS] \
+     [--tenant NAME] [--pace-ms MS] [--allow-shed] \
      [--verify] [--kill-pidfile FILE --kill-after K] [--json FILE] [--check FILE]"
         .to_string()
 }
@@ -67,6 +71,9 @@ fn parse(args: Vec<String>) -> Result<Options, String> {
         kill_after: 0,
         json: None,
         check: None,
+        tenant: None,
+        pace_ms: 0,
+        allow_shed: false,
     };
     let mut it = args.into_iter();
     let value = |it: &mut std::vec::IntoIter<String>, flag: &str| {
@@ -96,6 +103,9 @@ fn parse(args: Vec<String>) -> Result<Options, String> {
             }
             "--json" => o.json = Some(value(&mut it, "--json")?.into()),
             "--check" => o.check = Some(value(&mut it, "--check")?.into()),
+            "--tenant" => o.tenant = Some(value(&mut it, "--tenant")?),
+            "--pace-ms" => o.pace_ms = value(&mut it, "--pace-ms")?.parse().map_err(|_| usage())?,
+            "--allow-shed" => o.allow_shed = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -122,11 +132,15 @@ fn connect(o: &Options) -> Result<Client, String> {
 }
 
 fn spec_for(o: &Options, job: usize) -> JobSpec {
-    JobSpec {
+    let mut spec = JobSpec {
         seed: o.seed_base + (job as u64 % o.seed_pool),
         deadline_ms: o.deadline_ms,
         ..JobSpec::default()
+    };
+    if let Some(tenant) = &o.tenant {
+        spec.tenant = tenant.clone();
     }
+    spec
 }
 
 /// `kill -9` the pid recorded in `pidfile` — the deterministic
@@ -153,13 +167,23 @@ struct Shared {
     killed: AtomicBool,
     retries: AtomicU64,
     failures: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// What happened to one job: finished (with its latency), shed by
+/// admission control (only a terminal outcome under `--allow-shed`),
+/// or lost/diverged — the failure the exit code reports.
+enum Outcome {
+    Done(f64),
+    Shed,
+    Lost,
 }
 
 /// Run one job to completion: submit (retrying transient rejections
 /// and transport drops with backoff), then wait by id — re-waiting on
 /// a fresh connection if the conversation dies, so a coordinator
 /// riding out a worker crash never counts as a client failure.
-fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize) -> Option<f64> {
+fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize) -> Outcome {
     let spec = spec_for(o, job);
     let started = Instant::now();
     let overall = Duration::from_millis(o.timeout_ms.saturating_mul(2).max(10_000));
@@ -168,7 +192,7 @@ fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize
     let done = loop {
         if started.elapsed() > overall {
             eprintln!("loadgen: job {job}: gave up after {:?}", started.elapsed());
-            return None;
+            return Outcome::Lost;
         }
         let c = match client {
             Some(c) => c,
@@ -188,6 +212,21 @@ fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize
         match result {
             Ok(Response::Accepted(id)) => accepted = Some(id),
             Ok(Response::Done(_, done)) => break done,
+            Ok(Response::Rejected(Reject::Shed { retry_after_ms, .. }))
+                if accepted.is_none() =>
+            {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                if o.allow_shed {
+                    // A flooding tenant takes the shed as the answer
+                    // and moves on — that is the overload contract.
+                    return Outcome::Shed;
+                }
+                // A paced tenant resubmits after the server's hint.
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                attempt += 1;
+                let backoff = 10u64 << attempt.min(5);
+                std::thread::sleep(Duration::from_millis(backoff.max(retry_after_ms)));
+            }
             Ok(Response::Rejected(Reject::QueueFull { .. }))
             | Ok(Response::Rejected(Reject::CircuitOpen { .. }))
             | Ok(Response::Rejected(Reject::Unavailable(_)))
@@ -200,7 +239,7 @@ fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize
             }
             Ok(other) => {
                 eprintln!("loadgen: job {job}: terminal {other:?}");
-                return None;
+                return Outcome::Lost;
             }
             Err(e) => {
                 // Transport died or timed out: reconnect. An accepted
@@ -229,15 +268,15 @@ fn run_one(o: &Options, shared: &Shared, client: &mut Option<Client>, job: usize
                 let direct = run_job_direct(&spec).unwrap_or_default();
                 if served.is_empty() || served != direct {
                     eprintln!("loadgen: job {job}: artifact {artifact} diverges from --direct");
-                    return None;
+                    return Outcome::Lost;
                 }
             }
-            Some(latency_ms)
+            Outcome::Done(latency_ms)
         }
-        JobDone::DeadlineExceeded if o.deadline_ms.is_some() => Some(latency_ms),
+        JobDone::DeadlineExceeded if o.deadline_ms.is_some() => Outcome::Done(latency_ms),
         other => {
             eprintln!("loadgen: job {job}: finished {}: not ok", other.code());
-            None
+            Outcome::Lost
         }
     }
 }
@@ -264,6 +303,7 @@ fn main() {
         killed: AtomicBool::new(false),
         retries: AtomicU64::new(0),
         failures: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
     });
     let next_job = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -284,10 +324,14 @@ fn main() {
                             break;
                         }
                         match run_one(&o, &shared, &mut client, job) {
-                            Some(ms) => mine.push(ms),
-                            None => {
+                            Outcome::Done(ms) => mine.push(ms),
+                            Outcome::Shed => {}
+                            Outcome::Lost => {
                                 shared.failures.fetch_add(1, Ordering::SeqCst);
                             }
+                        }
+                        if o.pace_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(o.pace_ms));
                         }
                     }
                     mine
@@ -301,6 +345,7 @@ fn main() {
     let wall = started.elapsed().as_secs_f64();
     let failures = shared.failures.load(Ordering::SeqCst);
     let retries = shared.retries.load(Ordering::Relaxed);
+    let shed = shared.shed.load(Ordering::Relaxed);
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1) as f64;
@@ -308,7 +353,7 @@ fn main() {
     let jobs_per_sec = latencies.len() as f64 / wall.max(1e-9);
     let report = format!(
         "{{\n  \"jobs\": {},\n  \"completed\": {},\n  \"failures\": {failures},\n  \
-         \"retries\": {retries},\n  \"wall_secs\": {wall:.3},\n  \
+         \"retries\": {retries},\n  \"shed\": {shed},\n  \"wall_secs\": {wall:.3},\n  \
          \"jobs_per_sec\": {jobs_per_sec:.3},\n  \"jobs_per_sec_per_core\": {:.3},\n  \
          \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3}\n}}\n",
         o.jobs,

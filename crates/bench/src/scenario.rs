@@ -192,6 +192,33 @@ pub fn run_scenario_workload(cfg: &RunConfig, kinds: &[AppKind]) -> Result<RunOu
     run_scenario(cfg, &specs)
 }
 
+/// Probe whether a workload scenario would be a cache hit *without*
+/// running it: a memo entry whose preimage matches, or (in disk mode) a
+/// disk entry that decodes against the preimage. The service's brownout
+/// admission check uses this to tell warm work — serviceable at
+/// negligible cost even under overload — from cold work to shed.
+pub fn scenario_is_warm(cfg: &RunConfig, kinds: &[AppKind]) -> bool {
+    let mode = cache_mode();
+    if mode == CacheMode::Off {
+        return false;
+    }
+    let specs = build_schedule(kinds, cfg.order, cfg.seed);
+    let pre = preimage(cfg, &specs);
+    let key = ScenarioKey(fnv1a(pre.as_bytes()));
+    if memo()
+        .lock()
+        .get(&key.0)
+        .is_some_and(|(stored, _)| *stored == pre)
+    {
+        return true;
+    }
+    mode == CacheMode::MemoAndDisk
+        && std::fs::read_to_string(cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex())))
+            .ok()
+            .and_then(|text| decode(&text, &pre, cfg))
+            .is_some()
+}
+
 /// Batched [`run_scenario`]: run `lanes.len()` schedules of one shared
 /// config as lanes of one merged event loop (see
 /// `hq_gpu::sim::run_batch`). Cache integration is per lane: each lane

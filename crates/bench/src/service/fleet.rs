@@ -50,10 +50,9 @@
 //!   each worker down so every live shard seals its journal.
 
 use super::journal::Journal;
-use super::protocol::{self, JobDone, JobSpec, Reject, Request, Response, StatusReport};
+use super::protocol::{self, JobDone, JobSpec, Reject, Request, Response, StatusReport, TenantStat};
 use super::ring::{Ring, DEFAULT_VNODES};
-use super::{install_sigterm, term_requested, Breaker, Client};
-use crate::util::codec::fnv1a;
+use super::{install_sigterm, retry_backoff as backoff, term_requested, Breaker, Client};
 use crate::util::write_atomic;
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -96,6 +95,15 @@ pub struct FleetOptions {
     pub call_timeout_ms: u64,
     /// Worker binary; defaults to this executable (`hyperq`).
     pub worker_bin: Option<PathBuf>,
+    /// Per-tenant queued quota forwarded to every worker (0 = off).
+    pub tenant_max_queued: usize,
+    /// Per-tenant in-flight cap forwarded to every worker (0 = off).
+    pub tenant_max_inflight: usize,
+    /// Per-tenant token-bucket rate forwarded to every worker (0 = off).
+    pub tenant_rate: f64,
+    /// Brownout utilization threshold forwarded to every worker
+    /// (0 = off).
+    pub brownout_threshold: f64,
 }
 
 impl FleetOptions {
@@ -115,6 +123,10 @@ impl FleetOptions {
             backoff_base_ms: 25,
             call_timeout_ms: 2_000,
             worker_bin: None,
+            tenant_max_queued: 0,
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            brownout_threshold: 0.0,
         }
     }
 }
@@ -274,13 +286,29 @@ impl Fleet {
             .append(true)
             .open(dir.join("worker.log"))
             .map_err(|e| format!("open worker log: {e}"))?;
-        let child = Command::new(&bin)
-            .arg("serve")
+        let mut cmd = Command::new(&bin);
+        cmd.arg("serve")
             .args(["--socket".as_ref(), socket.as_os_str()])
             .args(["--workers", &self.opts.worker_threads.max(1).to_string()])
             .args(["--queue-depth", &self.opts.queue_depth.to_string()])
             .args(["--journal".as_ref(), journal.as_os_str()])
-            .args(["--artifact-dir".as_ref(), artifact_dir.as_os_str()])
+            .args(["--artifact-dir".as_ref(), artifact_dir.as_os_str()]);
+        // Tenant quotas and brownout apply per shard: each worker
+        // enforces them on its own queue, so the fleet-wide quota is
+        // (roughly) the per-shard quota times live shards.
+        if self.opts.tenant_max_queued > 0 {
+            cmd.args(["--tenant-max-queued", &self.opts.tenant_max_queued.to_string()]);
+        }
+        if self.opts.tenant_max_inflight > 0 {
+            cmd.args(["--tenant-max-inflight", &self.opts.tenant_max_inflight.to_string()]);
+        }
+        if self.opts.tenant_rate > 0.0 {
+            cmd.args(["--tenant-rate", &self.opts.tenant_rate.to_string()]);
+        }
+        if self.opts.brownout_threshold > 0.0 {
+            cmd.args(["--brownout-threshold", &self.opts.brownout_threshold.to_string()]);
+        }
+        let child = cmd
             .env("HQ_RESULTS", &dir)
             .stdin(Stdio::null())
             .stdout(log.try_clone().map_err(|e| format!("clone log: {e}"))?)
@@ -570,6 +598,14 @@ impl Fleet {
                     // (possibly the same shard) after the backoff.
                     last_reject = r;
                 }
+                Ok(Response::Rejected(r @ Reject::Shed { .. })) => {
+                    // Admission control shed the job. Also transient:
+                    // the worker said *when* to come back, and the
+                    // sleep below honours that hint. If retries run
+                    // out, the shed (with its hint) reaches the
+                    // client, which routes it into its own backoff.
+                    last_reject = r;
+                }
                 Ok(Response::Rejected(r @ Reject::CircuitOpen { .. })) => {
                     // The job *class* is failing, and it would fail the
                     // same way on every shard. Fail fast to the client.
@@ -585,7 +621,15 @@ impl Fleet {
                     ));
                 }
             }
-            std::thread::sleep(backoff(self.opts.backoff_base_ms, &key, attempt));
+            // A shed's retry-after hint floors the backoff (capped so a
+            // far-future hint cannot wedge the dispatch thread).
+            let hint = match &last_reject {
+                Reject::Shed { retry_after_ms, .. } => {
+                    Duration::from_millis((*retry_after_ms).min(1_000))
+                }
+                _ => Duration::ZERO,
+            };
+            std::thread::sleep(backoff(self.opts.backoff_base_ms, &key, attempt).max(hint));
         }
         Err(last_reject)
     }
@@ -742,11 +786,14 @@ impl Fleet {
             {
                 report.queued += s.queued;
                 report.running += s.running;
+                report.shed += s.shed;
                 report.open_circuits.extend(s.open_circuits);
+                merge_tenant_stats(&mut report.tenants, s.tenants);
             }
         }
         report.open_circuits.sort();
         report.open_circuits.dedup();
+        report.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         Response::Status(report)
     }
 
@@ -854,13 +901,23 @@ impl Fleet {
     }
 }
 
-/// Exponential backoff with deterministic jitter: no RNG dependency,
-/// yet two coordinators retrying the same key do not stampede in
-/// lockstep (the jitter is salted by key *and* attempt).
-fn backoff(base_ms: u64, key: &str, attempt: u32) -> Duration {
-    let ceiling = base_ms.max(1) << attempt.min(6);
-    let salt = fnv1a(format!("{key}#{attempt}").as_bytes());
-    Duration::from_millis(ceiling / 2 + salt % (ceiling / 2 + 1))
+/// Sum one worker's per-tenant counters into the fleet aggregate:
+/// counts add across shards, p99 takes the worst shard (a conservative
+/// upper bound — cross-shard percentiles cannot be merged exactly from
+/// summaries).
+fn merge_tenant_stats(dst: &mut Vec<TenantStat>, src: Vec<TenantStat>) {
+    for s in src {
+        match dst.iter_mut().find(|d| d.tenant == s.tenant) {
+            Some(d) => {
+                d.queued += s.queued;
+                d.running += s.running;
+                d.served += s.served;
+                d.shed += s.shed;
+                d.p99_ms = d.p99_ms.max(s.p99_ms);
+            }
+            None => dst.push(s),
+        }
+    }
 }
 
 /// `hyperq serve --fleet N` entry point.

@@ -70,6 +70,87 @@ pub struct Recovered {
     pub was_sealed: bool,
 }
 
+/// Read-only post-mortem view of a journal file, produced by
+/// [`Journal::inspect`] for the `hyperq journal inspect` subcommand.
+#[derive(Debug, Default)]
+pub struct Inspection {
+    /// Inspected file.
+    pub path: PathBuf,
+    /// `(journal_version, sim_version)` from the header, if present.
+    pub header: Option<(u32, u32)>,
+    /// Whether this process could replay the journal (header matches).
+    pub compatible: bool,
+    /// Accept records found.
+    pub accepted: u64,
+    /// Done records found.
+    pub done: u64,
+    /// The journal carries a seal record (graceful shutdown).
+    pub sealed: bool,
+    /// Torn tail bytes after the last valid record (left untouched).
+    pub torn_bytes: u64,
+    /// Per-tenant `(tenant, accepted, done, unfinished)`, sorted.
+    pub tenants: Vec<(String, u64, u64, u64)>,
+    /// Human-readable dump of every valid record, in file order.
+    pub records: Vec<String>,
+}
+
+impl Inspection {
+    fn tenant_entry(&mut self, tenant: &str) -> &mut (String, u64, u64, u64) {
+        if let Some(i) = self.tenants.iter().position(|t| t.0 == tenant) {
+            return &mut self.tenants[i];
+        }
+        self.tenants.push((tenant.to_string(), 0, 0, 0));
+        self.tenants.sort();
+        let i = self
+            .tenants
+            .iter()
+            .position(|t| t.0 == tenant)
+            .expect("just inserted");
+        &mut self.tenants[i]
+    }
+
+    /// Multi-line report for the CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "journal: {}", self.path.display());
+        match self.header {
+            Some((v, sim)) => {
+                let _ = writeln!(
+                    s,
+                    "header: v{v} sim {sim} ({})",
+                    if self.compatible {
+                        "compatible"
+                    } else {
+                        "INCOMPATIBLE with this binary"
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(s, "header: missing (empty or torn at birth)");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "records: {} accepted, {} done, sealed={}, torn tail {} byte(s)",
+            self.accepted,
+            self.done,
+            if self.sealed { "yes" } else { "no" },
+            self.torn_bytes
+        );
+        for (tenant, accepted, done, unfinished) in &self.tenants {
+            let _ = writeln!(
+                s,
+                "tenant {tenant}: accepted {accepted} done {done} unfinished {unfinished}"
+            );
+        }
+        for r in &self.records {
+            let _ = writeln!(s, "  {r}");
+        }
+        s
+    }
+}
+
 /// Append handle over the journal file. All appends are fsynced before
 /// returning, honouring the same discipline as
 /// [`crate::util::write_atomic`]: a record either is durably on disk or
@@ -246,6 +327,67 @@ impl Journal {
     /// `Recovered` (nothing can be safely replayed from it). Missing
     /// files are not an error: a worker that died before journaling
     /// anything has nothing to recover.
+    /// Read-only post-mortem dump of a journal (`hyperq journal
+    /// inspect`). Like [`Journal::peek`] it never mutates the file, but
+    /// where `peek` answers "what must be replayed", `inspect` keeps
+    /// every record — including an incompatible header, which `peek`
+    /// collapses to "nothing recoverable" — so a human can see exactly
+    /// what a dead server owed whom.
+    pub fn inspect(path: &Path) -> std::io::Result<Inspection> {
+        let bytes = std::fs::read(path)?;
+        let (records, valid) = scan(&bytes);
+        let mut ins = Inspection {
+            path: path.to_path_buf(),
+            torn_bytes: (bytes.len() - valid) as u64,
+            ..Inspection::default()
+        };
+        let mut done: Vec<u64> = Vec::new();
+        for r in &records {
+            if let Record::Done(id, _) = r {
+                done.push(*id);
+            }
+        }
+        for r in &records {
+            match r {
+                Record::Header { version, sim } => {
+                    ins.header = Some((*version, *sim));
+                    ins.compatible = *version == JOURNAL_VERSION && *sim == SIM_VERSION;
+                }
+                Record::Accept(id, spec) => {
+                    ins.accepted += 1;
+                    let tenant = ins.tenant_entry(&spec.tenant);
+                    tenant.1 += 1;
+                    if !done.contains(id) {
+                        tenant.3 += 1;
+                    }
+                    let state = if done.contains(id) { "done" } else { "unfinished" };
+                    ins.records.push(format!(
+                        "A {id} tenant={} {state} {}",
+                        spec.tenant,
+                        spec.signature()
+                    ));
+                }
+                Record::Done(id, status) => {
+                    ins.done += 1;
+                    ins.records.push(format!("D {id} {status}"));
+                }
+                Record::Seal => {
+                    ins.sealed = true;
+                    ins.records.push("S (sealed)".to_string());
+                }
+            }
+        }
+        // Attribute done marks to tenants via their accept records.
+        for r in &records {
+            if let Record::Accept(id, spec) = r {
+                if done.contains(id) {
+                    ins.tenant_entry(&spec.tenant).2 += 1;
+                }
+            }
+        }
+        Ok(ins)
+    }
+
     pub fn peek(path: &Path) -> std::io::Result<Recovered> {
         let mut rec = Recovered {
             next_id: 1,
@@ -391,6 +533,63 @@ mod tests {
         // A journal that never existed recovers nothing, not an error.
         let ghost = Journal::peek(&path.with_extension("ghost")).unwrap();
         assert!(ghost.unfinished.is_empty() && ghost.completed.is_empty());
+    }
+
+    #[test]
+    fn inspect_dumps_records_per_tenant_counts_and_seal_state() {
+        let path = tmp("inspect");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(
+                1,
+                &JobSpec {
+                    tenant: "alpha".to_string(),
+                    ..spec(1)
+                },
+            )
+            .unwrap();
+            j.accept(
+                2,
+                &JobSpec {
+                    tenant: "beta".to_string(),
+                    ..spec(2)
+                },
+            )
+            .unwrap();
+            j.done(1, "ok").unwrap();
+        }
+        // A torn tail must be reported but never truncated by inspect.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"deadbeef00000000 A 3 torn");
+        std::fs::write(&path, &bytes).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        let ins = Journal::inspect(&path).unwrap();
+        assert_eq!(ins.header, Some((JOURNAL_VERSION, SIM_VERSION)));
+        assert!(ins.compatible);
+        assert_eq!((ins.accepted, ins.done), (2, 1));
+        assert!(!ins.sealed);
+        assert_eq!(ins.torn_bytes, 25);
+        assert_eq!(
+            ins.tenants,
+            vec![
+                ("alpha".to_string(), 1, 1, 0),
+                ("beta".to_string(), 1, 0, 1),
+            ]
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), before, "inspect mutated");
+
+        let report = ins.render();
+        assert!(report.contains("tenant beta: accepted 1 done 0 unfinished 1"));
+        assert!(report.contains("A 2 tenant=beta unfinished"), "{report}");
+
+        // Sealed journals say so.
+        let path2 = tmp("inspect-sealed");
+        {
+            let (mut j, _) = Journal::open(&path2).unwrap();
+            j.seal().unwrap();
+        }
+        assert!(Journal::inspect(&path2).unwrap().sealed);
     }
 
     #[test]

@@ -38,19 +38,23 @@ pub mod fleet;
 pub mod journal;
 pub mod protocol;
 pub mod ring;
+pub mod tenancy;
 
 pub use fleet::{Fleet, FleetOptions};
-pub use journal::{Journal, Recovered};
-pub use protocol::{JobDone, JobSpec, Reject, Request, Response, StatusReport};
+pub use journal::{Inspection, Journal, Recovered};
+pub use protocol::{
+    JobDone, JobSpec, Reject, Request, Response, StatusReport, TenantStat, DEFAULT_TENANT,
+};
 pub use ring::Ring;
+pub use tenancy::{ServiceEstimator, TenantPolicy, TenantQueues};
 
-use crate::scenario::{run_scenario_workload, SIM_VERSION};
-use crate::util::codec::esc;
+use crate::scenario::{run_scenario_workload, scenario_is_warm, SIM_VERSION};
+use crate::util::codec::{esc, fnv1a};
 use crate::util::write_atomic;
 use hq_gpu::config::DeviceConfig;
 use hq_gpu::result::AppOutcome;
 use hyperq_core::harness::{RunConfig, RunOutcome};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
@@ -79,6 +83,21 @@ pub struct ServeOptions {
     pub journal: PathBuf,
     /// Directory artifacts are rendered into (`job-<id>.out`).
     pub artifact_dir: PathBuf,
+    /// Max jobs one tenant may have queued (0 = unbounded; only the
+    /// global `queue_depth` applies).
+    pub tenant_max_queued: usize,
+    /// Max jobs one tenant may have executing at once (0 = unbounded).
+    pub tenant_max_inflight: usize,
+    /// Per-tenant token-bucket admission rate, jobs/second (0 = off).
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity (0 = `max(tenant_rate, 1)`).
+    pub tenant_burst: f64,
+    /// DRR credits a tenant lane earns per scheduling visit.
+    pub drr_quantum: u32,
+    /// Utilization fraction (queued+running over queue_depth+workers)
+    /// past which brownout sheds cold work, serving warm scenario-cache
+    /// hits only. 0 disables brownout.
+    pub brownout_threshold: f64,
 }
 
 impl ServeOptions {
@@ -93,6 +112,25 @@ impl ServeOptions {
             breaker_cooldown_ms: 250,
             journal: crate::util::out_dir().join("journal").join("service.wal"),
             artifact_dir: crate::util::out_dir().join("service"),
+            tenant_max_queued: 0,
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            tenant_burst: 0.0,
+            drr_quantum: 1,
+            brownout_threshold: 0.0,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The per-tenant policy these options configure.
+    pub fn tenant_policy(&self) -> TenantPolicy {
+        TenantPolicy {
+            max_queued: self.tenant_max_queued,
+            max_inflight: self.tenant_max_inflight,
+            rate_per_sec: self.tenant_rate,
+            burst: self.tenant_burst,
+            quantum: self.drr_quantum,
         }
     }
 }
@@ -279,15 +317,25 @@ struct QueuedJob {
 }
 
 struct State {
-    queue: VecDeque<QueuedJob>,
+    tenants: TenantQueues<QueuedJob>,
     running: HashSet<u64>,
     results: HashMap<u64, JobDone>,
     breakers: HashMap<String, Breaker>,
+    estimator: ServiceEstimator,
     next_id: u64,
     completed: u64,
     rejected: u64,
+    shed: u64,
     shutting_down: bool,
     journal: Journal,
+}
+
+/// Breaker lattice key: the per-class breaker is scoped per tenant, so
+/// one tenant's failing class fails fast for *that tenant only* while
+/// another tenant's identical class keeps serving.
+fn breaker_key(spec: &JobSpec) -> String {
+    let class = spec.class.clone().unwrap_or_else(|| spec.signature());
+    format!("{}/{}", spec.tenant, class)
 }
 
 /// What crash recovery did on startup.
@@ -366,13 +414,15 @@ impl Server {
             ..RecoveryReport::default()
         };
         let mut state = State {
-            queue: VecDeque::new(),
+            tenants: TenantQueues::default(),
             running: HashSet::new(),
             results: HashMap::new(),
             breakers: HashMap::new(),
+            estimator: ServiceEstimator::default(),
             next_id: recovered.next_id,
             completed: 0,
             rejected: 0,
+            shed: 0,
             shutting_down: false,
             journal,
         };
@@ -446,39 +496,109 @@ impl Server {
         }
     }
 
+    /// Estimated milliseconds for the current backlog to drain by one
+    /// job per worker — the unit retry hint for backlog-driven sheds.
+    fn drain_step_ms(&self, g: &State) -> u64 {
+        let per_job = g.estimator.global_estimate().unwrap_or(25.0);
+        ((per_job / self.opts.workers.max(1) as f64).ceil() as u64).clamp(1, 60_000)
+    }
+
+    fn shed(&self, g: &mut MutexGuard<'_, State>, tenant: &str, verdict: tenancy::ShedVerdict) -> Response {
+        g.shed += 1;
+        g.tenants.record_shed(tenant);
+        Response::Rejected(Reject::Shed {
+            reason: verdict.reason.to_string(),
+            retry_after_ms: verdict.retry_after_ms,
+        })
+    }
+
     fn submit(&self, spec: JobSpec) -> Response {
+        let policy = self.opts.tenant_policy();
         let mut g = self.lock();
         if g.shutting_down {
             return Response::Rejected(Reject::ShuttingDown);
         }
-        if g.queue.len() >= self.opts.queue_depth {
+        if g.tenants.total_queued() >= self.opts.queue_depth {
             g.rejected += 1;
             return Response::Rejected(Reject::QueueFull {
                 depth: self.opts.queue_depth,
             });
         }
-        let class = spec.class.clone().unwrap_or_else(|| spec.signature());
         let now = Instant::now();
-        if let Err(retry_ms) = g.breakers.entry(class.clone()).or_default().admit(now) {
+        // Admission control, cheapest evidence first; every shed
+        // happens *before* the journal write, so a shed job was never
+        // accepted and the client may resubmit freely.
+        if g.tenants.check_queue_quota(&spec.tenant, &policy).is_err() {
+            let verdict = tenancy::ShedVerdict {
+                reason: "tenant-queue-full",
+                retry_after_ms: self.drain_step_ms(&g),
+            };
+            return self.shed(&mut g, &spec.tenant, verdict);
+        }
+        if let Some(deadline_ms) = spec.deadline_ms {
+            let backlog = g.tenants.total_queued() + g.running.len();
+            let class = spec.class.clone().unwrap_or_else(|| spec.signature());
+            if let Some(retry) = g.estimator.wont_meet_deadline(
+                &class,
+                backlog,
+                self.opts.workers.max(1),
+                deadline_ms,
+            ) {
+                let verdict = tenancy::ShedVerdict {
+                    reason: "wont-meet-deadline",
+                    retry_after_ms: retry,
+                };
+                return self.shed(&mut g, &spec.tenant, verdict);
+            }
+        }
+        if self.opts.brownout_threshold > 0.0 {
+            let backlog = (g.tenants.total_queued() + g.running.len()) as f64;
+            let capacity = (self.opts.queue_depth + self.opts.workers.max(1)) as f64;
+            let cold = !spec.scripted_panic
+                && !scenario_is_warm(&config_for(&spec), &spec.workload);
+            if backlog / capacity > self.opts.brownout_threshold && cold {
+                let verdict = tenancy::ShedVerdict {
+                    reason: "brownout",
+                    retry_after_ms: self.drain_step_ms(&g).max(50),
+                };
+                return self.shed(&mut g, &spec.tenant, verdict);
+            }
+        }
+        if let Err(retry_after_ms) = g.tenants.take_token(&spec.tenant, now, &policy) {
+            let verdict = tenancy::ShedVerdict {
+                reason: "tenant-rate",
+                retry_after_ms,
+            };
+            return self.shed(&mut g, &spec.tenant, verdict);
+        }
+        let key = breaker_key(&spec);
+        if let Err(retry_ms) = g.breakers.entry(key.clone()).or_default().admit(now) {
             g.rejected += 1;
-            return Response::Rejected(Reject::CircuitOpen { class, retry_ms });
+            return Response::Rejected(Reject::CircuitOpen {
+                class: key,
+                retry_ms,
+            });
         }
         let id = g.next_id;
         // Journal first — the job must be durable before any worker
         // can see it, or a crash between dequeue and completion would
         // lose it.
         if let Err(e) = g.journal.accept(id, &spec) {
-            if let Some(b) = g.breakers.get_mut(&class) {
+            if let Some(b) = g.breakers.get_mut(&key) {
                 b.abort_probe(now);
             }
             return Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")));
         }
         g.next_id += 1;
-        g.queue.push_back(QueuedJob {
-            id,
-            spec,
-            accepted_at: now,
-        });
+        let tenant = spec.tenant.clone();
+        g.tenants.push(
+            &tenant,
+            QueuedJob {
+                id,
+                spec,
+                accepted_at: now,
+            },
+        );
         self.cond.notify_all();
         Response::Accepted(id)
     }
@@ -492,7 +612,7 @@ impl Server {
             if let Some(done) = g.results.get(&id) {
                 return Response::Done(id, done.clone());
             }
-            let pending = g.running.contains(&id) || g.queue.iter().any(|j| j.id == id);
+            let pending = g.running.contains(&id) || g.tenants.any_queued(|j| j.id == id);
             if !pending {
                 // A pre-restart id whose result this process never held.
                 return Response::Rejected(Reject::BadRequest(format!(
@@ -513,11 +633,13 @@ impl Server {
             .collect();
         open_circuits.sort();
         Response::Status(StatusReport {
-            queued: g.queue.len() as u64,
+            queued: g.tenants.total_queued() as u64,
             running: g.running.len() as u64,
             completed: g.completed,
             rejected: g.rejected,
+            shed: g.shed,
             open_circuits,
+            tenants: g.tenants.stats(),
         })
     }
 
@@ -525,21 +647,29 @@ impl Server {
         let mut g = self.lock();
         g.shutting_down = true;
         self.stop.store(true, Ordering::SeqCst);
-        let draining = (g.queue.len() + g.running.len()) as u64;
+        let draining = (g.tenants.total_queued() + g.running.len()) as u64;
         self.cond.notify_all();
         Response::Bye { draining }
     }
 
     fn worker_loop(self: &Arc<Self>) {
+        let policy = self.opts.tenant_policy();
         loop {
             let job = {
                 let mut g = self.lock();
                 loop {
-                    if let Some(job) = g.queue.pop_front() {
+                    if let Some((_, job)) = g.tenants.pop(&policy) {
                         g.running.insert(job.id);
                         break job;
                     }
-                    if g.shutting_down {
+                    // `pop` can return None with jobs still queued when
+                    // every non-empty lane is at its in-flight cap; a
+                    // cap only binds while something is running, so the
+                    // drain below cannot deadlock.
+                    if g.shutting_down
+                        && g.running.is_empty()
+                        && g.tenants.total_queued() == 0
+                    {
                         return;
                     }
                     g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
@@ -550,11 +680,14 @@ impl Server {
                 .deadline_ms
                 .map(|ms| job.accepted_at + Duration::from_millis(ms));
             let expired = |d: &Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+            let exec_started = Instant::now();
+            let mut exec_ms = None;
             let done = if expired(&deadline) {
                 // Cancelled before it ever ran.
                 JobDone::DeadlineExceeded
             } else {
                 let exec = execute_spec(&job.spec);
+                exec_ms = Some(exec_started.elapsed().as_secs_f64() * 1000.0);
                 if expired(&deadline) {
                     // Finished too late: the result is discarded, no
                     // artifact is written.
@@ -564,15 +697,25 @@ impl Server {
                 }
             };
             let success = !matches!(done, JobDone::Panicked(_) | JobDone::SimError(_));
+            let key = breaker_key(&job.spec);
             let class = job
                 .spec
                 .class
                 .clone()
                 .unwrap_or_else(|| job.spec.signature());
+            let served_ms = matches!(done, JobDone::Ok { .. })
+                .then(|| job.accepted_at.elapsed().as_millis() as u64);
             let mut g = self.lock();
             g.running.remove(&job.id);
             g.completed += 1;
-            g.breakers.entry(class).or_default().record(
+            g.tenants.complete(&job.spec.tenant, served_ms);
+            if let Some(ms) = exec_ms {
+                // Feed the deadline forecast with the tenant-agnostic
+                // class: service time is a property of the scenario,
+                // not of who submitted it.
+                g.estimator.observe(&class, ms);
+            }
+            g.breakers.entry(key).or_default().record(
                 success,
                 Instant::now(),
                 self.opts.breaker_threshold,
@@ -644,7 +787,7 @@ impl Server {
             let mut g = self.lock();
             g.shutting_down = true;
             self.cond.notify_all();
-            while !g.queue.is_empty() || !g.running.is_empty() {
+            while g.tenants.total_queued() > 0 || !g.running.is_empty() {
                 g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
             }
             g.journal
@@ -702,6 +845,16 @@ pub fn serve(opts: ServeOptions, recover_only: bool) -> Result<RecoveryReport, S
         server.run()?;
     }
     Ok(report)
+}
+
+/// Exponential backoff with deterministic jitter: no RNG dependency,
+/// yet two clients (or coordinators) retrying the same key do not
+/// stampede in lockstep — the jitter is salted by key *and* attempt.
+/// Shared by fleet dispatch retries and the client submit retry loop.
+pub(crate) fn retry_backoff(base_ms: u64, key: &str, attempt: u32) -> Duration {
+    let ceiling = base_ms.max(1) << attempt.min(6);
+    let salt = fnv1a(format!("{key}#{attempt}").as_bytes());
+    Duration::from_millis(ceiling / 2 + salt % (ceiling / 2 + 1))
 }
 
 // ---------------------------------------------------------------------
@@ -827,6 +980,40 @@ impl Client {
         match self.call(&Request::Submit(spec))? {
             Response::Accepted(id) => self.call(&Request::Wait(id)),
             other => Ok(other),
+        }
+    }
+
+    /// Submit with bounded retries: transient rejections (`queue-full`
+    /// and every `shed`) back off — jittered exponential, floored at
+    /// the server's `retry-after-ms` hint — and resubmit until the job
+    /// is accepted or `budget` is exhausted, then the last rejection is
+    /// returned. Terminal answers (`circuit-open`, `shutting-down`,
+    /// `bad-request`) pass straight through: retrying those burns the
+    /// budget for an answer the server already gave definitively.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        budget: Duration,
+    ) -> Result<Response, String> {
+        let started = Instant::now();
+        let key = spec.signature();
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.call(&Request::Submit(spec.clone()))?;
+            let hint_ms = match &resp {
+                Response::Rejected(Reject::QueueFull { .. }) => 0,
+                Response::Rejected(Reject::Shed { retry_after_ms, .. }) => *retry_after_ms,
+                _ => return Ok(resp),
+            };
+            let elapsed = started.elapsed();
+            if elapsed >= budget {
+                return Ok(resp);
+            }
+            let pause = retry_backoff(10, &key, attempt)
+                .max(Duration::from_millis(hint_ms))
+                .min(budget - elapsed);
+            std::thread::sleep(pause);
+            attempt += 1;
         }
     }
 }

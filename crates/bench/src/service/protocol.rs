@@ -32,6 +32,20 @@ pub const MAGIC: &str = "hq1";
 /// `bad-request` by [`serve_frames`], never a silent connection drop.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Tenant assigned to jobs that carry no explicit tenant — including
+/// every record written before the tenant field existed, so pre-tenant
+/// journals replay unchanged (the `tenant=` token is *optional* on
+/// decode; see the schema-bump rule in DESIGN §5i).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Escape a string for embedding inside a comma/colon-structured wire
+/// field (the per-tenant status section): [`esc`] plus `:` and `,`.
+/// [`unesc`] already decodes any `%XX`, so no matching decoder is
+/// needed.
+fn esc_field(s: &str) -> String {
+    esc(s).replace(':', "%3A").replace(',', "%2C")
+}
+
 // ---------------------------------------------------------------------
 // Framing.
 // ---------------------------------------------------------------------
@@ -127,6 +141,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Device preset name: `k20` | `k40` | `fermi`.
     pub device: String,
+    /// Submitting tenant. Purely a serving-plane dimension: it selects
+    /// the per-tenant queue, quotas and breaker scope but never affects
+    /// the simulation, so it is *not* part of [`JobSpec::signature`]
+    /// and identical scenarios stay cache-shared across tenants.
+    pub tenant: String,
     /// Per-job deadline in milliseconds from acceptance, if any.
     pub deadline_ms: Option<u64>,
     /// Circuit-breaker class override; defaults to the spec signature.
@@ -145,6 +164,7 @@ impl Default for JobSpec {
             serial: false,
             seed: 0xC0FFEE,
             device: "k20".to_string(),
+            tenant: DEFAULT_TENANT.to_string(),
             deadline_ms: None,
             class: None,
             scripted_panic: false,
@@ -222,6 +242,7 @@ impl JobSpec {
             None => s.push_str(" class=-"),
         }
         s.push_str(&format!(" panic={}", u8::from(self.scripted_panic)));
+        s.push_str(&format!(" tenant={}", esc(&self.tenant)));
         s
     }
 
@@ -274,6 +295,17 @@ impl JobSpec {
                     }
                 }
                 "panic" => spec.scripted_panic = val == "1",
+                // Optional (added after v1 journals existed): lines
+                // without it — every pre-tenant record — replay as the
+                // default tenant, and `seen` is not incremented so the
+                // mandatory-field floor below stays meaningful.
+                "tenant" => {
+                    seen -= 1;
+                    spec.tenant = unesc(val).ok_or_else(|| format!("bad tenant '{val}'"))?;
+                    if spec.tenant.is_empty() {
+                        return Err("job tenant must not be empty".to_string());
+                    }
+                }
                 other => return Err(format!("unknown job field '{other}'")),
             }
         }
@@ -365,6 +397,18 @@ pub enum Reject {
         /// Milliseconds until the next cooldown probe is admitted.
         retry_ms: u64,
     },
+    /// The job was shed by admission control: a tenant quota, the
+    /// deadline forecast, or brownout. `reason` is a stable structured
+    /// tag (`wont-meet-deadline`, `tenant-queue-full`, `tenant-rate`,
+    /// `tenant-inflight`, `brownout`) and `retry_after_ms` is the
+    /// server's estimate of when a resubmit could be admitted. Nothing
+    /// was accepted or journaled; resubmitting is always safe.
+    Shed {
+        /// Structured shed reason tag.
+        reason: String,
+        /// Suggested client back-off before resubmitting.
+        retry_after_ms: u64,
+    },
     /// The server is draining for shutdown.
     ShuttingDown,
     /// No worker could take the job right now (fleet dispatch
@@ -403,6 +447,24 @@ impl JobDone {
     }
 }
 
+/// Serving-plane counters for one tenant, as reported by `--status`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TenantStat {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs waiting in this tenant's queue.
+    pub queued: u64,
+    /// Jobs of this tenant currently executing.
+    pub running: u64,
+    /// Jobs of this tenant completed by this process.
+    pub served: u64,
+    /// Submits of this tenant shed by admission control.
+    pub shed: u64,
+    /// 99th-percentile accept-to-completion latency over a recent
+    /// window, in milliseconds (0 until the first completion).
+    pub p99_ms: u64,
+}
+
 /// Point-in-time queue snapshot.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct StatusReport {
@@ -414,8 +476,13 @@ pub struct StatusReport {
     pub completed: u64,
     /// Submits rejected so far (queue-full + circuit-open).
     pub rejected: u64,
+    /// Submits shed by admission control (quotas, deadline forecast,
+    /// brownout). Disjoint from `rejected`.
+    pub shed: u64,
     /// Breaker classes currently open.
     pub open_circuits: Vec<String>,
+    /// Per-tenant serving counters, sorted by tenant name.
+    pub tenants: Vec<TenantStat>,
 }
 
 /// A server response.
@@ -449,6 +516,12 @@ impl Response {
             Response::Rejected(Reject::CircuitOpen { class, retry_ms }) => {
                 format!("{MAGIC} rejected circuit-open {} {retry_ms}", esc(class))
             }
+            Response::Rejected(Reject::Shed {
+                reason,
+                retry_after_ms,
+            }) => {
+                format!("{MAGIC} rejected shed {} {retry_after_ms}", esc(reason))
+            }
             Response::Rejected(Reject::ShuttingDown) => {
                 format!("{MAGIC} rejected shutting-down")
             }
@@ -467,17 +540,38 @@ impl Response {
                 format!("{MAGIC} done {id} {} {detail}", done.code())
             }
             Response::Status(s) => {
-                let circuits: Vec<String> = s.open_circuits.iter().map(|c| esc(c)).collect();
+                let circuits: Vec<String> = s.open_circuits.iter().map(|c| esc_field(c)).collect();
+                let tenants: Vec<String> = s
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{}:{}:{}:{}:{}:{}",
+                            esc_field(&t.tenant),
+                            t.queued,
+                            t.running,
+                            t.served,
+                            t.shed,
+                            t.p99_ms
+                        )
+                    })
+                    .collect();
                 format!(
-                    "{MAGIC} status {} {} {} {} {}",
+                    "{MAGIC} status {} {} {} {} {} {} {}",
                     s.queued,
                     s.running,
                     s.completed,
                     s.rejected,
+                    s.shed,
                     if circuits.is_empty() {
                         "-".to_string()
                     } else {
                         circuits.join(",")
+                    },
+                    if tenants.is_empty() {
+                        "-".to_string()
+                    } else {
+                        tenants.join(",")
                     }
                 )
             }
@@ -505,6 +599,10 @@ impl Response {
                     class: unesc(toks[3]).ok_or("bad class escape")?,
                     retry_ms: num(toks[4])?,
                 })),
+                (Some("shed"), 5) => Ok(Response::Rejected(Reject::Shed {
+                    reason: unesc(toks[3]).ok_or("bad shed reason escape")?,
+                    retry_after_ms: num(toks[4])?,
+                })),
                 (Some("shutting-down"), 3) => Ok(Response::Rejected(Reject::ShuttingDown)),
                 (Some("unavailable"), 4) => Ok(Response::Rejected(Reject::Unavailable(
                     unesc(toks[3]).ok_or("bad message escape")?,
@@ -528,13 +626,34 @@ impl Response {
                 };
                 Ok(Response::Done(id, done))
             }
-            Some("status") if toks.len() == 7 => {
-                let open_circuits = if toks[6] == "-" {
+            Some("status") if toks.len() == 9 => {
+                let open_circuits = if toks[7] == "-" {
                     Vec::new()
                 } else {
-                    toks[6]
+                    toks[7]
                         .split(',')
                         .map(|c| unesc(c).ok_or("bad circuit escape".to_string()))
+                        .collect::<Result<_, _>>()?
+                };
+                let tenants = if toks[8] == "-" {
+                    Vec::new()
+                } else {
+                    toks[8]
+                        .split(',')
+                        .map(|entry| {
+                            let f: Vec<&str> = entry.split(':').collect();
+                            if f.len() != 6 {
+                                return Err(format!("bad tenant stat '{entry}'"));
+                            }
+                            Ok(TenantStat {
+                                tenant: unesc(f[0]).ok_or("bad tenant escape")?,
+                                queued: num(f[1])?,
+                                running: num(f[2])?,
+                                served: num(f[3])?,
+                                shed: num(f[4])?,
+                                p99_ms: num(f[5])?,
+                            })
+                        })
                         .collect::<Result<_, _>>()?
                 };
                 Ok(Response::Status(StatusReport {
@@ -542,7 +661,9 @@ impl Response {
                     running: num(toks[3])?,
                     completed: num(toks[4])?,
                     rejected: num(toks[5])?,
+                    shed: num(toks[6])?,
                     open_circuits,
+                    tenants,
                 }))
             }
             Some("pong") if toks.len() == 2 => Ok(Response::Pong),
@@ -567,6 +688,7 @@ mod tests {
             serial: false,
             seed: 42,
             device: "k40".to_string(),
+            tenant: DEFAULT_TENANT.to_string(),
             deadline_ms: Some(1500),
             class: Some("figure 6 burst".to_string()),
             scripted_panic: false,
@@ -590,6 +712,25 @@ mod tests {
             assert!(!line.contains('\n'));
             assert_eq!(JobSpec::decode(&line).as_ref(), Ok(&spec), "{line}");
         }
+    }
+
+    #[test]
+    fn job_spec_tenant_round_trips_and_pre_tenant_lines_decode_as_default() {
+        let spec = JobSpec {
+            tenant: "team a/b:c".to_string(),
+            ..sample_spec()
+        };
+        assert_eq!(JobSpec::decode(&spec.encode()).as_ref(), Ok(&spec));
+
+        // A v1 journal line written before the tenant field existed.
+        let old = sample_spec().encode();
+        let old = old.strip_suffix(" tenant=default").unwrap();
+        let decoded = JobSpec::decode(old).unwrap();
+        assert_eq!(decoded.tenant, DEFAULT_TENANT);
+        assert_eq!(decoded, sample_spec());
+
+        // Empty tenants are rejected, not silently defaulted.
+        assert!(JobSpec::decode(&format!("{old} tenant=")).is_err());
     }
 
     #[test]
@@ -628,6 +769,14 @@ mod tests {
                 class: "wl=needle ns=4".to_string(),
                 retry_ms: 250,
             }),
+            Response::Rejected(Reject::Shed {
+                reason: "wont-meet-deadline".to_string(),
+                retry_after_ms: 420,
+            }),
+            Response::Rejected(Reject::Shed {
+                reason: "tenant-queue-full".to_string(),
+                retry_after_ms: 0,
+            }),
             Response::Rejected(Reject::ShuttingDown),
             Response::Rejected(Reject::Unavailable("all shards down".to_string())),
             Response::Rejected(Reject::BadRequest("what even is this".to_string())),
@@ -653,7 +802,28 @@ mod tests {
                 running: 1,
                 completed: 40,
                 rejected: 3,
+                shed: 7,
                 open_circuits: vec!["class a".to_string(), "class b".to_string()],
+                tenants: vec![
+                    TenantStat {
+                        tenant: "paced".to_string(),
+                        queued: 1,
+                        running: 1,
+                        served: 20,
+                        shed: 0,
+                        p99_ms: 12,
+                    },
+                    // Hostile tenant name: separators and spaces must
+                    // survive the colon/comma-structured wire field.
+                    TenantStat {
+                        tenant: "a:b,c d".to_string(),
+                        queued: 1,
+                        running: 0,
+                        served: 20,
+                        shed: 7,
+                        p99_ms: 440,
+                    },
+                ],
             }),
             Response::Status(StatusReport::default()),
             Response::Pong,

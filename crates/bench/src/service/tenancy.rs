@@ -1,0 +1,512 @@
+//! Tenant-aware admission and scheduling for the scenario service.
+//!
+//! The server's single FIFO becomes one bounded queue *per tenant*,
+//! drained by deficit-weighted round-robin (DRR): each pop visit grants
+//! a lane `quantum` credits and serves jobs while credit lasts, so a
+//! tenant flooding its queue gets exactly its round-robin share of
+//! workers and can never starve a paced tenant. Quotas are enforced at
+//! the edge where they are cheapest and most meaningful:
+//!
+//! * **max queued** — checked at admission; over-quota submits are shed
+//!   with `tenant-queue-full` before anything is journaled.
+//! * **token-bucket rate** — checked at admission (`tenant-rate`); the
+//!   bucket refills continuously and the shed reply carries the exact
+//!   time until the next token as its `retry-after-ms` hint.
+//! * **max in-flight** — enforced at dispatch: [`TenantQueues::pop`]
+//!   skips lanes at their in-flight cap, so a tenant's burst queues up
+//!   behind its own cap instead of occupying every worker.
+//!
+//! The module also owns the per-class EWMA service-time estimator that
+//! backs deadline-aware shedding and the brownout drain forecast. It is
+//! deliberately free of server plumbing — every method takes `now`
+//! explicitly — so fairness and shedding are unit-testable with a
+//! simulated clock.
+
+use super::protocol::TenantStat;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Sliding window of completion latencies kept per lane for p99.
+const LATENCY_WINDOW: usize = 256;
+
+/// Per-tenant serving quotas. A zero disables the corresponding check,
+/// so `TenantPolicy::default()` reproduces the pre-tenant behaviour
+/// (one global FIFO bound, no rate limiting) exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantPolicy {
+    /// Max jobs a tenant may have queued (0 = unbounded).
+    pub max_queued: usize,
+    /// Max jobs a tenant may have executing at once (0 = unbounded).
+    pub max_inflight: usize,
+    /// Token-bucket admission rate in jobs/second (0 = unlimited).
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity (0 = `max(rate_per_sec, 1)`).
+    pub burst: f64,
+    /// DRR credits granted per scheduling visit; larger values let a
+    /// lane drain short bursts back-to-back before the cursor moves on.
+    pub quantum: u32,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            max_queued: 0,
+            max_inflight: 0,
+            rate_per_sec: 0.0,
+            burst: 0.0,
+            quantum: 1,
+        }
+    }
+}
+
+impl TenantPolicy {
+    fn bucket_capacity(&self) -> f64 {
+        if self.burst > 0.0 {
+            self.burst
+        } else {
+            self.rate_per_sec.max(1.0)
+        }
+    }
+}
+
+/// A structured shed verdict: the stable reason tag that goes on the
+/// wire plus the server's estimate of when a resubmit could succeed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShedVerdict {
+    /// Stable reason tag (`tenant-queue-full`, `tenant-rate`, ...).
+    pub reason: &'static str,
+    /// Suggested client back-off in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+struct Lane<T> {
+    name: String,
+    queue: VecDeque<T>,
+    /// DRR credit left from previous visits.
+    deficit: u32,
+    /// Jobs of this lane currently executing.
+    inflight: usize,
+    /// Token bucket level; `None` until the first rate-limited admit.
+    tokens: Option<f64>,
+    last_refill: Option<Instant>,
+    served: u64,
+    shed: u64,
+    latencies: Vec<u64>,
+    lat_next: usize,
+}
+
+impl<T> Lane<T> {
+    fn new(name: &str) -> Self {
+        Lane {
+            name: name.to_string(),
+            queue: VecDeque::new(),
+            deficit: 0,
+            inflight: 0,
+            tokens: None,
+            last_refill: None,
+            served: 0,
+            shed: 0,
+            latencies: Vec::new(),
+            lat_next: 0,
+        }
+    }
+
+    fn p99_ms(&self) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// Per-tenant queues with DRR dispatch, quota admission and serving
+/// counters. Generic over the queued item so scheduling order is
+/// testable without real jobs.
+pub struct TenantQueues<T> {
+    lanes: Vec<Lane<T>>,
+    index: HashMap<String, usize>,
+    cursor: usize,
+    total_queued: usize,
+}
+
+impl<T> Default for TenantQueues<T> {
+    fn default() -> Self {
+        TenantQueues {
+            lanes: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            total_queued: 0,
+        }
+    }
+}
+
+impl<T> TenantQueues<T> {
+    fn lane_mut(&mut self, tenant: &str) -> &mut Lane<T> {
+        let idx = match self.index.get(tenant) {
+            Some(&i) => i,
+            None => {
+                self.lanes.push(Lane::new(tenant));
+                let i = self.lanes.len() - 1;
+                self.index.insert(tenant.to_string(), i);
+                i
+            }
+        };
+        &mut self.lanes[idx]
+    }
+
+    /// Jobs queued across every lane.
+    pub fn total_queued(&self) -> usize {
+        self.total_queued
+    }
+
+    /// Is `tenant` under its queued quota right now? Cheap and
+    /// side-effect free — safe to call before the rate check so a
+    /// queue-full shed never burns a token.
+    pub fn check_queue_quota(&mut self, tenant: &str, policy: &TenantPolicy) -> Result<(), usize> {
+        let lane = self.lane_mut(tenant);
+        if policy.max_queued > 0 && lane.queue.len() >= policy.max_queued {
+            return Err(lane.queue.len());
+        }
+        Ok(())
+    }
+
+    /// Take one admission token for `tenant`, refilling the bucket for
+    /// the time elapsed since the last take. `Err(ms)` is the exact
+    /// wait until the next token.
+    pub fn take_token(
+        &mut self,
+        tenant: &str,
+        now: Instant,
+        policy: &TenantPolicy,
+    ) -> Result<(), u64> {
+        if policy.rate_per_sec <= 0.0 {
+            return Ok(());
+        }
+        let cap = policy.bucket_capacity();
+        let lane = self.lane_mut(tenant);
+        let mut tokens = lane.tokens.unwrap_or(cap);
+        if let Some(last) = lane.last_refill {
+            let dt = now.saturating_duration_since(last).as_secs_f64();
+            tokens = (tokens + dt * policy.rate_per_sec).min(cap);
+        }
+        lane.last_refill = Some(now);
+        if tokens < 1.0 {
+            lane.tokens = Some(tokens);
+            let wait_ms = ((1.0 - tokens) / policy.rate_per_sec * 1000.0).ceil() as u64;
+            return Err(wait_ms.max(1));
+        }
+        lane.tokens = Some(tokens - 1.0);
+        Ok(())
+    }
+
+    /// Enqueue an admitted item on its tenant's lane.
+    pub fn push(&mut self, tenant: &str, item: T) {
+        self.lane_mut(tenant).queue.push_back(item);
+        self.total_queued += 1;
+    }
+
+    /// Dispatch the next item by deficit round-robin, honouring each
+    /// lane's in-flight cap. `None` when every non-empty lane is at its
+    /// cap (or everything is empty) — the caller waits for a
+    /// completion. The dispatched tenant's in-flight count is bumped;
+    /// pair every `Some` with a later [`TenantQueues::complete`].
+    pub fn pop(&mut self, policy: &TenantPolicy) -> Option<(String, T)> {
+        if self.lanes.is_empty() || self.total_queued == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            let lane = &mut self.lanes[idx];
+            if lane.queue.is_empty() {
+                // An idle lane must not bank credit for later bursts.
+                lane.deficit = 0;
+                continue;
+            }
+            if policy.max_inflight > 0 && lane.inflight >= policy.max_inflight {
+                continue;
+            }
+            // First visit in this round grants the lane its quantum.
+            if step > 0 || lane.deficit == 0 {
+                lane.deficit = lane.deficit.saturating_add(policy.quantum.max(1));
+            }
+            lane.deficit -= 1;
+            lane.inflight += 1;
+            let item = lane.queue.pop_front().expect("non-empty lane");
+            let name = lane.name.clone();
+            self.total_queued -= 1;
+            // Remaining credit lets this lane serve the next pop too;
+            // otherwise the cursor moves past it.
+            let spent = lane.deficit == 0 || lane.queue.is_empty();
+            self.cursor = if spent { (idx + 1) % n } else { idx };
+            if lane.queue.is_empty() {
+                lane.deficit = 0;
+            }
+            return Some((name, item));
+        }
+        None
+    }
+
+    /// Record a dispatched job's completion. `latency_ms` feeds the
+    /// tenant's p99 window (pass `None` for outcomes that produced no
+    /// served result, e.g. deadline discards).
+    pub fn complete(&mut self, tenant: &str, latency_ms: Option<u64>) {
+        let lane = self.lane_mut(tenant);
+        lane.inflight = lane.inflight.saturating_sub(1);
+        lane.served += 1;
+        if let Some(ms) = latency_ms {
+            if lane.latencies.len() < LATENCY_WINDOW {
+                lane.latencies.push(ms);
+            } else {
+                lane.latencies[lane.lat_next] = ms;
+            }
+            lane.lat_next = (lane.lat_next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Count one shed submit against `tenant`.
+    pub fn record_shed(&mut self, tenant: &str) {
+        self.lane_mut(tenant).shed += 1;
+    }
+
+    /// Does any queued item satisfy `pred`? (Used by `wait` to tell a
+    /// pending id from an unknown one.)
+    pub fn any_queued(&self, pred: impl Fn(&T) -> bool) -> bool {
+        self.lanes.iter().any(|l| l.queue.iter().any(&pred))
+    }
+
+    /// Point-in-time per-tenant counters, sorted by tenant name.
+    pub fn stats(&self) -> Vec<TenantStat> {
+        let mut out: Vec<TenantStat> = self
+            .lanes
+            .iter()
+            .map(|l| TenantStat {
+                tenant: l.name.clone(),
+                queued: l.queue.len() as u64,
+                running: l.inflight as u64,
+                served: l.served,
+                shed: l.shed,
+                p99_ms: l.p99_ms(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// EWMA service-time estimation.
+// ---------------------------------------------------------------------
+
+/// Exponentially-weighted moving average of per-class service times,
+/// plus a global average used to forecast queue drain. Backs the
+/// `wont-meet-deadline` admission check and the brownout retry hint.
+///
+/// The estimator only sheds with *evidence*: a class with no completed
+/// observations gets no estimate, so the first job of a class is always
+/// admitted rather than rejected on a guess.
+#[derive(Debug, Default)]
+pub struct ServiceEstimator {
+    per_class: HashMap<String, f64>,
+    global: Option<f64>,
+}
+
+/// EWMA smoothing factor: recent completions dominate quickly without
+/// letting one outlier rewrite the estimate.
+const ALPHA: f64 = 0.3;
+
+impl ServiceEstimator {
+    /// Record one observed execution time for `class`.
+    pub fn observe(&mut self, class: &str, ms: f64) {
+        let blend = |prev: Option<f64>| match prev {
+            Some(p) => ALPHA * ms + (1.0 - ALPHA) * p,
+            None => ms,
+        };
+        let prev = self.per_class.get(class).copied();
+        self.per_class.insert(class.to_string(), blend(prev));
+        self.global = Some(blend(self.global));
+    }
+
+    /// Estimated service time for `class`, if any job of it completed.
+    pub fn estimate(&self, class: &str) -> Option<f64> {
+        self.per_class.get(class).copied()
+    }
+
+    /// Mean service time across all classes — the queue drain rate.
+    pub fn global_estimate(&self) -> Option<f64> {
+        self.global
+    }
+
+    /// Forecast whether a job of `class` submitted now, behind
+    /// `backlog` queued+running jobs drained by `workers`, can meet
+    /// `deadline_ms`. `Some(retry_after_ms)` when it provably cannot.
+    pub fn wont_meet_deadline(
+        &self,
+        class: &str,
+        backlog: usize,
+        workers: usize,
+        deadline_ms: u64,
+    ) -> Option<u64> {
+        // No evidence for this class -> no shed.
+        let svc = self.estimate(class)?;
+        let drain = self.global.unwrap_or(svc);
+        let wait = backlog as f64 * drain / workers.max(1) as f64;
+        let total = wait + svc;
+        if total <= deadline_ms as f64 {
+            return None;
+        }
+        // Hint: how long until the backlog has drained enough that the
+        // forecast fits the deadline again.
+        Some(((total - deadline_ms as f64).ceil() as u64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn q() -> TenantQueues<u32> {
+        TenantQueues::default()
+    }
+
+    #[test]
+    fn drr_interleaves_a_flood_with_a_paced_tenant() {
+        let policy = TenantPolicy::default();
+        let mut tq = q();
+        for i in 0..6 {
+            tq.push("flood", i);
+        }
+        tq.push("paced", 100);
+        tq.push("paced", 101);
+        let mut order = Vec::new();
+        while let Some((t, _)) = tq.pop(&policy) {
+            order.push(t);
+            // Every dispatch completes immediately: no inflight caps.
+            let last = order.last().unwrap().clone();
+            tq.complete(&last, Some(1));
+        }
+        assert_eq!(order.len(), 8);
+        // Paced's two jobs are served within the first two rounds, not
+        // after the flood drains.
+        let first_paced = order.iter().position(|t| t == "paced").unwrap();
+        let second_paced = order.iter().rposition(|t| t == "paced").unwrap();
+        assert!(first_paced <= 1, "order {order:?}");
+        assert!(second_paced <= 3, "order {order:?}");
+    }
+
+    #[test]
+    fn drr_quantum_weights_service_share() {
+        let policy = TenantPolicy {
+            quantum: 2,
+            ..TenantPolicy::default()
+        };
+        let mut tq = q();
+        for i in 0..8 {
+            tq.push("a", i);
+            tq.push("b", 100 + i);
+        }
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let (t, _) = tq.pop(&policy).unwrap();
+            tq.complete(&t, None);
+            order.push(t);
+        }
+        // Quantum 2 serves each lane in bursts of two.
+        assert_eq!(order, ["a", "a", "b", "b", "a", "a", "b", "b"]);
+    }
+
+    #[test]
+    fn inflight_cap_keeps_workers_available_for_other_tenants() {
+        let policy = TenantPolicy {
+            max_inflight: 1,
+            ..TenantPolicy::default()
+        };
+        let mut tq = q();
+        for i in 0..4 {
+            tq.push("flood", i);
+        }
+        tq.push("paced", 100);
+        let (t1, _) = tq.pop(&policy).unwrap();
+        assert_eq!(t1, "flood");
+        // Flood is at its cap: the next dispatch must be paced even
+        // though flood has more queued.
+        let (t2, _) = tq.pop(&policy).unwrap();
+        assert_eq!(t2, "paced");
+        // Both at cap: nothing dispatchable despite queued work.
+        assert!(tq.pop(&policy).is_none());
+        assert_eq!(tq.total_queued(), 3);
+        tq.complete("flood", Some(5));
+        assert_eq!(tq.pop(&policy).unwrap().0, "flood");
+    }
+
+    #[test]
+    fn queue_quota_and_token_bucket_shed_with_hints() {
+        let policy = TenantPolicy {
+            max_queued: 2,
+            rate_per_sec: 10.0,
+            burst: 2.0,
+            ..TenantPolicy::default()
+        };
+        let t0 = Instant::now();
+        let mut tq = q();
+        assert!(tq.check_queue_quota("t", &policy).is_ok());
+        tq.push("t", 1);
+        tq.push("t", 2);
+        assert_eq!(tq.check_queue_quota("t", &policy), Err(2));
+
+        // Bucket starts at burst capacity: two tokens, then a wait
+        // whose hint matches the 10/s refill rate.
+        assert!(tq.take_token("u", t0, &policy).is_ok());
+        assert!(tq.take_token("u", t0, &policy).is_ok());
+        let wait = tq.take_token("u", t0, &policy).unwrap_err();
+        assert!((90..=110).contains(&wait), "hint {wait}ms");
+        // After the advertised wait the token is back.
+        let later = t0 + Duration::from_millis(wait);
+        assert!(tq.take_token("u", later, &policy).is_ok());
+    }
+
+    #[test]
+    fn stats_report_counts_and_p99() {
+        let mut tq = q();
+        tq.push("a", 1);
+        tq.record_shed("b");
+        let (t, _) = tq.pop(&TenantPolicy::default()).unwrap();
+        assert_eq!(t, "a");
+        for ms in [10, 10, 10, 500] {
+            tq.complete("a", Some(ms));
+        }
+        let stats = tq.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].tenant, "a");
+        assert_eq!(stats[0].served, 4);
+        assert_eq!(stats[0].p99_ms, 500);
+        assert_eq!(stats[1].tenant, "b");
+        assert_eq!(stats[1].shed, 1);
+    }
+
+    #[test]
+    fn estimator_sheds_only_with_evidence() {
+        let mut est = ServiceEstimator::default();
+        // Unknown class: never shed, whatever the backlog.
+        assert_eq!(est.wont_meet_deadline("x", 100, 1, 1), None);
+        est.observe("x", 20.0);
+        // 4 queued jobs at ~20ms each on one worker blows a 10ms
+        // deadline; the hint covers at least the excess.
+        let hint = est.wont_meet_deadline("x", 4, 1, 10).unwrap();
+        assert!(hint >= 80, "hint {hint}");
+        // A generous deadline is admitted.
+        assert_eq!(est.wont_meet_deadline("x", 4, 1, 10_000), None);
+        // Two workers halve the forecast wait.
+        assert!(est.wont_meet_deadline("x", 4, 2, 70).is_none());
+        // EWMA converges towards recent observations.
+        for _ in 0..20 {
+            est.observe("x", 5.0);
+        }
+        let e = est.estimate("x").unwrap();
+        assert!((4.9..7.0).contains(&e), "ewma {e}");
+    }
+}

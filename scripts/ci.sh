@@ -39,7 +39,17 @@
 #      `kill -9`s a worker mid-burst — every accepted job must still
 #      complete with artifacts byte-identical to direct runs — and a
 #      SIGTERM drain that must seal every shard's journal,
-#   7. clippy with warnings denied (skipped with a notice when the
+#   7. a multi-tenant overload gate: one paced tenant is measured solo,
+#      then re-measured while a flooding tenant slams the same server
+#      with cold jobs under a per-tenant queue quota. The paced
+#      tenant's p99 must stay within 3x its solo baseline, the paced
+#      tenant must see zero sheds and zero losses, the flood tenant
+#      must see nonzero sheds (the quota actually bit), per-tenant
+#      stats must show up in --status, and a kill -9 mid-backlog
+#      followed by --recover-only must replay every accepted job with
+#      artifacts byte-identical to direct runs — sheds never reach the
+#      journal, accepted work always survives,
+#   8. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
 #
 # Every timed or served binary goes through fresh_bin first: `cargo
@@ -57,8 +67,13 @@ SVC_DIR=""
 SRV_PID=""
 FLEET_TMP=""
 FLEET_PID=""
+OVL_DIR=""
+OVL_PID=""
+FLOOD_PID=""
 cleanup() {
     [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    [ -n "$OVL_PID" ] && kill -9 "$OVL_PID" 2>/dev/null || true
+    [ -n "$FLOOD_PID" ] && kill -9 "$FLOOD_PID" 2>/dev/null || true
     if [ -n "$FLEET_PID" ]; then
         kill -9 "$FLEET_PID" 2>/dev/null || true
         # The coordinator's workers survive a kill -9 of their parent.
@@ -71,6 +86,7 @@ cleanup() {
     [ -n "$SMOKE_LOG" ] && rm -f "$SMOKE_LOG"
     [ -n "$SVC_DIR" ] && rm -rf "$SVC_DIR"
     [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
+    [ -n "$OVL_DIR" ] && rm -rf "$OVL_DIR"
     true
 }
 trap cleanup EXIT
@@ -148,9 +164,16 @@ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 PANIC_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w needle --panic)"
 echo "$PANIC_OUT" | grep -q "panicked" \
     || { echo "FAIL: scripted panic did not answer 'panicked': $PANIC_OUT"; exit 1; }
-DEADLINE_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w needle --deadline-ms 0 --seed 5)"
+# A 1 ms deadline behind a pinned worker expires while queued. (The
+# admission forecaster only sheds classes it has served before; this
+# signature is first-contact, so the job is accepted and then expires —
+# --deadline-ms 0 is now a parse-time usage error.)
+HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" --no-wait -w "gaussian*4+srad*4" --streams 8 --seed 50 >/dev/null
+DEADLINE_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w needle --deadline-ms 1 --seed 5)"
 echo "$DEADLINE_OUT" | grep -q "deadline-exceeded" \
-    || { echo "FAIL: zero deadline did not answer 'deadline-exceeded': $DEADLINE_OUT"; exit 1; }
+    || { echo "FAIL: 1 ms deadline did not answer 'deadline-exceeded': $DEADLINE_OUT"; exit 1; }
+RC=0; "$HQ" submit --socket "$SOCK" -w needle --deadline-ms 0 >/dev/null 2>&1 || RC=$?
+[ "$RC" = 2 ] || { echo "FAIL: --deadline-ms 0 must be a usage error (exit 2), got $RC"; exit 1; }
 # ... and the server keeps serving afterwards.
 OK_OUT="$(HQ_RESULTS="$SVC_DIR" "$HQ" submit --socket "$SOCK" -w gaussian+needle --streams 4 --seed 9)"
 echo "$OK_OUT" | grep -q "^job [0-9]*: ok" \
@@ -251,6 +274,103 @@ for shard in shard-0 shard-1 shard-2; do
         || exit 1
 done
 echo "fleet smoke: gate passed, mid-burst crash lost nothing, all journals sealed"
+
+echo "==> multi-tenant overload gate (flood vs paced, kill -9 mid-backlog)"
+OVL_DIR="$(mktemp -d)"
+OVL_SOCK="$OVL_DIR/hq.sock"
+HQ_RESULTS="$OVL_DIR" "$HQ" serve --socket "$OVL_SOCK" --workers 2 --queue-depth 32 \
+    --tenant-max-queued 4 >"$OVL_DIR/serve.log" 2>&1 &
+OVL_PID=$!
+for _ in $(seq 1 100); do [ -S "$OVL_SOCK" ] && break; sleep 0.1; done
+[ -S "$OVL_SOCK" ] || { echo "FAIL: overload server never bound $OVL_SOCK"; cat "$OVL_DIR/serve.log"; exit 1; }
+
+# Phase 0: the paced tenant alone, cold seeds — the latency baseline.
+HQ_RESULTS="$OVL_DIR" target/release/loadgen --socket "$OVL_SOCK" --tenant paced \
+    --jobs 20 --conns 1 --pace-ms 2 --seed 9000 --seed-pool 100000 --verify \
+    --json "$OVL_DIR/solo.json" >/dev/null
+# Phase 1: a flooding tenant slams the server with distinct cold jobs
+# over more connections than its quota admits (--allow-shed: it takes
+# each shed as the answer), while the paced tenant re-runs fresh cold
+# seeds. The flood must shed; the paced tenant must not notice.
+HQ_RESULTS="$OVL_DIR" target/release/loadgen --socket "$OVL_SOCK" --tenant flood \
+    --allow-shed --jobs 6000 --conns 8 --seed 50000 --seed-pool 100000 \
+    --json "$OVL_DIR/flood.json" >/dev/null 2>&1 &
+FLOOD_PID=$!
+sleep 0.3
+HQ_RESULTS="$OVL_DIR" target/release/loadgen --socket "$OVL_SOCK" --tenant paced \
+    --jobs 20 --conns 1 --pace-ms 2 --seed 12000 --seed-pool 100000 --verify \
+    --json "$OVL_DIR/paced.json" >/dev/null
+STATUS_OUT="$(HQ_RESULTS="$OVL_DIR" "$HQ" submit --socket "$OVL_SOCK" --status)"
+wait "$FLOOD_PID" || { echo "FAIL: flood loadgen lost accepted jobs"; exit 1; }
+FLOOD_PID=""
+
+jfield() { sed -n "s/^  \"$2\": \([0-9.]*\),\{0,1\}\$/\1/p" "$1"; }
+SOLO_P99="$(jfield "$OVL_DIR/solo.json" p99_ms)"
+PACED_P99="$(jfield "$OVL_DIR/paced.json" p99_ms)"
+PACED_FAIL="$(jfield "$OVL_DIR/paced.json" failures)"
+PACED_SHED="$(jfield "$OVL_DIR/paced.json" shed)"
+FLOOD_SHED="$(jfield "$OVL_DIR/flood.json" shed)"
+echo "overload: solo p99 ${SOLO_P99} ms, contended p99 ${PACED_P99} ms, flood shed ${FLOOD_SHED}"
+[ "$PACED_FAIL" = 0 ] || { echo "FAIL: paced tenant lost $PACED_FAIL job(s) under flood"; exit 1; }
+[ "$PACED_SHED" = 0 ] || { echo "FAIL: paced tenant was shed $PACED_SHED time(s) despite staying under quota"; exit 1; }
+awk -v shed="$FLOOD_SHED" 'BEGIN { if (shed + 0 < 1) { print "FAIL: flood tenant was never shed — quota did not bite"; exit 1 } }'
+awk -v solo="$SOLO_P99" -v contended="$PACED_P99" 'BEGIN {
+    floor = solo; if (floor < 50) floor = 50;
+    if (contended > 3 * floor) {
+        printf "FAIL: paced p99 %.3f ms exceeds 3x solo baseline %.3f ms\n", contended, floor; exit 1
+    }
+}'
+echo "$STATUS_OUT" | grep -q "^tenant flood: .* shed [1-9]" \
+    || { echo "FAIL: --status has no flood tenant shed line: $STATUS_OUT"; exit 1; }
+echo "$STATUS_OUT" | grep -q "^tenant paced: .* shed 0" \
+    || { echo "FAIL: --status has no clean paced tenant line: $STATUS_OUT"; exit 1; }
+
+# Phase 2: accepted multi-tenant backlog survives kill -9. Two heavy
+# jobs pin both workers, lights from two tenants queue behind them
+# (each inside its 4-deep tenant quota), and the crash lands with the
+# backlog in the journal. Accepted ids are captured so each artifact
+# can be checked by id after replay.
+OVL_HEAVY="gaussian*6+srad*6"
+OVL_JOBS=()
+ovl_submit() {
+    local tenant="$1" wl="$2" streams="$3" seed="$4" out id
+    out="$(HQ_RESULTS="$OVL_DIR" "$HQ" submit --socket "$OVL_SOCK" --no-wait \
+        --tenant "$tenant" -w "$wl" --streams "$streams" --seed "$seed")"
+    id="${out#accepted job }"
+    { [ -n "$id" ] && [ "$id" != "$out" ]; } \
+        || { echo "FAIL: backlog submit for $tenant seed $seed not accepted: $out"; exit 1; }
+    OVL_JOBS+=("$id $wl $streams $seed")
+}
+ovl_submit acme "$OVL_HEAVY" 16 200
+ovl_submit globex "$OVL_HEAVY" 16 210
+for s in 201 202 203; do ovl_submit acme gaussian+needle 4 "$s"; done
+for s in 204 205 206; do ovl_submit globex gaussian+needle 4 "$s"; done
+kill -9 "$OVL_PID"
+wait "$OVL_PID" 2>/dev/null || true
+OVL_PID=""
+
+INSPECT_OUT="$("$HQ" journal inspect "$OVL_DIR/journal/service.wal")"
+echo "$INSPECT_OUT" | grep -q "^tenant acme:" \
+    || { echo "FAIL: journal inspect lost tenant acme: $INSPECT_OUT"; exit 1; }
+echo "$INSPECT_OUT" | grep -q "^tenant globex:" \
+    || { echo "FAIL: journal inspect lost tenant globex: $INSPECT_OUT"; exit 1; }
+echo "$INSPECT_OUT" | grep -q "sealed=no" \
+    || { echo "FAIL: kill -9 left a sealed journal?: $INSPECT_OUT"; exit 1; }
+
+OVL_REC="$(HQ_RESULTS="$OVL_DIR" "$HQ" serve --socket "$OVL_SOCK" --recover-only 2>/dev/null)"
+OVL_REPLAYED="$(printf '%s\n' "$OVL_REC" | sed -n 's/^recovery: replayed \([0-9]*\) job(s).*/\1/p')"
+[ -n "$OVL_REPLAYED" ] && [ "$OVL_REPLAYED" -ge 1 ] \
+    || { echo "FAIL: overload kill -9 left nothing to replay: $OVL_REC"; exit 1; }
+# Tenancy never leaks into the simulation: every replayed artifact
+# must be byte-identical to a tenant-less --direct rendering.
+for job in "${OVL_JOBS[@]}"; do
+    set -- $job
+    id="$1" wl="$2" streams="$3" seed="$4"
+    HQ_RESULTS="$OVL_DIR" "$HQ" submit --direct -w "$wl" --streams "$streams" --seed "$seed" >"$OVL_DIR/direct.tmp"
+    cmp "$OVL_DIR/service/job-$id.out" "$OVL_DIR/direct.tmp" \
+        || { echo "FAIL: job $id (-w $wl --streams $streams --seed $seed) diverges from direct run"; exit 1; }
+done
+echo "overload gate: paced p99 held under flood, $OVL_REPLAYED job(s) replayed, all tenant artifacts byte-identical"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

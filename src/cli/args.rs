@@ -24,15 +24,21 @@ USAGE:
   hyperq serve     --socket PATH [--workers N] [--queue-depth N]
                    [--breaker-threshold K] [--breaker-cooldown-ms MS]
                    [--journal PATH] [--artifact-dir DIR] [--recover-only]
+                   [--tenant-max-queued N] [--tenant-max-inflight N]
+                   [--tenant-rate R] [--tenant-burst B] [--drr-quantum N]
+                   [--brownout-threshold F]
   hyperq serve     --tcp ADDR --fleet N [--fleet-dir DIR] [--queue-depth N]
                    [--workers N] [--heartbeat-ms MS] [--max-restarts K]
                    [--breaker-threshold K] [--breaker-cooldown-ms MS]
+                   [--tenant-max-queued N] [--tenant-max-inflight N]
+                   [--tenant-rate R] [--brownout-threshold F]
   hyperq submit    --socket PATH|--tcp ADDR --workload SPEC [--streams N]
                    [--order ORDER] [--memsync MODE] [--serial] [--seed N]
                    [--device DEV] [--deadline-ms N] [--class NAME] [--panic]
-                   [--no-wait] [--timeout-ms MS]
+                   [--tenant NAME] [--no-wait] [--timeout-ms MS]
   hyperq submit    --socket PATH|--tcp ADDR --status | --shutdown
   hyperq submit    --direct --workload SPEC [run flags]
+  hyperq journal   inspect FILE
   hyperq table3
   hyperq devices
   hyperq help
@@ -75,6 +81,8 @@ pub enum Command {
     Serve,
     /// Submit a job to (or query/stop) a running scenario server.
     Submit,
+    /// Read-only dump of a journal file (`journal inspect FILE`).
+    JournalInspect,
     /// Print Table III.
     Table3,
     /// List device presets.
@@ -163,6 +171,22 @@ pub struct Cli {
     pub submit_shutdown: bool,
     /// Run the job in-process and print the artifact (`submit --direct`).
     pub direct: bool,
+    /// Tenant the submitted job is billed to (`submit --tenant`).
+    pub tenant: Option<String>,
+    /// Per-tenant queued-job quota (`serve --tenant-max-queued`, 0 = off).
+    pub tenant_max_queued: usize,
+    /// Per-tenant in-flight cap (`serve --tenant-max-inflight`, 0 = off).
+    pub tenant_max_inflight: usize,
+    /// Per-tenant admission rate in jobs/s (`serve --tenant-rate`, 0 = off).
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity (`serve --tenant-burst`, 0 = auto).
+    pub tenant_burst: f64,
+    /// DRR credits per scheduling visit (`serve --drr-quantum`).
+    pub drr_quantum: u32,
+    /// Brownout utilization threshold (`serve --brownout-threshold`, 0 = off).
+    pub brownout_threshold: f64,
+    /// Journal file to dump (`journal inspect FILE`).
+    pub journal_file: Option<String>,
 }
 
 /// Which recovery policy the harness should apply to failed apps.
@@ -218,8 +242,33 @@ impl Default for Cli {
             submit_status: false,
             submit_shutdown: false,
             direct: false,
+            tenant: None,
+            tenant_max_queued: 0,
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            tenant_burst: 0.0,
+            drr_quantum: 1,
+            brownout_threshold: 0.0,
+            journal_file: None,
         }
     }
+}
+
+/// Tenant names travel on the wire and into journal records, so keep
+/// them to a conservative identifier charset.
+fn validate_tenant(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("--tenant must be 1..=64 characters".into());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(format!(
+            "--tenant '{name}' may only contain letters, digits, '-', '_', '.'"
+        ));
+    }
+    Ok(())
 }
 
 fn parse_recovery(s: &str) -> Result<RecoveryChoice, String> {
@@ -276,6 +325,11 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         "repro" => Command::Repro,
         "serve" => Command::Serve,
         "submit" => Command::Submit,
+        "journal" => match it.next().as_deref() {
+            Some("inspect") => Command::JournalInspect,
+            Some(other) => return Err(format!("unknown journal action '{other}' (try 'inspect')")),
+            None => return Err("journal requires an action: journal inspect FILE".into()),
+        },
         "table3" => Command::Table3,
         "devices" => Command::Devices,
         "help" | "--help" | "-h" => Command::Help,
@@ -405,11 +459,77 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             }
             "--recover-only" => cli.recover_only = true,
             "--deadline-ms" => {
-                cli.deadline_ms = Some(
-                    value(&mut it, "--deadline-ms")?
-                        .parse()
-                        .map_err(|_| "--deadline-ms needs an integer".to_string())?,
-                );
+                let ms: u64 = value(&mut it, "--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms needs an integer".to_string())?;
+                // A zero deadline is dead on arrival and anything past a
+                // day is a typo, not a deadline.
+                if ms == 0 || ms > 86_400_000 {
+                    return Err("--deadline-ms must be in 1..=86400000 (24h)".into());
+                }
+                cli.deadline_ms = Some(ms);
+            }
+            "--tenant" => {
+                let name = value(&mut it, "--tenant")?;
+                validate_tenant(&name)?;
+                cli.tenant = Some(name);
+            }
+            "--tenant-max-queued" => {
+                cli.tenant_max_queued = value(&mut it, "--tenant-max-queued")?
+                    .parse()
+                    .map_err(|_| "--tenant-max-queued needs an integer".to_string())?;
+                if cli.tenant_max_queued == 0 || cli.tenant_max_queued > 100_000 {
+                    return Err("--tenant-max-queued must be in 1..=100000".into());
+                }
+            }
+            "--tenant-max-inflight" => {
+                cli.tenant_max_inflight = value(&mut it, "--tenant-max-inflight")?
+                    .parse()
+                    .map_err(|_| "--tenant-max-inflight needs an integer".to_string())?;
+                if cli.tenant_max_inflight == 0 || cli.tenant_max_inflight > 1024 {
+                    return Err("--tenant-max-inflight must be in 1..=1024".into());
+                }
+            }
+            "--tenant-rate" => {
+                cli.tenant_rate = value(&mut it, "--tenant-rate")?
+                    .parse()
+                    .map_err(|_| "--tenant-rate needs a number (jobs/sec)".to_string())?;
+                if !cli.tenant_rate.is_finite()
+                    || cli.tenant_rate <= 0.0
+                    || cli.tenant_rate > 1_000_000.0
+                {
+                    return Err("--tenant-rate must be in (0, 1000000] jobs/sec".into());
+                }
+            }
+            "--tenant-burst" => {
+                cli.tenant_burst = value(&mut it, "--tenant-burst")?
+                    .parse()
+                    .map_err(|_| "--tenant-burst needs a number".to_string())?;
+                if !cli.tenant_burst.is_finite()
+                    || cli.tenant_burst <= 0.0
+                    || cli.tenant_burst > 1_000_000.0
+                {
+                    return Err("--tenant-burst must be in (0, 1000000]".into());
+                }
+            }
+            "--drr-quantum" => {
+                cli.drr_quantum = value(&mut it, "--drr-quantum")?
+                    .parse()
+                    .map_err(|_| "--drr-quantum needs an integer".to_string())?;
+                if cli.drr_quantum == 0 || cli.drr_quantum > 64 {
+                    return Err("--drr-quantum must be in 1..=64".into());
+                }
+            }
+            "--brownout-threshold" => {
+                cli.brownout_threshold = value(&mut it, "--brownout-threshold")?
+                    .parse()
+                    .map_err(|_| "--brownout-threshold needs a number in (0, 1]".to_string())?;
+                if !cli.brownout_threshold.is_finite()
+                    || cli.brownout_threshold <= 0.0
+                    || cli.brownout_threshold > 1.0
+                {
+                    return Err("--brownout-threshold must be in (0, 1]".into());
+                }
             }
             "--class" => cli.job_class = Some(value(&mut it, "--class")?),
             "--panic" => cli.scripted_panic = true,
@@ -423,6 +543,12 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 }
                 cli.repro_file = Some(flag);
             }
+            other if cli.command == Command::JournalInspect && !other.starts_with('-') => {
+                if cli.journal_file.is_some() {
+                    return Err("journal inspect takes exactly one FILE".into());
+                }
+                cli.journal_file = Some(flag);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -435,6 +561,9 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     }
     if cli.command == Command::Repro && cli.repro_file.is_none() {
         return Err("repro requires a FILE argument".into());
+    }
+    if cli.command == Command::JournalInspect && cli.journal_file.is_none() {
+        return Err("journal inspect requires a FILE argument".into());
     }
     if cli.command == Command::Serve {
         if cli.fleet > 0 {
@@ -644,6 +773,60 @@ mod tests {
         assert!(parse_args(argv("submit -w nn")).is_err());
         assert!(parse_args(argv("submit --socket s")).is_err());
         assert!(parse_args(argv("submit --direct --status")).is_err());
+    }
+
+    #[test]
+    fn deadline_rejects_zero_and_absurd_values() {
+        let cli = parse_args(argv("submit --socket s -w nn --deadline-ms 500")).unwrap();
+        assert_eq!(cli.deadline_ms, Some(500));
+        assert!(parse_args(argv("submit --socket s -w nn --deadline-ms 0")).is_err());
+        assert!(parse_args(argv("submit --socket s -w nn --deadline-ms 86400001")).is_err());
+        assert!(parse_args(argv("submit --socket s -w nn --deadline-ms soon")).is_err());
+    }
+
+    #[test]
+    fn tenant_flag_parses_and_validates_charset() {
+        let cli = parse_args(argv("submit --socket s -w nn --tenant team-a.prod_1")).unwrap();
+        assert_eq!(cli.tenant.as_deref(), Some("team-a.prod_1"));
+        assert!(parse_args(argv("submit --socket s -w nn --tenant bad:name")).is_err());
+        assert!(parse_args(argv("submit --socket s -w nn --tenant")).is_err());
+        let long = "x".repeat(65);
+        assert!(parse_args(argv(&format!("submit --socket s -w nn --tenant {long}"))).is_err());
+    }
+
+    #[test]
+    fn serve_tenant_quota_flags_parse_and_validate() {
+        let cli = parse_args(argv(
+            "serve --socket s --tenant-max-queued 8 --tenant-max-inflight 2 \
+             --tenant-rate 5.5 --tenant-burst 3 --drr-quantum 4 --brownout-threshold 0.8",
+        ))
+        .unwrap();
+        assert_eq!(cli.tenant_max_queued, 8);
+        assert_eq!(cli.tenant_max_inflight, 2);
+        assert!((cli.tenant_rate - 5.5).abs() < 1e-9);
+        assert!((cli.tenant_burst - 3.0).abs() < 1e-9);
+        assert_eq!(cli.drr_quantum, 4);
+        assert!((cli.brownout_threshold - 0.8).abs() < 1e-9);
+        // Zeros and out-of-range values are usage errors, not silent off.
+        assert!(parse_args(argv("serve --socket s --tenant-max-queued 0")).is_err());
+        assert!(parse_args(argv("serve --socket s --tenant-max-inflight 0")).is_err());
+        assert!(parse_args(argv("serve --socket s --tenant-rate 0")).is_err());
+        assert!(parse_args(argv("serve --socket s --tenant-rate -1")).is_err());
+        assert!(parse_args(argv("serve --socket s --tenant-rate nan")).is_err());
+        assert!(parse_args(argv("serve --socket s --drr-quantum 65")).is_err());
+        assert!(parse_args(argv("serve --socket s --brownout-threshold 0")).is_err());
+        assert!(parse_args(argv("serve --socket s --brownout-threshold 1.5")).is_err());
+    }
+
+    #[test]
+    fn journal_inspect_takes_one_positional_file() {
+        let cli = parse_args(argv("journal inspect /tmp/hq.journal")).unwrap();
+        assert_eq!(cli.command, Command::JournalInspect);
+        assert_eq!(cli.journal_file.as_deref(), Some("/tmp/hq.journal"));
+        assert!(parse_args(argv("journal")).is_err());
+        assert!(parse_args(argv("journal inspect")).is_err());
+        assert!(parse_args(argv("journal inspect a b")).is_err());
+        assert!(parse_args(argv("journal vacuum f")).is_err());
     }
 
     #[test]

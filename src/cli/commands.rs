@@ -327,6 +327,10 @@ fn job_spec_from(cli: &Cli) -> JobSpec {
         deadline_ms: cli.deadline_ms,
         class: cli.job_class.clone(),
         scripted_panic: cli.scripted_panic,
+        tenant: cli
+            .tenant
+            .clone()
+            .unwrap_or_else(|| hq_bench::service::DEFAULT_TENANT.to_string()),
     }
 }
 
@@ -350,6 +354,10 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         opts.breaker_cooldown_ms = cli.breaker_cooldown_ms;
         opts.heartbeat_ms = cli.heartbeat_ms;
         opts.max_restarts = cli.max_restarts;
+        opts.tenant_max_queued = cli.tenant_max_queued;
+        opts.tenant_max_inflight = cli.tenant_max_inflight;
+        opts.tenant_rate = cli.tenant_rate;
+        opts.brownout_threshold = cli.brownout_threshold;
         hq_bench::service::fleet::serve_fleet(opts)?;
         return Ok("fleet drained and stopped".to_string());
     }
@@ -359,6 +367,12 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     opts.queue_depth = cli.queue_depth;
     opts.breaker_threshold = cli.breaker_threshold;
     opts.breaker_cooldown_ms = cli.breaker_cooldown_ms;
+    opts.tenant_max_queued = cli.tenant_max_queued;
+    opts.tenant_max_inflight = cli.tenant_max_inflight;
+    opts.tenant_rate = cli.tenant_rate;
+    opts.tenant_burst = cli.tenant_burst;
+    opts.drr_quantum = cli.drr_quantum;
+    opts.brownout_threshold = cli.brownout_threshold;
     if let Some(journal) = &cli.journal {
         opts.journal = journal.into();
     }
@@ -393,6 +407,10 @@ fn render_rejection(reject: &hq_bench::service::Reject) -> String {
         Reject::ShuttingDown => "rejected: shutting-down".to_string(),
         Reject::Unavailable(msg) => format!("rejected: unavailable: {msg}"),
         Reject::BadRequest(msg) => format!("rejected: bad-request: {msg}"),
+        Reject::Shed {
+            reason,
+            retry_after_ms,
+        } => format!("rejected: shed:{reason} (retry in {retry_after_ms} ms)"),
     }
 }
 
@@ -432,18 +450,28 @@ fn cmd_submit(cli: &Cli) -> Result<String, String> {
     client.set_read_timeout(Some(std::time::Duration::from_millis(submit_timeout_ms(cli))))?;
     if cli.submit_status {
         return match client.call(&Request::Status)? {
-            Response::Status(s) => Ok(format!(
-                "queued {} running {} completed {} rejected {}\nopen circuits: {}",
-                s.queued,
-                s.running,
-                s.completed,
-                s.rejected,
-                if s.open_circuits.is_empty() {
-                    "none".to_string()
-                } else {
-                    s.open_circuits.join(", ")
+            Response::Status(s) => {
+                let mut out = format!(
+                    "queued {} running {} completed {} rejected {} shed {}\nopen circuits: {}",
+                    s.queued,
+                    s.running,
+                    s.completed,
+                    s.rejected,
+                    s.shed,
+                    if s.open_circuits.is_empty() {
+                        "none".to_string()
+                    } else {
+                        s.open_circuits.join(", ")
+                    }
+                );
+                for t in &s.tenants {
+                    out.push_str(&format!(
+                        "\ntenant {}: queued {} running {} served {} shed {} p99 {} ms",
+                        t.tenant, t.queued, t.running, t.served, t.shed, t.p99_ms
+                    ));
                 }
-            )),
+                Ok(out)
+            }
             other => Err(format!("unexpected response: {other:?}")),
         };
     }
@@ -455,18 +483,34 @@ fn cmd_submit(cli: &Cli) -> Result<String, String> {
             other => Err(format!("unexpected response: {other:?}")),
         };
     }
+    // Transient rejections (queue-full, shed) retry with jittered
+    // backoff — honoring the server's retry-after hint — inside the
+    // same budget that bounds the read timeout.
     let spec = job_spec_from(cli);
-    let response = if cli.no_wait {
-        client.call(&Request::Submit(spec))?
-    } else {
-        client.submit_and_wait(spec)?
-    };
+    let budget = std::time::Duration::from_millis(submit_timeout_ms(cli));
+    let mut response = client.submit_with_retry(&spec, budget)?;
+    if !cli.no_wait {
+        if let Response::Accepted(id) = response {
+            response = client.call(&Request::Wait(id))?;
+        }
+    }
     match response {
         Response::Accepted(id) => Ok(format!("accepted job {id}")),
         Response::Done(id, done) => Ok(render_done(id, &done)),
         Response::Rejected(reject) => Err(render_rejection(&reject)),
         other => Err(format!("unexpected response: {other:?}")),
     }
+}
+
+/// `hyperq journal inspect FILE`: read-only dump of a journal — the
+/// header/seal state, per-tenant accepted/done/unfinished counts, and
+/// every record. Never writes, locks, or truncates, so it is safe to
+/// point at a live server's journal.
+fn cmd_journal_inspect(cli: &Cli) -> Result<String, String> {
+    let path = cli.journal_file.as_deref().expect("checked by parse_args");
+    let inspection = hq_bench::service::Journal::inspect(std::path::Path::new(path))
+        .map_err(|e| format!("inspect {path}: {e}"))?;
+    Ok(inspection.render())
 }
 
 /// Execute a parsed CLI invocation, returning the text to print.
@@ -480,6 +524,7 @@ pub fn execute(cli: Cli) -> Result<String, String> {
         Command::Repro => cmd_repro(&cli),
         Command::Serve => cmd_serve(&cli),
         Command::Submit => cmd_submit(&cli),
+        Command::JournalInspect => cmd_journal_inspect(&cli),
         Command::Table3 => {
             geometry::validate_against_builders();
             Ok(geometry::render_markdown())
@@ -625,6 +670,32 @@ mod tests {
         assert_eq!(format!("{a}\n"), direct);
         // A scripted-panic job has no artifact to print.
         assert!(run("submit --direct -w nn --panic").is_err());
+    }
+
+    #[test]
+    fn journal_inspect_dumps_tenants_and_rejects_missing_files() {
+        use hq_bench::service::{JobSpec, Journal};
+        let dir = std::env::temp_dir().join(format!("hq_cli_inspect_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.wal");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            let mut spec = JobSpec {
+                workload: vec![hq_workloads::apps::AppKind::Knearest],
+                ..JobSpec::default()
+            };
+            spec.tenant = "acme".to_string();
+            j.accept(1, &spec).unwrap();
+            j.done(1, "ok").unwrap();
+            spec.tenant = "globex".to_string();
+            j.accept(2, &spec).unwrap();
+        }
+        let out = run(&format!("journal inspect {}", path.display())).unwrap();
+        assert!(out.contains("tenant acme: accepted 1 done 1 unfinished 0"), "{out}");
+        assert!(out.contains("tenant globex: accepted 1 done 0 unfinished 1"), "{out}");
+        assert!(out.contains("sealed=no"), "{out}");
+        assert!(run(&format!("journal inspect {}", dir.join("nope.wal").display())).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

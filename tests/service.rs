@@ -9,9 +9,10 @@ use hq_bench::service::{
     run_job_direct, Client, JobDone, Journal, JobSpec, Reject, Request, Response, Server,
     ServeOptions,
 };
+use hq_workloads::apps::AppKind;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tests mutate the process-global `HQ_RESULTS` (the scenario cache
 /// root); each test holds this for its whole body.
@@ -271,13 +272,13 @@ fn service_over_socket_survives_panics_deadlines_and_breaker_trips() {
     }
     match client.submit_and_wait(bomb.clone()).expect("submit") {
         Response::Rejected(Reject::CircuitOpen { class, retry_ms }) => {
-            assert_eq!(class, "bombs");
+            assert_eq!(class, "default/bombs", "breaker keys are tenant-scoped");
             assert!(retry_ms <= 100);
         }
         other => panic!("expected circuit-open, got {other:?}"),
     }
     match client.call(&Request::Status).expect("status") {
-        Response::Status(s) => assert_eq!(s.open_circuits, vec!["bombs".to_string()]),
+        Response::Status(s) => assert_eq!(s.open_circuits, vec!["default/bombs".to_string()]),
         other => panic!("expected status, got {other:?}"),
     }
     // Other classes keep serving while the breaker is open.
@@ -327,6 +328,399 @@ fn service_over_socket_survives_panics_deadlines_and_breaker_trips() {
     assert!(artifact_dir.join("job-1.out").exists());
     assert!(!artifact_dir.join("job-2.out").exists(), "deadline job");
     assert!(!artifact_dir.join("job-3.out").exists(), "panicked job");
+}
+
+/// Tentpole chaos test: tenant `flood` hammers the server far past its
+/// quota while tenant `paced` submits sequentially. Deficit round-robin
+/// scheduling and per-tenant quotas must keep `paced` flowing: never
+/// shed (it stays under quota) and with p99 bounded by 3x its solo
+/// baseline (floored at 100 ms to absorb scheduler noise on busy CI
+/// boxes — without DRR, `paced` would wait behind the flood's entire
+/// continuously-refilled lane and blow far past the bound).
+#[test]
+fn flooding_tenant_cannot_starve_a_paced_tenant() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("starvation");
+    let mut opts = dirs.opts();
+    opts.workers = 2;
+    opts.queue_depth = 64;
+    opts.tenant_max_queued = 4;
+    let socket = opts.socket.clone();
+    let (server, _) = Server::new(opts).expect("server");
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+
+    let paced_spec = |seed: u64| JobSpec {
+        tenant: "paced".to_string(),
+        seed,
+        ..JobSpec::default()
+    };
+    // Worst-of-6 sequential latency — p99 for a sample this size.
+    let paced_round = |client: &mut Client, base: u64| -> Duration {
+        let mut worst = Duration::ZERO;
+        for i in 0..6 {
+            let t0 = Instant::now();
+            match client.submit_and_wait(paced_spec(base + i)).expect("paced submit") {
+                Response::Done(_, JobDone::Ok { .. }) => {}
+                other => panic!("paced tenant must never be rejected under quota: {other:?}"),
+            }
+            worst = worst.max(t0.elapsed());
+        }
+        worst
+    };
+
+    // Solo baseline: the paced tenant alone on the server.
+    let solo_p99 = paced_round(&mut client, 1_000);
+
+    // Flood: four threads hammer tenant `flood` with cold, distinct
+    // jobs, abandoning whatever the server sheds, until told to stop.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flooders: Vec<_> = (0..4u64)
+        .map(|t| {
+            let stop = std::sync::Arc::clone(&stop);
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut c = connect_with_retry(&socket);
+                let mut seed = 50_000 + 10_000 * t;
+                let mut sheds = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    seed += 1;
+                    let spec = JobSpec {
+                        tenant: "flood".to_string(),
+                        seed,
+                        ..JobSpec::default()
+                    };
+                    match c.call(&Request::Submit(spec)) {
+                        Ok(Response::Rejected(Reject::Shed {
+                            reason,
+                            retry_after_ms,
+                        })) => {
+                            assert_eq!(reason, "tenant-queue-full");
+                            assert!(retry_after_ms >= 1, "hint must be usable");
+                            sheds += 1;
+                        }
+                        Ok(Response::Accepted(_))
+                        | Ok(Response::Rejected(Reject::QueueFull { .. })) => {}
+                        Ok(other) => panic!("unexpected flood response: {other:?}"),
+                        Err(e) => panic!("flood transport error: {e}"),
+                    }
+                }
+                sheds
+            })
+        })
+        .collect();
+
+    // Give the flood a moment to saturate its lane, then run the paced
+    // tenant through the contended server.
+    std::thread::sleep(Duration::from_millis(20));
+    let contended_p99 = paced_round(&mut client, 2_000);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let shed_total: u64 = flooders.into_iter().map(|h| h.join().expect("flooder")).sum();
+    assert!(shed_total > 0, "the flood never hit its quota");
+
+    let bound = solo_p99.max(Duration::from_millis(100)) * 3;
+    assert!(
+        contended_p99 <= bound,
+        "paced tenant degraded beyond 3x solo: solo {solo_p99:?}, contended {contended_p99:?}"
+    );
+
+    // Per-tenant accounting: the flood's sheds are attributed to it;
+    // the paced tenant shows its served jobs and zero sheds.
+    match client.call(&Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert!(s.shed >= shed_total, "global shed counter lost sheds");
+            let flood = s
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "flood")
+                .expect("flood stats");
+            assert!(flood.shed >= shed_total);
+            let paced = s
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "paced")
+                .expect("paced stats");
+            assert_eq!(paced.shed, 0, "paced tenant must never be shed under quota");
+            assert_eq!(paced.served, 12);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+}
+
+/// Satellite: the tenant-scoped breaker's half-open state admits
+/// exactly one probe. While that probe is still queued behind a busy
+/// worker, a second submit for the same tenant/class must bounce with
+/// circuit-open rather than racing a second probe through.
+#[test]
+fn half_open_breaker_admits_one_probe_under_concurrent_submits() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("half-open-race");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    opts.breaker_threshold = 1;
+    opts.breaker_cooldown_ms = 100;
+    let socket = opts.socket.clone();
+    let (server, _) = Server::new(opts).expect("server");
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+
+    let racy = |seed: u64, panic: bool| JobSpec {
+        tenant: "acme".to_string(),
+        class: Some("race".to_string()),
+        scripted_panic: panic,
+        seed,
+        ..JobSpec::default()
+    };
+    // One scripted panic opens acme/race (threshold 1).
+    match client.submit_and_wait(racy(41, true)).expect("bomb") {
+        Response::Done(_, JobDone::Panicked(_)) => {}
+        other => panic!("expected panic, got {other:?}"),
+    }
+    match client.submit_and_wait(racy(42, false)).expect("while open") {
+        Response::Rejected(Reject::CircuitOpen { class, .. }) => assert_eq!(class, "acme/race"),
+        other => panic!("expected circuit-open, got {other:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    // Pin the worker with a fat filler job so the probe cannot
+    // complete before the concurrent submit arrives.
+    let fill = JobSpec {
+        tenant: "acme".to_string(),
+        workload: vec![AppKind::Needle; 8],
+        seed: 43,
+        ..JobSpec::default()
+    };
+    match client.call(&Request::Submit(fill)).expect("fill") {
+        Response::Accepted(_) => {}
+        other => panic!("expected filler accepted, got {other:?}"),
+    }
+    // First same-class submit after the cooldown is the probe...
+    let probe_id = match client.call(&Request::Submit(racy(44, false))).expect("probe") {
+        Response::Accepted(id) => id,
+        other => panic!("expected the probe to be admitted, got {other:?}"),
+    };
+    // ...and a concurrent second submit must NOT become a second probe.
+    match client.call(&Request::Submit(racy(45, false))).expect("second") {
+        Response::Rejected(Reject::CircuitOpen { class, retry_ms }) => {
+            assert_eq!(class, "acme/race");
+            assert!(retry_ms <= 100);
+        }
+        other => panic!("expected circuit-open while the probe is in flight, got {other:?}"),
+    }
+    // The probe completing closes the breaker for everyone.
+    match client.call(&Request::Wait(probe_id)).expect("wait probe") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("probe should succeed, got {other:?}"),
+    }
+    match client.submit_and_wait(racy(46, false)).expect("after close") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("breaker should be closed after the probe, got {other:?}"),
+    }
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+}
+
+/// Deadline-aware admission: once the estimator has service-time
+/// evidence for a class, an impossible deadline is shed at admission
+/// with a retry-after hint; without evidence the job is admitted and
+/// expires after acceptance (the pre-tenant behavior, which keeps
+/// first-contact deadline jobs out of the forecaster's blast radius).
+#[test]
+fn deadline_forecast_sheds_with_evidence_and_admits_without() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("deadline-shed");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    let socket = opts.socket.clone();
+    let (server, _) = Server::new(opts).expect("server");
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+
+    // Heavy enough that its service time dwarfs a 1 ms deadline in
+    // release builds too.
+    let heavy = |seed: u64| JobSpec {
+        workload: vec![AppKind::Needle; 16],
+        class: Some("heavy".to_string()),
+        seed,
+        ..JobSpec::default()
+    };
+    // Train the estimator with one completed "heavy" job.
+    match client.submit_and_wait(heavy(61)).expect("train") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("expected training job ok, got {other:?}"),
+    }
+    // A class the estimator has never served: admitted despite the
+    // impossible deadline — shed only with evidence.
+    let fresh = JobSpec {
+        deadline_ms: Some(1),
+        class: Some("fresh".to_string()),
+        seed: 62,
+        ..JobSpec::default()
+    };
+    match client.submit_and_wait(fresh).expect("fresh") {
+        Response::Done(..) => {}
+        other => panic!("no-evidence deadline job must be admitted, got {other:?}"),
+    }
+    // Build a backlog of known-heavy work...
+    let mut queued = Vec::new();
+    for seed in 63..67 {
+        match client.call(&Request::Submit(heavy(seed))).expect("backlog") {
+            Response::Accepted(id) => queued.push(id),
+            other => panic!("expected backlog accepted, got {other:?}"),
+        }
+    }
+    // ...then an impossible deadline for that class is shed at
+    // admission, with a hint for when to try again.
+    let doomed = JobSpec {
+        deadline_ms: Some(1),
+        ..heavy(70)
+    };
+    match client.call(&Request::Submit(doomed)).expect("doomed") {
+        Response::Rejected(Reject::Shed {
+            reason,
+            retry_after_ms,
+        }) => {
+            assert_eq!(reason, "wont-meet-deadline");
+            assert!(retry_after_ms >= 1);
+        }
+        other => panic!("expected wont-meet-deadline shed, got {other:?}"),
+    }
+    match client.call(&Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert!(s.shed >= 1);
+            let t = s
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "default")
+                .expect("default tenant stats");
+            assert!(t.shed >= 1, "shed must be attributed to the tenant");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    for id in queued {
+        client.call(&Request::Wait(id)).expect("drain backlog");
+    }
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+}
+
+/// Brownout: past the utilization threshold the server keeps serving
+/// warm scenario-cache hits and sheds cold work (state-level — no
+/// workers, so the backlog cannot drain underneath the assertions).
+#[test]
+fn brownout_sheds_cold_work_but_serves_warm_cache_hits() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("brownout");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    opts.queue_depth = 4;
+    opts.brownout_threshold = 0.1;
+    let (server, _) = Server::new(opts).expect("server");
+
+    // Warm the scenario cache for one spec (in-process memo hit).
+    let warm = spec(91);
+    run_job_direct(&warm).expect("warm the cache");
+
+    // Below the threshold everything is admitted.
+    assert_eq!(server.handle(Request::Submit(spec(92))), Response::Accepted(1));
+    // Utilization is now 1/5 > 0.1: brownout. Cold work sheds...
+    match server.handle(Request::Submit(spec(93))) {
+        Response::Rejected(Reject::Shed {
+            reason,
+            retry_after_ms,
+        }) => {
+            assert_eq!(reason, "brownout");
+            assert!(retry_after_ms >= 50, "brownout hints are deliberately coarse");
+        }
+        other => panic!("expected brownout shed, got {other:?}"),
+    }
+    // ...but the warm spec is still served.
+    assert_eq!(server.handle(Request::Submit(warm)), Response::Accepted(2));
+    match server.handle(Request::Status) {
+        Response::Status(s) => {
+            assert_eq!(s.shed, 1);
+            let t = s
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "default")
+                .expect("default tenant stats");
+            assert_eq!(t.shed, 1);
+            assert_eq!(t.queued, 2);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+}
+
+/// Satellite: `Client::submit_with_retry` rides out sheds — backing
+/// off on the server's retry-after hint — until tenant capacity frees
+/// up, within its budget.
+#[test]
+fn submit_with_retry_rides_out_sheds_until_capacity_frees() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("retry-shed");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    opts.tenant_max_queued = 1;
+    let socket = opts.socket.clone();
+    let (server, _) = Server::new(opts).expect("server");
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+
+    // Saturate the tenant's queue quota with fat jobs.
+    let fat = |seed: u64| JobSpec {
+        workload: vec![AppKind::Needle; 8],
+        seed,
+        ..JobSpec::default()
+    };
+    let mut accepted = 0;
+    for seed in 81..85 {
+        if let Response::Accepted(_) = client.call(&Request::Submit(fat(seed))).expect("fill") {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 1, "at least the first job must be admitted");
+
+    // A plain submit may shed right now; the retrying submit must ride
+    // it out and come back accepted well within its budget.
+    let resp = client
+        .submit_with_retry(&fat(90), Duration::from_secs(30))
+        .expect("retrying submit");
+    let id = match resp {
+        Response::Accepted(id) => id,
+        other => panic!("expected eventual acceptance, got {other:?}"),
+    };
+    match client.call(&Request::Wait(id)).expect("wait") {
+        Response::Done(_, JobDone::Ok { .. }) => {}
+        other => panic!("expected ok, got {other:?}"),
+    }
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
 }
 
 /// Satellite: a `submit` against a server that accepts the connection
