@@ -351,16 +351,41 @@ fn main() {
         .unwrap_or(1) as f64;
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let jobs_per_sec = latencies.len() as f64 / wall.max(1e-9);
+    // One status call after the burst surfaces the server's batching
+    // and group-commit counters alongside the client-side figures.
+    let status = connect(&o)
+        .and_then(|mut c| c.call(&Request::Status))
+        .ok()
+        .and_then(|r| match r {
+            Response::Status(s) => Some(s),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let batch_occupancy = if status.dispatches > 0 {
+        status.dispatched_jobs as f64 / status.dispatches as f64
+    } else {
+        0.0
+    };
+    let fsyncs_per_accept = if status.accepts > 0 {
+        status.fsyncs as f64 / status.accepts as f64
+    } else {
+        0.0
+    };
     let report = format!(
         "{{\n  \"jobs\": {},\n  \"completed\": {},\n  \"failures\": {failures},\n  \
          \"retries\": {retries},\n  \"shed\": {shed},\n  \"wall_secs\": {wall:.3},\n  \
          \"jobs_per_sec\": {jobs_per_sec:.3},\n  \"jobs_per_sec_per_core\": {:.3},\n  \
-         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3}\n}}\n",
+         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \
+         \"batch_occupancy\": {batch_occupancy:.3},\n  \
+         \"fsyncs_per_accept\": {fsyncs_per_accept:.3},\n  \
+         \"window_flushes\": {},\n  \"solo_flushes\": {}\n}}\n",
         o.jobs,
         latencies.len(),
         jobs_per_sec / cores,
         percentile(&latencies, 50.0),
         percentile(&latencies, 99.0),
+        status.window_flushes,
+        status.solo_flushes,
     );
     print!("{report}");
     if let Some(path) = &o.json {

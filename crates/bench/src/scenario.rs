@@ -236,6 +236,27 @@ pub fn run_scenario_batch(
     run_scenario_batch_jobs(&jobs)
 }
 
+/// Batched [`run_scenario_workload`]: each job is a `(config, app
+/// kinds)` pair exactly as the serving path sees them. Schedules are
+/// built per job (the same [`build_schedule`] call serial execution
+/// makes) and the batch is routed through
+/// [`run_scenario_batch_jobs`], so outputs stay element-for-element
+/// identical to serial [`run_scenario_workload`] calls — the property
+/// the service's batched dispatch relies on for byte-identical
+/// artifacts.
+pub fn run_scenario_workload_batch(
+    jobs: &[(RunConfig, Vec<AppKind>)],
+) -> Vec<Result<RunOutcome, SimError>> {
+    let lanes: Vec<(RunConfig, Vec<AppSpec>)> = jobs
+        .iter()
+        .map(|(cfg, kinds)| {
+            let specs = build_schedule(kinds, cfg.order, cfg.seed);
+            (cfg.clone(), specs)
+        })
+        .collect();
+    run_scenario_batch_jobs(&lanes)
+}
+
 /// Fully general batched scenario entry: each job carries its own
 /// config (the fault sweep batches across fault rates and policies this
 /// way). Two identical cold jobs in one batch both run — the batch is

@@ -104,6 +104,10 @@ pub struct FleetOptions {
     /// Brownout utilization threshold forwarded to every worker
     /// (0 = off).
     pub brownout_threshold: f64,
+    /// Per-wakeup dispatch batch size forwarded to every worker.
+    pub dispatch_batch: usize,
+    /// Group-commit window (µs) forwarded to every worker.
+    pub commit_window_us: u64,
 }
 
 impl FleetOptions {
@@ -127,6 +131,9 @@ impl FleetOptions {
             tenant_max_inflight: 0,
             tenant_rate: 0.0,
             brownout_threshold: 0.0,
+            // Same serving defaults as a standalone `ServeOptions`.
+            dispatch_batch: 8,
+            commit_window_us: 200,
         }
     }
 }
@@ -308,6 +315,8 @@ impl Fleet {
         if self.opts.brownout_threshold > 0.0 {
             cmd.args(["--brownout-threshold", &self.opts.brownout_threshold.to_string()]);
         }
+        cmd.args(["--dispatch-batch", &self.opts.dispatch_batch.max(1).to_string()]);
+        cmd.args(["--commit-window-us", &self.opts.commit_window_us.to_string()]);
         let child = cmd
             .env("HQ_RESULTS", &dir)
             .stdin(Stdio::null())
@@ -787,6 +796,12 @@ impl Fleet {
                 report.queued += s.queued;
                 report.running += s.running;
                 report.shed += s.shed;
+                report.dispatches += s.dispatches;
+                report.dispatched_jobs += s.dispatched_jobs;
+                report.accepts += s.accepts;
+                report.fsyncs += s.fsyncs;
+                report.window_flushes += s.window_flushes;
+                report.solo_flushes += s.solo_flushes;
                 report.open_circuits.extend(s.open_circuits);
                 merge_tenant_stats(&mut report.tenants, s.tenants);
             }

@@ -164,6 +164,16 @@ fn encode_record(payload: &str) -> String {
     format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()))
 }
 
+/// Fsync the directory containing `path` so a rename/unlink/create of
+/// the journal itself is durable. Errors are surfaced to the caller —
+/// the rotation paths carry the same durability contract as appends.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    match path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        Some(dir) => std::fs::File::open(dir)?.sync_all(),
+        None => Ok(()),
+    }
+}
+
 fn parse_record(line: &str) -> Option<Record> {
     let (crc, payload) = line.split_once(' ')?;
     if crc.len() != 16 || u64::from_str_radix(crc, 16).ok()? != fnv1a(payload.as_bytes()) {
@@ -236,6 +246,7 @@ impl Journal {
                         // Graceful predecessor: everything drained.
                         // Rotate so the file cannot grow without bound.
                         std::fs::remove_file(path)?;
+                        sync_parent_dir(path)?;
                     } else {
                         fresh = false;
                         let mut done: Vec<u64> = Vec::new();
@@ -263,11 +274,15 @@ impl Journal {
                     archive.push(".stale");
                     let archive = PathBuf::from(archive);
                     std::fs::rename(path, &archive)?;
+                    sync_parent_dir(path)?;
                     rec.archived = Some(archive);
                 }
                 // Headerless (empty or torn-at-birth) journal: nothing
                 // recoverable; start over.
-                _ => std::fs::remove_file(path)?,
+                _ => {
+                    std::fs::remove_file(path)?;
+                    sync_parent_dir(path)?;
+                }
             }
         }
         if rec.next_id == 0 {
@@ -283,11 +298,9 @@ impl Journal {
         };
         if fresh {
             journal.append(&format!("hq-journal v{JOURNAL_VERSION} sim {SIM_VERSION}"))?;
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                if let Ok(d) = std::fs::File::open(dir) {
-                    let _ = d.sync_all();
-                }
-            }
+            // The file's first record is durable; make its *name* so
+            // too, surfacing failure like every other append would.
+            sync_parent_dir(path)?;
         }
         Ok((journal, rec))
     }
@@ -303,9 +316,47 @@ impl Journal {
         self.append(&format!("A {id} {}", esc(&spec.encode())))
     }
 
+    /// Stage an accept record *without* fsyncing: the group-commit path
+    /// writes records as submitters arrive and lets one covering
+    /// [`Journal::sync_handle`] `sync_data` make a whole commit window
+    /// durable at once. The caller owns the accepted⇒durable contract:
+    /// the job must not become worker-visible (and `accepted` must not
+    /// be answered) until a sync covering this record completes.
+    pub fn accept_nosync(&mut self, id: u64, spec: &JobSpec) -> std::io::Result<()> {
+        self.file
+            .write_all(encode_record(&format!("A {id} {}", esc(&spec.encode()))).as_bytes())
+    }
+
     /// Mark a job finished with its wire status code.
     pub fn done(&mut self, id: u64, status: &str) -> std::io::Result<()> {
         self.append(&format!("D {id} {status}"))
+    }
+
+    /// Mark a whole dispatch batch finished: every `D` record in one
+    /// buffered write, preserving per-lane record order, plus one
+    /// `sync_data` when `sync` is set. Losing an unsynced `D` is
+    /// benign — the job replays to a byte-identical artifact — so
+    /// group-commit servers pass `sync: false` and let the next commit
+    /// window (or the shutdown seal) make the marks durable for free.
+    pub fn done_batch(&mut self, marks: &[(u64, &str)], sync: bool) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(marks.len() * 32);
+        for (id, status) in marks {
+            buf.push_str(&encode_record(&format!("D {id} {status}")));
+        }
+        self.file.write_all(buf.as_bytes())?;
+        if sync {
+            self.file.sync_data()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// A duplicate handle onto the journal file for `sync_data` calls
+    /// that must not hold whatever lock guards appends: `sync_data`
+    /// makes *all* previously written records durable regardless of
+    /// which handle issued the writes.
+    pub fn sync_handle(&self) -> std::io::Result<std::fs::File> {
+        self.file.try_clone()
     }
 
     /// Seal on graceful shutdown: all accepted jobs have done markers.

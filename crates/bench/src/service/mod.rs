@@ -29,6 +29,11 @@
 //! * **Graceful shutdown** — SIGTERM or a `shutdown` request stops
 //!   accepting, drains in-flight jobs, seals the journal and removes
 //!   the socket.
+//! * **Batch concurrency** — workers drain up to `--dispatch-batch`
+//!   queued jobs per wakeup (in DRR order) and run them as one K-lane
+//!   batch through the scenario engine, and `--commit-window-us` group
+//!   commit coalesces concurrent accept fsyncs into one `sync_data`
+//!   (DESIGN §5j).
 //!
 //! Workers are plain [`std::thread`]s over the scenario cache; the
 //! whole service uses only `std` primitives (`Mutex` + `Condvar` —
@@ -48,11 +53,14 @@ pub use protocol::{
 pub use ring::Ring;
 pub use tenancy::{ServiceEstimator, TenantPolicy, TenantQueues};
 
-use crate::scenario::{run_scenario_workload, scenario_is_warm, SIM_VERSION};
+use crate::scenario::{
+    run_scenario_workload, run_scenario_workload_batch, scenario_is_warm, SIM_VERSION,
+};
 use crate::util::codec::{esc, fnv1a};
 use crate::util::write_atomic;
 use hq_gpu::config::DeviceConfig;
 use hq_gpu::result::AppOutcome;
+use hq_workloads::apps::AppKind;
 use hyperq_core::harness::{RunConfig, RunOutcome};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -61,7 +69,7 @@ use std::net::TcpStream;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -98,6 +106,14 @@ pub struct ServeOptions {
     /// past which brownout sheds cold work, serving warm scenario-cache
     /// hits only. 0 disables brownout.
     pub brownout_threshold: f64,
+    /// Max queued jobs a worker drains per wakeup and runs as one
+    /// K-lane scenario batch. 1 reproduces solo dispatch exactly.
+    pub dispatch_batch: usize,
+    /// Group-commit window in microseconds: concurrent accept records
+    /// staged within one window share a single fsync, with `accepted`
+    /// replies released only after it returns. 0 restores one
+    /// synchronous fsync per accept.
+    pub commit_window_us: u64,
 }
 
 impl ServeOptions {
@@ -118,6 +134,8 @@ impl ServeOptions {
             tenant_burst: 0.0,
             drr_quantum: 1,
             brownout_threshold: 0.0,
+            dispatch_batch: 8,
+            commit_window_us: 200,
         }
     }
 }
@@ -307,6 +325,154 @@ impl Breaker {
 }
 
 // ---------------------------------------------------------------------
+// Group-commit journaling.
+// ---------------------------------------------------------------------
+
+/// Accept-side commit bookkeeping: sequence numbers of journal records
+/// staged (written, unsynced) and made durable, plus the fsync
+/// counters `--status` reports.
+#[derive(Default)]
+struct FlushState {
+    /// Records staged into the journal so far. Bumped under the server
+    /// state lock right after the journal write, so sequence order
+    /// matches journal byte order.
+    written_seq: u64,
+    /// Highest staged record covered by a completed `sync_data`.
+    flushed_seq: u64,
+    /// A leader currently holds the commit window open.
+    flusher_active: bool,
+    /// Records at or below this sequence saw their covering fsync
+    /// fail; their submitters answer a rejection, never `accepted`.
+    failed_seq: u64,
+    fail_msg: String,
+    fsyncs: u64,
+    window_flushes: u64,
+    solo_flushes: u64,
+}
+
+/// Group commit for journal `A` records: concurrent submitters stage
+/// their records without fsyncing and wait here; the first waiter
+/// becomes the *leader*, holds the window open, then issues one
+/// `sync_data` covering every record staged meanwhile. `accepted` is
+/// released only after the covering fsync returns, so accepted⇒durable
+/// holds by construction, and a lone submitter commits at window
+/// expiry. Lock order is state → flush: the leader never takes the
+/// state lock, and stagers take the flush lock only briefly while
+/// already holding the state lock.
+struct GroupCommit {
+    flush: Mutex<FlushState>,
+    flushed: Condvar,
+    /// Duplicate journal handle: `sync_data` makes every record
+    /// written through the journal's own handle durable, whichever
+    /// handle issues it.
+    file: std::fs::File,
+    window: Duration,
+}
+
+impl GroupCommit {
+    fn new(file: std::fs::File, window: Duration) -> Self {
+        GroupCommit {
+            flush: Mutex::new(FlushState::default()),
+            flushed: Condvar::new(),
+            file,
+            window,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FlushState> {
+        self.flush.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register one staged record. Call under the server state lock,
+    /// immediately after the unsynced journal write.
+    fn stage(&self) -> u64 {
+        let mut s = self.lock();
+        s.written_seq += 1;
+        s.written_seq
+    }
+
+    /// Every record staged so far just became durable through someone
+    /// else's `sync_data` on the same file (a worker's batched done
+    /// marks). Call under the server state lock, which freezes
+    /// `written_seq` for the duration of that sync.
+    fn note_sync(&self) {
+        let mut s = self.lock();
+        s.fsyncs += 1;
+        s.flushed_seq = s.written_seq;
+        self.flushed.notify_all();
+    }
+
+    /// Count one synchronous per-accept fsync (`--commit-window-us 0`),
+    /// keeping the sequence counters coherent.
+    fn note_solo_accept(&self) {
+        let mut s = self.lock();
+        s.fsyncs += 1;
+        s.solo_flushes += 1;
+        s.written_seq += 1;
+        s.flushed_seq = s.written_seq;
+    }
+
+    /// Block until record `seq` is durable; `Err` if its covering
+    /// fsync failed.
+    fn wait_durable(&self, seq: u64) -> Result<(), String> {
+        let mut s = self.lock();
+        loop {
+            if s.flushed_seq >= seq {
+                if s.failed_seq >= seq {
+                    return Err(s.fail_msg.clone());
+                }
+                return Ok(());
+            }
+            if s.flusher_active {
+                s = self.flushed.wait(s).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            s.flusher_active = true;
+            drop(s);
+            // Hold the window open so concurrent submitters can pile
+            // their records onto this commit.
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
+            }
+            let mut pre = self.lock();
+            let target = pre.written_seq;
+            let covered = target.saturating_sub(pre.flushed_seq);
+            if covered == 0 {
+                // A done-mark sync covered everything while the window
+                // was open; nothing left to flush.
+                pre.flusher_active = false;
+                self.flushed.notify_all();
+                s = pre;
+                continue;
+            }
+            drop(pre);
+            let res = self.file.sync_data();
+            let mut post = self.lock();
+            post.fsyncs += 1;
+            if covered >= 2 {
+                post.window_flushes += 1;
+            } else {
+                post.solo_flushes += 1;
+            }
+            if let Err(e) = res {
+                post.failed_seq = post.failed_seq.max(target);
+                post.fail_msg = e.to_string();
+            }
+            post.flushed_seq = post.flushed_seq.max(target);
+            post.flusher_active = false;
+            self.flushed.notify_all();
+            s = post;
+        }
+    }
+
+    /// `(fsyncs, window_flushes, solo_flushes)` snapshot for status.
+    fn counters(&self) -> (u64, u64, u64) {
+        let s = self.lock();
+        (s.fsyncs, s.window_flushes, s.solo_flushes)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Server.
 // ---------------------------------------------------------------------
 
@@ -318,6 +484,9 @@ struct QueuedJob {
 
 struct State {
     tenants: TenantQueues<QueuedJob>,
+    /// Ids staged in an open commit window: journaled (unsynced) and
+    /// holding queue capacity, but not yet worker-visible.
+    admitting: HashSet<u64>,
     running: HashSet<u64>,
     results: HashMap<u64, JobDone>,
     breakers: HashMap<String, Breaker>,
@@ -398,6 +567,13 @@ pub struct Server {
     cond: Condvar,
     opts: ServeOptions,
     stop: AtomicBool,
+    gc: GroupCommit,
+    /// Worker wakeups that dispatched ≥ 1 job.
+    dispatches: AtomicU64,
+    /// Jobs dispatched across all wakeups (occupancy numerator).
+    dispatched_jobs: AtomicU64,
+    /// Submits answered `accepted`.
+    accepts: AtomicU64,
 }
 
 impl Server {
@@ -415,6 +591,7 @@ impl Server {
         };
         let mut state = State {
             tenants: TenantQueues::default(),
+            admitting: HashSet::new(),
             running: HashSet::new(),
             results: HashMap::new(),
             breakers: HashMap::new(),
@@ -468,11 +645,19 @@ impl Server {
             state.completed += 1;
             state.results.insert(id, done);
         }
+        let sync_handle = state
+            .journal
+            .sync_handle()
+            .map_err(|e| format!("dup journal handle: {e}"))?;
         let server = Arc::new(Server {
             state: Mutex::new(state),
             cond: Condvar::new(),
+            gc: GroupCommit::new(sync_handle, Duration::from_micros(opts.commit_window_us)),
             opts,
             stop: AtomicBool::new(false),
+            dispatches: AtomicU64::new(0),
+            dispatched_jobs: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
         });
         Ok((server, report))
     }
@@ -518,7 +703,10 @@ impl Server {
         if g.shutting_down {
             return Response::Rejected(Reject::ShuttingDown);
         }
-        if g.tenants.total_queued() >= self.opts.queue_depth {
+        // Jobs staged in an open commit window hold queue capacity
+        // already: counting them keeps the bound exact while their
+        // `accepted` replies are still waiting on the covering fsync.
+        if g.tenants.total_queued() + g.tenants.total_admitting() >= self.opts.queue_depth {
             g.rejected += 1;
             return Response::Rejected(Reject::QueueFull {
                 depth: self.opts.queue_depth,
@@ -536,7 +724,7 @@ impl Server {
             return self.shed(&mut g, &spec.tenant, verdict);
         }
         if let Some(deadline_ms) = spec.deadline_ms {
-            let backlog = g.tenants.total_queued() + g.running.len();
+            let backlog = g.tenants.total_queued() + g.tenants.total_admitting() + g.running.len();
             let class = spec.class.clone().unwrap_or_else(|| spec.signature());
             if let Some(retry) = g.estimator.wont_meet_deadline(
                 &class,
@@ -552,7 +740,8 @@ impl Server {
             }
         }
         if self.opts.brownout_threshold > 0.0 {
-            let backlog = (g.tenants.total_queued() + g.running.len()) as f64;
+            let backlog =
+                (g.tenants.total_queued() + g.tenants.total_admitting() + g.running.len()) as f64;
             let capacity = (self.opts.queue_depth + self.opts.workers.max(1)) as f64;
             let cold = !spec.scripted_panic
                 && !scenario_is_warm(&config_for(&spec), &spec.workload);
@@ -580,27 +769,81 @@ impl Server {
             });
         }
         let id = g.next_id;
+        let tenant = spec.tenant.clone();
         // Journal first — the job must be durable before any worker
         // can see it, or a crash between dequeue and completion would
         // lose it.
-        if let Err(e) = g.journal.accept(id, &spec) {
+        if self.opts.commit_window_us == 0 {
+            // Synchronous commit: one fsync per accept.
+            if let Err(e) = g.journal.accept(id, &spec) {
+                if let Some(b) = g.breakers.get_mut(&key) {
+                    b.abort_probe(now);
+                }
+                return Response::Rejected(Reject::BadRequest(format!(
+                    "journal append failed: {e}"
+                )));
+            }
+            self.gc.note_solo_accept();
+            g.next_id += 1;
+            g.tenants.push(
+                &tenant,
+                QueuedJob {
+                    id,
+                    spec,
+                    accepted_at: now,
+                },
+            );
+            self.accepts.fetch_add(1, Ordering::Relaxed);
+            self.cond.notify_all();
+            return Response::Accepted(id);
+        }
+        // Group commit: stage the record now — write order matches id
+        // order, both assigned under the state lock — then wait for a
+        // covering fsync *outside* the lock so concurrent submitters
+        // coalesce into one sync. Until then the job holds an
+        // `admitting` reservation: it owns queue capacity and its id
+        // answers `wait` as pending, but no worker can see it.
+        if let Err(e) = g.journal.accept_nosync(id, &spec) {
             if let Some(b) = g.breakers.get_mut(&key) {
                 b.abort_probe(now);
             }
             return Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")));
         }
+        let seq = self.gc.stage();
         g.next_id += 1;
-        let tenant = spec.tenant.clone();
-        g.tenants.push(
-            &tenant,
-            QueuedJob {
-                id,
-                spec,
-                accepted_at: now,
-            },
-        );
-        self.cond.notify_all();
-        Response::Accepted(id)
+        g.tenants.begin_admission(&tenant);
+        g.admitting.insert(id);
+        drop(g);
+        let committed = self.gc.wait_durable(seq);
+        let mut g = self.lock();
+        g.admitting.remove(&id);
+        g.tenants.finish_admission(&tenant);
+        match committed {
+            Ok(()) => {
+                g.tenants.push(
+                    &tenant,
+                    QueuedJob {
+                        id,
+                        spec,
+                        accepted_at: now,
+                    },
+                );
+                self.accepts.fetch_add(1, Ordering::Relaxed);
+                self.cond.notify_all();
+                Response::Accepted(id)
+            }
+            Err(e) => {
+                // The record never became durable, so the job must not
+                // run. (If its bytes did land, crash replay re-runs it
+                // harmlessly: only accepted⇒durable is promised, not
+                // the converse.)
+                if let Some(b) = g.breakers.get_mut(&key) {
+                    b.abort_probe(Instant::now());
+                }
+                self.cond.notify_all();
+                Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")))
+            }
+        }
     }
 
     fn wait_for(&self, id: u64) -> Response {
@@ -612,7 +855,9 @@ impl Server {
             if let Some(done) = g.results.get(&id) {
                 return Response::Done(id, done.clone());
             }
-            let pending = g.running.contains(&id) || g.tenants.any_queued(|j| j.id == id);
+            let pending = g.running.contains(&id)
+                || g.admitting.contains(&id)
+                || g.tenants.any_queued(|j| j.id == id);
             if !pending {
                 // A pre-restart id whose result this process never held.
                 return Response::Rejected(Reject::BadRequest(format!(
@@ -632,6 +877,7 @@ impl Server {
             .map(|(class, _)| class.clone())
             .collect();
         open_circuits.sort();
+        let (fsyncs, window_flushes, solo_flushes) = self.gc.counters();
         Response::Status(StatusReport {
             queued: g.tenants.total_queued() as u64,
             running: g.running.len() as u64,
@@ -640,6 +886,12 @@ impl Server {
             shed: g.shed,
             open_circuits,
             tenants: g.tenants.stats(),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            dispatched_jobs: self.dispatched_jobs.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            fsyncs,
+            window_flushes,
+            solo_flushes,
         })
     }
 
@@ -647,86 +899,186 @@ impl Server {
         let mut g = self.lock();
         g.shutting_down = true;
         self.stop.store(true, Ordering::SeqCst);
-        let draining = (g.tenants.total_queued() + g.running.len()) as u64;
+        let draining =
+            (g.tenants.total_queued() + g.tenants.total_admitting() + g.running.len()) as u64;
         self.cond.notify_all();
         Response::Bye { draining }
     }
 
     fn worker_loop(self: &Arc<Self>) {
         let policy = self.opts.tenant_policy();
+        let k = self.opts.dispatch_batch.max(1);
         loop {
-            let job = {
+            // Drain up to K jobs in one wakeup. Each drain is a plain
+            // DRR pop, so tenancy order and per-tenant in-flight caps
+            // hold exactly as for solo dispatch — K-at-a-time changes
+            // only how many pops share one wakeup.
+            let batch = {
                 let mut g = self.lock();
                 loop {
-                    if let Some((_, job)) = g.tenants.pop(&policy) {
-                        g.running.insert(job.id);
-                        break job;
+                    let mut batch = Vec::new();
+                    while batch.len() < k {
+                        match g.tenants.pop(&policy) {
+                            Some((_, job)) => {
+                                g.running.insert(job.id);
+                                batch.push(job);
+                            }
+                            None => break,
+                        }
+                    }
+                    if !batch.is_empty() {
+                        break batch;
                     }
                     // `pop` can return None with jobs still queued when
                     // every non-empty lane is at its in-flight cap; a
                     // cap only binds while something is running, so the
-                    // drain below cannot deadlock.
+                    // drain below cannot deadlock. Jobs still waiting
+                    // on their commit-window fsync (`admitting`) will
+                    // be pushed and wake us again.
                     if g.shutting_down
                         && g.running.is_empty()
                         && g.tenants.total_queued() == 0
+                        && g.admitting.is_empty()
                     {
                         return;
                     }
                     g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            let deadline = job
-                .spec
-                .deadline_ms
-                .map(|ms| job.accepted_at + Duration::from_millis(ms));
-            let expired = |d: &Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
-            let exec_started = Instant::now();
-            let mut exec_ms = None;
-            let done = if expired(&deadline) {
-                // Cancelled before it ever ran.
-                JobDone::DeadlineExceeded
-            } else {
-                let exec = execute_spec(&job.spec);
-                exec_ms = Some(exec_started.elapsed().as_secs_f64() * 1000.0);
-                if expired(&deadline) {
-                    // Finished too late: the result is discarded, no
-                    // artifact is written.
-                    JobDone::DeadlineExceeded
-                } else {
-                    finish(&self.opts, job.id, exec)
-                }
-            };
-            let success = !matches!(done, JobDone::Panicked(_) | JobDone::SimError(_));
-            let key = breaker_key(&job.spec);
-            let class = job
-                .spec
-                .class
-                .clone()
-                .unwrap_or_else(|| job.spec.signature());
-            let served_ms = matches!(done, JobDone::Ok { .. })
-                .then(|| job.accepted_at.elapsed().as_millis() as u64);
+            self.dispatches.fetch_add(1, Ordering::Relaxed);
+            self.dispatched_jobs
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let settled = self.execute_batch(batch);
             let mut g = self.lock();
-            g.running.remove(&job.id);
-            g.completed += 1;
-            g.tenants.complete(&job.spec.tenant, served_ms);
-            if let Some(ms) = exec_ms {
-                // Feed the deadline forecast with the tenant-agnostic
-                // class: service time is a property of the scenario,
-                // not of who submitted it.
-                g.estimator.observe(&class, ms);
+            let mut marks = Vec::with_capacity(settled.len());
+            for (job, done, exec_ms) in &settled {
+                g.running.remove(&job.id);
+                g.completed += 1;
+                let served_ms = matches!(done, JobDone::Ok { .. })
+                    .then(|| job.accepted_at.elapsed().as_millis() as u64);
+                g.tenants.complete(&job.spec.tenant, served_ms);
+                if let Some(ms) = exec_ms {
+                    // Feed the deadline forecast with the tenant-
+                    // agnostic class: service time is a property of
+                    // the scenario, not of who submitted it.
+                    let class = job
+                        .spec
+                        .class
+                        .clone()
+                        .unwrap_or_else(|| job.spec.signature());
+                    g.estimator.observe(&class, *ms);
+                }
+                let success = !matches!(done, JobDone::Panicked(_) | JobDone::SimError(_));
+                g.breakers
+                    .entry(breaker_key(&job.spec))
+                    .or_default()
+                    .record(
+                        success,
+                        Instant::now(),
+                        self.opts.breaker_threshold,
+                        Duration::from_millis(self.opts.breaker_cooldown_ms),
+                    );
+                marks.push((job.id, done.code()));
             }
-            g.breakers.entry(key).or_default().record(
-                success,
-                Instant::now(),
-                self.opts.breaker_threshold,
-                Duration::from_millis(self.opts.breaker_cooldown_ms),
-            );
-            if let Err(e) = g.journal.done(job.id, done.code()) {
-                eprintln!("service: journal done mark for job {}: {e}", job.id);
+            // One buffered write marks the whole batch done. Done
+            // marks owe no durability (a lost `D` replays the job to a
+            // byte-identical artifact), so under group commit the
+            // bytes ride to disk with the next commit window or the
+            // shutdown seal instead of costing a worker fsync here.
+            // With the window off, the solo-path contract stands: sync
+            // now, and the covering fsync releases nothing because no
+            // submitter ever stages.
+            let sync_now = self.opts.commit_window_us == 0;
+            match g.journal.done_batch(&marks, sync_now) {
+                Ok(()) if sync_now => self.gc.note_sync(),
+                Ok(()) => {}
+                Err(e) => eprintln!("service: journal done marks: {e}"),
             }
-            g.results.insert(job.id, done);
+            for (job, done, _) in settled {
+                g.results.insert(job.id, done);
+            }
             self.cond.notify_all();
         }
+    }
+
+    /// Execute a dispatched batch outside any lock, returning per-lane
+    /// `(job, outcome, exec_ms)` in dispatch order. Jobs that cannot
+    /// share the K-lane engine — scripted panics, already-expired
+    /// deadlines — run outside it; everything else becomes one
+    /// `run_scenario_workload_batch` lane set whose per-lane results
+    /// settle exactly like solo runs (artifacts are byte-identical by
+    /// construction). A panic anywhere in a shared batch poisons lane
+    /// attribution, so the whole batch falls back to per-job serial
+    /// execution under individual catch_unwind — the same divergence
+    /// rule `chaos --batch` uses.
+    fn execute_batch(&self, batch: Vec<QueuedJob>) -> Vec<(QueuedJob, JobDone, Option<f64>)> {
+        let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+        let deadline_of = |job: &QueuedJob| {
+            job.spec
+                .deadline_ms
+                .map(|ms| job.accepted_at + Duration::from_millis(ms))
+        };
+        let lanes: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| !job.spec.scripted_panic && !expired(deadline_of(job)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut execs: Vec<Option<(Exec, f64)>> = (0..batch.len()).map(|_| None).collect();
+        if lanes.len() >= 2 {
+            let jobs: Vec<(RunConfig, Vec<AppKind>)> = lanes
+                .iter()
+                .map(|&i| (config_for(&batch[i].spec), batch[i].spec.workload.clone()))
+                .collect();
+            let started = Instant::now();
+            let res = catch_unwind(AssertUnwindSafe(|| run_scenario_workload_batch(&jobs)));
+            // Wall time is shared; attribute an even share per lane so
+            // the estimator sees per-job cost, not per-batch cost.
+            let share_ms = started.elapsed().as_secs_f64() * 1000.0 / lanes.len() as f64;
+            if let Ok(results) = res {
+                for (&i, result) in lanes.iter().zip(results) {
+                    let exec = match result {
+                        Ok(out) => Exec::Ok(render_artifact(&batch[i].spec, &out)),
+                        Err(e) => Exec::SimError(e.to_string()),
+                    };
+                    execs[i] = Some((exec, share_ms));
+                }
+            }
+            // On a batch panic every lane stays None and re-runs solo
+            // below.
+        }
+        batch
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let deadline = deadline_of(&job);
+                let (exec, exec_ms) = match execs[i].take() {
+                    Some((exec, ms)) => (Some(exec), Some(ms)),
+                    // Solo path: scripted panics, single-job batches,
+                    // and the serial fallback after a batch panic.
+                    None if !expired(deadline) => {
+                        let started = Instant::now();
+                        let exec = execute_spec(&job.spec);
+                        (
+                            Some(exec),
+                            Some(started.elapsed().as_secs_f64() * 1000.0),
+                        )
+                    }
+                    // Cancelled before it ever ran.
+                    None => (None, None),
+                };
+                let done = match exec {
+                    None => JobDone::DeadlineExceeded,
+                    Some(_) if expired(deadline) => {
+                        // Finished too late: the result is discarded,
+                        // no artifact is written.
+                        JobDone::DeadlineExceeded
+                    }
+                    Some(exec) => finish(&self.opts, job.id, exec),
+                };
+                (job, done, exec_ms)
+            })
+            .collect()
     }
 
     /// Bind the socket and serve until SIGTERM or a `shutdown`
@@ -787,7 +1139,8 @@ impl Server {
             let mut g = self.lock();
             g.shutting_down = true;
             self.cond.notify_all();
-            while g.tenants.total_queued() > 0 || !g.running.is_empty() {
+            while g.tenants.total_queued() > 0 || !g.running.is_empty() || !g.admitting.is_empty()
+            {
                 g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
             }
             g.journal
@@ -915,6 +1268,7 @@ pub struct Client {
     reader: BufReader<Transport>,
     writer: Transport,
     timeout_ms: Option<u64>,
+    bufs: protocol::FrameBufs,
 }
 
 impl Client {
@@ -924,6 +1278,7 @@ impl Client {
             reader: BufReader::new(read_half),
             writer: stream,
             timeout_ms: None,
+            bufs: protocol::FrameBufs::default(),
         })
     }
 
@@ -955,10 +1310,10 @@ impl Client {
 
     /// One request, one response.
     pub fn call(&mut self, req: &Request) -> Result<Response, String> {
-        protocol::write_frame(&mut self.writer, &req.encode())
+        protocol::write_frame_into(&mut self.writer, &mut self.bufs, &req.encode())
             .map_err(|e| format!("send request: {e}"))?;
-        match protocol::read_frame(&mut self.reader) {
-            Ok(Some(payload)) => Response::decode(&payload),
+        match protocol::read_frame_into(&mut self.reader, &mut self.bufs) {
+            Ok(Some(payload)) => Response::decode(payload),
             Ok(None) => Err("server closed the connection".to_string()),
             Err(e)
                 if matches!(

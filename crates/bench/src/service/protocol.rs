@@ -50,32 +50,73 @@ fn esc_field(s: &str) -> String {
 // Framing.
 // ---------------------------------------------------------------------
 
-/// Write one `<len>\n<payload>` frame and flush.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
-    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
-    w.write_all(payload.as_bytes())?;
+/// Reusable per-connection framing buffers. A busy connection reads
+/// and writes thousands of frames; routing them all through one set of
+/// buffers replaces a per-frame header `String` + payload `Vec`
+/// allocation with amortized reuse, and lets a write go out as a
+/// single `write_all` (header + payload assembled contiguously).
+#[derive(Default)]
+pub struct FrameBufs {
+    header: String,
+    payload: Vec<u8>,
+    write: Vec<u8>,
+}
+
+/// Write one `<len>\n<payload>` frame through `bufs` and flush: one
+/// buffer assembly, one `write_all`, no per-frame allocation once the
+/// buffer has grown to the connection's working frame size.
+pub fn write_frame_into(
+    w: &mut impl Write,
+    bufs: &mut FrameBufs,
+    payload: &str,
+) -> std::io::Result<()> {
+    bufs.write.clear();
+    writeln!(bufs.write, "{}", payload.len())?;
+    bufs.write.extend_from_slice(payload.as_bytes());
+    w.write_all(&bufs.write)?;
     w.flush()
+}
+
+/// Read one frame into `bufs`, returning a view of the payload.
+/// `Ok(None)` on clean EOF at a frame boundary; `Err` on a torn frame,
+/// an oversized length or malformed UTF-8. The [`MAX_FRAME`] check
+/// still happens *before* the payload buffer is grown, so a corrupt
+/// length prefix cannot OOM the process.
+pub fn read_frame_into<'a>(
+    r: &mut impl BufRead,
+    bufs: &'a mut FrameBufs,
+) -> std::io::Result<Option<&'a str>> {
+    bufs.header.clear();
+    if r.read_line(&mut bufs.header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = bufs
+        .header
+        .trim_end()
+        .parse()
+        .map_err(|_| bad_data(format!("bad frame length {:?}", bufs.header)))?;
+    if len > MAX_FRAME {
+        return Err(bad_data(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    bufs.payload.resize(len, 0);
+    r.read_exact(&mut bufs.payload)?;
+    std::str::from_utf8(&bufs.payload)
+        .map(Some)
+        .map_err(|_| bad_data("frame payload is not UTF-8".to_string()))
+}
+
+/// Write one `<len>\n<payload>` frame and flush. Allocating
+/// convenience wrapper over [`write_frame_into`] for one-shot callers.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    write_frame_into(w, &mut FrameBufs::default(), payload)
 }
 
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary;
 /// `Err` on a torn frame, an oversized length or malformed UTF-8.
+/// Allocating convenience wrapper over [`read_frame_into`].
 pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
-    let mut header = String::new();
-    if r.read_line(&mut header)? == 0 {
-        return Ok(None);
-    }
-    let len: usize = header
-        .trim_end()
-        .parse()
-        .map_err(|_| bad_data(format!("bad frame length {header:?}")))?;
-    if len > MAX_FRAME {
-        return Err(bad_data(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
-    }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| bad_data("frame payload is not UTF-8".to_string()))
+    let mut bufs = FrameBufs::default();
+    read_frame_into(r, &mut bufs).map(|o| o.map(str::to_string))
 }
 
 fn bad_data(msg: String) -> std::io::Error {
@@ -96,23 +137,24 @@ pub fn serve_frames<R: BufRead, W: Write>(
     writer: &mut W,
     mut handle: impl FnMut(Request) -> Response,
 ) {
+    let mut bufs = FrameBufs::default();
     loop {
-        let payload = match read_frame(reader) {
-            Ok(Some(p)) => p,
+        let request = match read_frame_into(reader, &mut bufs) {
+            Ok(Some(p)) => Request::decode(p),
             Ok(None) => return,
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 let refuse = Response::Rejected(Reject::BadRequest(format!("protocol: {e}")));
-                let _ = write_frame(writer, &refuse.encode());
+                let _ = write_frame_into(writer, &mut bufs, &refuse.encode());
                 return;
             }
             Err(_) => return,
         };
-        let response = match Request::decode(&payload) {
+        let response = match request {
             Ok(req) => handle(req),
             Err(e) => Response::Rejected(Reject::BadRequest(e)),
         };
         let last = matches!(response, Response::Bye { .. });
-        if write_frame(writer, &response.encode()).is_err() || last {
+        if write_frame_into(writer, &mut bufs, &response.encode()).is_err() || last {
             return;
         }
     }
@@ -483,6 +525,22 @@ pub struct StatusReport {
     pub open_circuits: Vec<String>,
     /// Per-tenant serving counters, sorted by tenant name.
     pub tenants: Vec<TenantStat>,
+    /// Worker wakeups that dispatched at least one job.
+    pub dispatches: u64,
+    /// Jobs dispatched across all wakeups; `dispatched_jobs /
+    /// dispatches` is the mean batch occupancy.
+    pub dispatched_jobs: u64,
+    /// Submits journaled and answered `accepted`.
+    pub accepts: u64,
+    /// Journal `sync_data` calls issued (accept-side commits plus
+    /// batched done marks). `fsyncs / accepts` < 1 means group commit
+    /// is amortizing durability across concurrent submitters.
+    pub fsyncs: u64,
+    /// Accept-side commits whose fsync covered ≥ 2 staged records.
+    pub window_flushes: u64,
+    /// Accept-side commits that covered exactly one record (a lone
+    /// submitter at window expiry, or `--commit-window-us 0`).
+    pub solo_flushes: u64,
 }
 
 /// A server response.
@@ -557,7 +615,7 @@ impl Response {
                     })
                     .collect();
                 format!(
-                    "{MAGIC} status {} {} {} {} {} {} {}",
+                    "{MAGIC} status {} {} {} {} {} {} {} {}:{}:{}:{}:{}:{}",
                     s.queued,
                     s.running,
                     s.completed,
@@ -572,7 +630,13 @@ impl Response {
                         "-".to_string()
                     } else {
                         tenants.join(",")
-                    }
+                    },
+                    s.dispatches,
+                    s.dispatched_jobs,
+                    s.accepts,
+                    s.fsyncs,
+                    s.window_flushes,
+                    s.solo_flushes
                 )
             }
             Response::Pong => format!("{MAGIC} pong"),
@@ -626,7 +690,7 @@ impl Response {
                 };
                 Ok(Response::Done(id, done))
             }
-            Some("status") if toks.len() == 9 => {
+            Some("status") if toks.len() == 10 => {
                 let open_circuits = if toks[7] == "-" {
                     Vec::new()
                 } else {
@@ -656,6 +720,10 @@ impl Response {
                         })
                         .collect::<Result<_, _>>()?
                 };
+                let batch: Vec<&str> = toks[9].split(':').collect();
+                if batch.len() != 6 {
+                    return Err(format!("bad batch counters '{}'", toks[9]));
+                }
                 Ok(Response::Status(StatusReport {
                     queued: num(toks[2])?,
                     running: num(toks[3])?,
@@ -664,6 +732,12 @@ impl Response {
                     shed: num(toks[6])?,
                     open_circuits,
                     tenants,
+                    dispatches: num(batch[0])?,
+                    dispatched_jobs: num(batch[1])?,
+                    accepts: num(batch[2])?,
+                    fsyncs: num(batch[3])?,
+                    window_flushes: num(batch[4])?,
+                    solo_flushes: num(batch[5])?,
                 }))
             }
             Some("pong") if toks.len() == 2 => Ok(Response::Pong),
@@ -824,6 +898,12 @@ mod tests {
                         p99_ms: 440,
                     },
                 ],
+                dispatches: 11,
+                dispatched_jobs: 40,
+                accepts: 43,
+                fsyncs: 9,
+                window_flushes: 6,
+                solo_flushes: 3,
             }),
             Response::Status(StatusReport::default()),
             Response::Pong,
@@ -832,6 +912,31 @@ mod tests {
             assert_eq!(Response::decode(&resp.encode()).as_ref(), Ok(&resp));
         }
         assert!(Response::decode("hq1 done 1 maybe x").is_err());
+    }
+
+    #[test]
+    fn frame_bufs_reuse_across_frames() {
+        let mut wire = Vec::new();
+        let mut bufs = FrameBufs::default();
+        write_frame_into(&mut wire, &mut bufs, "hq1 ping").unwrap();
+        write_frame_into(&mut wire, &mut bufs, "hq1 status").unwrap();
+        write_frame_into(&mut wire, &mut bufs, "").unwrap();
+        let mut r = std::io::BufReader::new(&wire[..]);
+        assert_eq!(read_frame_into(&mut r, &mut bufs).unwrap(), Some("hq1 ping"));
+        assert_eq!(
+            read_frame_into(&mut r, &mut bufs).unwrap(),
+            Some("hq1 status")
+        );
+        // A shorter frame after a longer one must not see stale bytes.
+        assert_eq!(read_frame_into(&mut r, &mut bufs).unwrap(), Some(""));
+        assert_eq!(read_frame_into(&mut r, &mut bufs).unwrap(), None);
+
+        // The MAX_FRAME check still fires before the buffer grows.
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let before = bufs.payload.capacity();
+        let mut r = std::io::BufReader::new(huge.as_bytes());
+        assert!(read_frame_into(&mut r, &mut bufs).is_err());
+        assert_eq!(bufs.payload.capacity(), before, "no allocation on reject");
     }
 
     #[test]

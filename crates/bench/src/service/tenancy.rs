@@ -86,6 +86,10 @@ struct Lane<T> {
     deficit: u32,
     /// Jobs of this lane currently executing.
     inflight: usize,
+    /// Jobs admitted but awaiting their covering group-commit fsync;
+    /// they count against the queued quota so a burst cannot overshoot
+    /// `max_queued` while its accept records sit in an open window.
+    admitting: usize,
     /// Token bucket level; `None` until the first rate-limited admit.
     tokens: Option<f64>,
     last_refill: Option<Instant>,
@@ -102,6 +106,7 @@ impl<T> Lane<T> {
             queue: VecDeque::new(),
             deficit: 0,
             inflight: 0,
+            admitting: 0,
             tokens: None,
             last_refill: None,
             served: 0,
@@ -130,6 +135,7 @@ pub struct TenantQueues<T> {
     index: HashMap<String, usize>,
     cursor: usize,
     total_queued: usize,
+    total_admitting: usize,
 }
 
 impl<T> Default for TenantQueues<T> {
@@ -139,6 +145,7 @@ impl<T> Default for TenantQueues<T> {
             index: HashMap::new(),
             cursor: 0,
             total_queued: 0,
+            total_admitting: 0,
         }
     }
 }
@@ -162,13 +169,39 @@ impl<T> TenantQueues<T> {
         self.total_queued
     }
 
+    /// Jobs admitted but not yet queued: their accept records are
+    /// staged in an open group-commit window awaiting the covering
+    /// fsync. They hold queue capacity so admission cannot overshoot.
+    pub fn total_admitting(&self) -> usize {
+        self.total_admitting
+    }
+
+    /// Reserve queue capacity for a job whose accept record is staged
+    /// but not yet durable. Pair with [`TenantQueues::finish_admission`]
+    /// once the job is pushed (or its window fsync fails).
+    pub fn begin_admission(&mut self, tenant: &str) {
+        self.lane_mut(tenant).admitting += 1;
+        self.total_admitting += 1;
+    }
+
+    /// Release an admission reservation taken by
+    /// [`TenantQueues::begin_admission`].
+    pub fn finish_admission(&mut self, tenant: &str) {
+        let lane = self.lane_mut(tenant);
+        lane.admitting = lane.admitting.saturating_sub(1);
+        self.total_admitting = self.total_admitting.saturating_sub(1);
+    }
+
     /// Is `tenant` under its queued quota right now? Cheap and
     /// side-effect free — safe to call before the rate check so a
-    /// queue-full shed never burns a token.
+    /// queue-full shed never burns a token. In-flight admissions count
+    /// against the quota: a job staged in an open commit window owns a
+    /// queue slot even though it is not queued yet.
     pub fn check_queue_quota(&mut self, tenant: &str, policy: &TenantPolicy) -> Result<(), usize> {
         let lane = self.lane_mut(tenant);
-        if policy.max_queued > 0 && lane.queue.len() >= policy.max_queued {
-            return Err(lane.queue.len());
+        let held = lane.queue.len() + lane.admitting;
+        if policy.max_queued > 0 && held >= policy.max_queued {
+            return Err(held);
         }
         Ok(())
     }
@@ -467,6 +500,25 @@ mod tests {
         // After the advertised wait the token is back.
         let later = t0 + Duration::from_millis(wait);
         assert!(tq.take_token("u", later, &policy).is_ok());
+    }
+
+    #[test]
+    fn open_window_admissions_hold_queue_slots() {
+        let policy = TenantPolicy {
+            max_queued: 2,
+            ..TenantPolicy::default()
+        };
+        let mut tq = q();
+        tq.push("t", 1);
+        tq.begin_admission("t");
+        assert_eq!(tq.total_admitting(), 1);
+        // One queued + one staged = at quota, even with nothing pushed
+        // for the staged job yet.
+        assert_eq!(tq.check_queue_quota("t", &policy), Err(2));
+        // Fsync failed: the reservation is released, capacity returns.
+        tq.finish_admission("t");
+        assert_eq!(tq.total_admitting(), 0);
+        assert!(tq.check_queue_quota("t", &policy).is_ok());
     }
 
     #[test]

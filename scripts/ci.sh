@@ -11,11 +11,13 @@
 #   2. the perf-regression gate: `perf_baseline --check` re-times the
 #      event-queue patterns, the end-to-end sim, the label-heavy
 #      interner stress, the suite cold/warm scenario-cache pass and the
-#      chaos serial-vs-batched case throughput, failing on a >20%
-#      events/sec drop against the committed BENCH_PR7.json or a miss
-#      of the absolute floors (sim ≥1.5x over the PR 2 baseline, suite
-#      warm-cache speedup ≥1.3x, chaos batch speedup ≥10x; up to three
-#      best-of attempts so only repeatable slowdowns fail),
+#      chaos serial-vs-batched case throughput and the serving hot
+#      path (8 concurrent clients against a real server), failing on a
+#      >20% drop against the committed BENCH_PR9.json or a miss of the
+#      absolute floors (sim ≥1.5x over the PR 2 baseline, suite
+#      warm-cache speedup ≥1.3x, chaos batch speedup ≥10x, serving
+#      ≥180 jobs/s with <1 fsync per accept; up to three best-of
+#      attempts so only repeatable slowdowns fail),
 #   3. a scenario-cache correctness smoke: the quick suite runs twice
 #      into one results directory; the second run must serve ≥90% of
 #      its simulations from the cache and reproduce every artifact
@@ -32,6 +34,13 @@
 #      mid-burst, restart with `--recover-only`, and require that the
 #      journal replays the unfinished jobs and every accepted job's
 #      artifact is byte-identical to a direct `run_scenario` rendering,
+#   5b. a serving-throughput gate: a standalone server with batched
+#      dispatch and a 200 µs group-commit window serves a warm
+#      8-client loadgen burst; jobs/s-per-core gates against the
+#      committed BENCH_PR9.json (≥2x the PR 6 single-job serving path),
+#      the burst must land strictly under one journal fsync per
+#      accepted job, and a separate --verify burst proves batched-path
+#      artifacts stay byte-identical to direct runs,
 #   6. a fleet failover smoke: start the TCP coordinator with three
 #      supervised worker processes, drive a verified loadgen burst that
 #      gates jobs/s-per-core against the committed BENCH_PR6.json (>20%
@@ -65,6 +74,8 @@ SMOKE_SNAP=""
 SMOKE_LOG=""
 SVC_DIR=""
 SRV_PID=""
+THR_DIR=""
+THR_PID=""
 FLEET_TMP=""
 FLEET_PID=""
 OVL_DIR=""
@@ -72,6 +83,7 @@ OVL_PID=""
 FLOOD_PID=""
 cleanup() {
     [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    [ -n "$THR_PID" ] && kill -9 "$THR_PID" 2>/dev/null || true
     [ -n "$OVL_PID" ] && kill -9 "$OVL_PID" 2>/dev/null || true
     [ -n "$FLOOD_PID" ] && kill -9 "$FLOOD_PID" 2>/dev/null || true
     if [ -n "$FLEET_PID" ]; then
@@ -108,6 +120,9 @@ fresh_bin() {
     fi
 }
 
+# Pull one flat numeric field out of a loadgen --json report.
+jfield() { sed -n "s/^  \"$2\": \([0-9.]*\),\{0,1\}\$/\1/p" "$1"; }
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -117,9 +132,9 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --release -q -- --include-ignored"
 cargo test --workspace --release -q -- --include-ignored
 
-echo "==> perf_baseline --check BENCH_PR7.json"
+echo "==> perf_baseline --check BENCH_PR9.json"
 fresh_bin hq-bench perf_baseline
-target/release/perf_baseline --check BENCH_PR7.json
+target/release/perf_baseline --check BENCH_PR9.json
 
 echo "==> scenario-cache correctness smoke (quick suite twice)"
 fresh_bin hq-bench all_experiments
@@ -155,7 +170,7 @@ HQ=target/release/hyperq
 SVC_DIR="$(mktemp -d)"
 SOCK="$SVC_DIR/hq.sock"
 HQ_RESULTS="$SVC_DIR" "$HQ" serve --socket "$SOCK" --workers 1 --queue-depth 16 \
-    >"$SVC_DIR/serve.log" 2>&1 &
+    --dispatch-batch 8 --commit-window-us 200 >"$SVC_DIR/serve.log" 2>&1 &
 SRV_PID=$!
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "FAIL: server never bound $SOCK"; cat "$SVC_DIR/serve.log"; exit 1; }
@@ -222,12 +237,75 @@ printf '%s\n' "$REC2" | grep -q "^recovery: replayed 0 job(s)" \
     || { echo "FAIL: second recovery pass was not idempotent: $REC2"; exit 1; }
 echo "crash recovery replayed $REPLAYED job(s); all burst artifacts byte-identical to direct runs"
 
-echo "==> fleet failover smoke (3 workers, kill -9 mid-burst)"
+echo "==> serving-throughput gate (batched dispatch + group-commit journal)"
 fresh_bin hq-bench loadgen
+# The throughput server's journal and artifacts live on tmpfs when the
+# box has one: the CI VM's block device meters fsyncs through a
+# burst-credit IOPS bucket, so on-disk serving throughput measures the
+# hypervisor's token refill rate (4x run-to-run spread on an idle
+# box), not the serving path. tmpfs keeps the syscall and coalescing
+# behaviour — the fsync and occupancy ratios are unchanged — with
+# run-to-run spread under 10%. Durability itself is proven by the
+# crash-recovery smoke above and the journal test suite, on disk.
+THR_DIR="$(mktemp -d -p /dev/shm 2>/dev/null || mktemp -d)"
+THR_SOCK="$THR_DIR/hq.sock"
+HQ_RESULTS="$THR_DIR" "$HQ" serve --socket "$THR_SOCK" --workers 2 --queue-depth 64 \
+    --dispatch-batch 8 --commit-window-us 200 >"$THR_DIR/serve.log" 2>&1 &
+THR_PID=$!
+for _ in $(seq 1 100); do [ -S "$THR_SOCK" ] && break; sleep 0.1; done
+[ -S "$THR_SOCK" ] || { echo "FAIL: throughput server never bound $THR_SOCK"; cat "$THR_DIR/serve.log"; exit 1; }
+
+# Warmup burst primes the scenario cache for loadgen's default seed
+# pool; the measured bursts then exercise the pure serving hot path.
+HQ_RESULTS="$THR_DIR" target/release/loadgen --socket "$THR_SOCK" \
+    --jobs 32 --conns 8 >/dev/null
+
+# Best-of-3 warm burst against the committed baseline: --check
+# enforces ≥80% of BENCH_PR9.json's (derated, loadgen-comparable)
+# jobs/s-per-core, which is itself well over 2x the PR 6
+# one-fsync-per-accept serving path. The throughput bursts run
+# without --verify: re-running every job in-process would steal the
+# single CPU from the server under measurement; fidelity gets its own
+# burst below. 640 jobs keeps the measured window long enough that a
+# single slow scheduler slice cannot dominate the figure.
+THR_OK=0
+for attempt in 1 2 3; do
+    if HQ_RESULTS="$THR_DIR" target/release/loadgen --socket "$THR_SOCK" \
+        --jobs 640 --conns 8 --json "$THR_DIR/burst.json" --check BENCH_PR9.json; then
+        THR_OK=1
+        break
+    fi
+    echo "serving gate attempt $attempt missed; re-measuring"
+done
+[ "$THR_OK" = 1 ] || { echo "FAIL: serving throughput gate missed on every attempt"; exit 1; }
+
+# Separate verified burst (unchecked for speed): every artifact served
+# through the batched path must be byte-identical to a direct run —
+# loadgen exits non-zero on any lost or diverging job.
+HQ_RESULTS="$THR_DIR" target/release/loadgen --socket "$THR_SOCK" \
+    --jobs 64 --conns 8 --verify >/dev/null \
+    || { echo "FAIL: batched-path artifacts diverge from direct runs"; exit 1; }
+
+# Group commit must actually bite under the 8-client burst: strictly
+# fewer than one journal fsync per accepted job.
+THR_FSY="$(jfield "$THR_DIR/burst.json" fsyncs_per_accept)"
+THR_OCC="$(jfield "$THR_DIR/burst.json" batch_occupancy)"
+awk -v f="$THR_FSY" 'BEGIN {
+    if (f == "" || f + 0 >= 1.0) {
+        printf "FAIL: %s fsyncs per accept is not < 1 under the 8-client burst\n", f; exit 1
+    }
+}'
+HQ_RESULTS="$THR_DIR" "$HQ" submit --socket "$THR_SOCK" --shutdown >/dev/null 2>&1 || kill "$THR_PID" 2>/dev/null || true
+wait "$THR_PID" 2>/dev/null || true
+THR_PID=""
+echo "serving gate: fsyncs/accept $THR_FSY, batch occupancy $THR_OCC"
+
+echo "==> fleet failover smoke (3 workers, kill -9 mid-burst)"
 FLEET_TMP="$(mktemp -d)"
 FLEET_DIR="$FLEET_TMP/fleet"
 HQ_RESULTS="$FLEET_TMP/coord-results" "$HQ" serve --tcp 127.0.0.1:0 --fleet 3 \
-    --fleet-dir "$FLEET_DIR" --heartbeat-ms 100 >"$FLEET_TMP/fleet.log" 2>&1 &
+    --fleet-dir "$FLEET_DIR" --heartbeat-ms 100 \
+    --dispatch-batch 8 --commit-window-us 200 >"$FLEET_TMP/fleet.log" 2>&1 &
 FLEET_PID=$!
 for _ in $(seq 1 300); do [ -s "$FLEET_DIR/addr" ] && break; sleep 0.1; done
 [ -s "$FLEET_DIR/addr" ] || { echo "FAIL: coordinator never published its address"; cat "$FLEET_TMP/fleet.log"; exit 1; }
@@ -279,7 +357,8 @@ echo "==> multi-tenant overload gate (flood vs paced, kill -9 mid-backlog)"
 OVL_DIR="$(mktemp -d)"
 OVL_SOCK="$OVL_DIR/hq.sock"
 HQ_RESULTS="$OVL_DIR" "$HQ" serve --socket "$OVL_SOCK" --workers 2 --queue-depth 32 \
-    --tenant-max-queued 4 >"$OVL_DIR/serve.log" 2>&1 &
+    --tenant-max-queued 4 --dispatch-batch 8 --commit-window-us 200 \
+    >"$OVL_DIR/serve.log" 2>&1 &
 OVL_PID=$!
 for _ in $(seq 1 100); do [ -S "$OVL_SOCK" ] && break; sleep 0.1; done
 [ -S "$OVL_SOCK" ] || { echo "FAIL: overload server never bound $OVL_SOCK"; cat "$OVL_DIR/serve.log"; exit 1; }
@@ -304,7 +383,6 @@ STATUS_OUT="$(HQ_RESULTS="$OVL_DIR" "$HQ" submit --socket "$OVL_SOCK" --status)"
 wait "$FLOOD_PID" || { echo "FAIL: flood loadgen lost accepted jobs"; exit 1; }
 FLOOD_PID=""
 
-jfield() { sed -n "s/^  \"$2\": \([0-9.]*\),\{0,1\}\$/\1/p" "$1"; }
 SOLO_P99="$(jfield "$OVL_DIR/solo.json" p99_ms)"
 PACED_P99="$(jfield "$OVL_DIR/paced.json" p99_ms)"
 PACED_FAIL="$(jfield "$OVL_DIR/paced.json" failures)"

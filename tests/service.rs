@@ -780,6 +780,258 @@ fn submit_times_out_against_a_silent_server_with_a_clear_error() {
     drop(silent);
 }
 
+/// Satellite: a journal written through the group-commit path (several
+/// concurrent submits coalesced into shared fsync windows) stays
+/// byte-compatible with the solo-append format: a truncation sweep
+/// over the final record recovers every intact job to byte-identical
+/// artifacts and drops exactly the torn tail.
+#[test]
+fn group_commit_journal_survives_truncation_sweep() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("gc-truncation");
+    let mut opts = dirs.opts();
+    // A wide window guarantees the concurrent submits below share it.
+    opts.commit_window_us = 20_000;
+    let (server, _) = Server::new(opts.clone()).expect("server");
+
+    // Four concurrent submits block inside the commit window together;
+    // no worker threads are running (`run()` was never called), so all
+    // four stay accepted-but-unfinished in the journal.
+    let submits: Vec<_> = (0..4u64)
+        .map(|i| {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || (300 + i, server.handle(Request::Submit(spec(300 + i)))))
+        })
+        .collect();
+    let mut by_id: Vec<(u64, u64)> = submits
+        .into_iter()
+        .map(|h| {
+            let (seed, resp) = h.join().expect("submit thread");
+            match resp {
+                Response::Accepted(id) => (id, seed),
+                other => panic!("expected accepted, got {other:?}"),
+            }
+        })
+        .collect();
+    drop(server);
+    by_id.sort_unstable();
+
+    let full = std::fs::read(&opts.journal).expect("journal bytes");
+    let last_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|i| i + 1)
+        .expect("final record start");
+    // Staging order is id order, so the final record is the max id's.
+    let direct: Vec<(u64, String)> = by_id
+        .iter()
+        .map(|&(id, seed)| (id, run_job_direct(&spec(seed)).expect("direct run")))
+        .collect();
+    let (&(last_id, _), intact) = by_id.split_last().expect("four accepted jobs");
+
+    for cut in last_start..=full.len() {
+        std::fs::write(&opts.journal, &full[..cut]).unwrap();
+        let _ = std::fs::remove_dir_all(&opts.artifact_dir);
+        let (_, report) = Server::new(opts.clone()).expect("recovery must not fail");
+        let torn = cut < full.len();
+
+        let replayed: Vec<u64> = report.replayed.iter().map(|(id, _)| *id).collect();
+        for &(id, _) in intact {
+            assert!(replayed.contains(&id), "cut {cut}: intact job {id} must replay");
+        }
+        assert_eq!(
+            replayed.contains(&last_id),
+            !torn,
+            "cut {cut}: the final job replays iff its record survived whole"
+        );
+        let expect_torn = if torn { (cut - last_start) as u64 } else { 0 };
+        assert_eq!(report.torn_bytes, expect_torn, "cut {cut}");
+
+        for &(id, ref want) in &direct {
+            let path = opts.artifact_dir.join(format!("job-{id}.out"));
+            if id == last_id && torn {
+                assert!(!path.exists(), "cut {cut}: torn job must leave no artifact");
+                continue;
+            }
+            let got = std::fs::read_to_string(&path).expect("replayed artifact");
+            assert_eq!(&got, want, "cut {cut}: job {id} artifact not byte-identical");
+        }
+    }
+}
+
+/// Satellite: `kill -9` inside an open commit window loses no accepted
+/// work because acceptance was never sent — the client is still
+/// blocked on the covering fsync when the server dies. The staged
+/// record's bytes do survive a mere process kill (the page cache is
+/// not lost), so the machine crash group commit actually defends
+/// against is simulated by truncating them away; recovery must then
+/// find a clean journal with nothing owed.
+#[test]
+fn kill_nine_inside_commit_window_never_acked_the_lost_record() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("gc-kill9");
+    let socket = dirs.root.join("svc.sock");
+    let journal = dirs.root.join("journal").join("service.wal");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_hyperq"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--commit-window-us",
+            "1000000",
+        ])
+        .env("HQ_RESULTS", &dirs.root)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn hyperq serve");
+    for _ in 0..400 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "server never bound {}", socket.display());
+    let len_before = std::fs::metadata(&journal).expect("journal created").len();
+
+    // Submit into a one-second commit window: the A record is staged
+    // and buffer-written, but the `accepted` reply is withheld until
+    // the covering fsync — which never comes.
+    let mut raw = std::os::unix::net::UnixStream::connect(&socket).expect("raw connect");
+    write_frame(&mut raw, &Request::Submit(spec(400)).encode()).expect("send submit");
+    std::thread::sleep(Duration::from_millis(300));
+    let pid = child.id().to_string();
+    let st = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status()
+        .expect("kill -9");
+    assert!(st.success(), "kill -9 {pid} failed");
+    let _ = child.wait();
+
+    // The client never saw `accepted` for the staged record.
+    let mut reader = std::io::BufReader::new(raw);
+    match read_frame(&mut reader) {
+        Ok(None) => {}  // clean EOF
+        Err(_) => {}    // connection reset — equally no ack
+        Ok(Some(payload)) => panic!("server acked inside the open commit window: {payload}"),
+    }
+
+    // kill -9 alone leaves the staged bytes in the file; drop them to
+    // model the machine crash that loses un-fsynced data.
+    let full = std::fs::read(&journal).expect("journal bytes");
+    assert!(
+        full.len() as u64 > len_before,
+        "the staged record should survive a process kill"
+    );
+    std::fs::write(&journal, &full[..len_before as usize]).unwrap();
+
+    let (_, report) = Server::new(dirs.opts()).expect("recovery");
+    assert!(
+        report.replayed.is_empty(),
+        "a lost record nobody was promised must not replay: {report:?}"
+    );
+    assert_eq!(report.torn_bytes, 0, "the truncated journal is clean");
+    assert!(
+        !dirs.opts().artifact_dir.join("job-1.out").exists(),
+        "no artifact for the lost submit"
+    );
+}
+
+/// Satellite: batched dispatch preserves the tenancy contract. Two
+/// tenants with eight queued jobs each and `tenant_max_inflight 2`
+/// drain through one worker with `dispatch_batch 8`: every wakeup
+/// takes at most two jobs per tenant (four per batch, in DRR order),
+/// both tenants finish fully served, and every artifact is
+/// byte-identical to the single-job `run_job_direct` path.
+#[test]
+fn batched_dispatch_respects_drr_and_inflight_caps_with_identical_artifacts() {
+    let _env = env_lock();
+    let dirs = TestDirs::new("batch-drr");
+    let mut opts = dirs.opts();
+    opts.workers = 1;
+    opts.queue_depth = 64;
+    opts.dispatch_batch = 8;
+    opts.tenant_max_inflight = 2;
+    opts.commit_window_us = 0; // synchronous accepts for pre-queueing
+    let socket = opts.socket.clone();
+    let artifact_dir = opts.artifact_dir.clone();
+    let (server, _) = Server::new(opts).expect("server");
+
+    // Pre-queue everything before any worker exists, so the first
+    // drain faces the full two-tenant backlog.
+    let mut ids: Vec<(u64, JobSpec)> = Vec::new();
+    for i in 0..8u64 {
+        for tenant in ["alpha", "beta"] {
+            let s = JobSpec {
+                tenant: tenant.to_string(),
+                seed: 500 + 10 * i + (tenant == "beta") as u64,
+                ..JobSpec::default()
+            };
+            match server.handle(Request::Submit(s.clone())) {
+                Response::Accepted(id) => ids.push((id, s)),
+                other => panic!("expected accepted, got {other:?}"),
+            }
+        }
+    }
+
+    let runner = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut client = connect_with_retry(&socket);
+    for (id, _) in &ids {
+        match client.call(&Request::Wait(*id)).expect("wait") {
+            Response::Done(_, JobDone::Ok { .. }) => {}
+            other => panic!("job {id} failed: {other:?}"),
+        }
+    }
+
+    match client.call(&Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert_eq!(s.dispatched_jobs, 16, "all jobs flow through batched dispatch");
+            // The inflight cap bounds every batch at two jobs per
+            // tenant, so the 16-job backlog takes exactly four 4-job
+            // dispatches: fewer would mean the cap was ignored, more
+            // would mean batching never engaged.
+            assert_eq!(s.dispatches, 4, "expected four capped 4-job batches");
+            for tenant in ["alpha", "beta"] {
+                let t = s
+                    .tenants
+                    .iter()
+                    .find(|t| t.tenant == tenant)
+                    .expect("tenant stats");
+                assert_eq!(t.served, 8, "{tenant} must be fully served");
+                assert_eq!(t.shed, 0, "{tenant} must never be shed");
+            }
+            assert!(
+                s.solo_flushes >= 16,
+                "window 0 means one solo fsync per accept, got {}",
+                s.solo_flushes
+            );
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    for (id, spec) in &ids {
+        let got = std::fs::read_to_string(artifact_dir.join(format!("job-{id}.out")))
+            .expect("served artifact");
+        assert_eq!(
+            got,
+            run_job_direct(spec).unwrap(),
+            "job {id} artifact differs from the direct run"
+        );
+    }
+
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::Bye { .. } => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    runner.join().expect("runner join").expect("run ok");
+}
+
 /// Satellite: a frame whose length header exceeds `MAX_FRAME` is
 /// bounced with a framed error *before* any allocation, over a real
 /// socket; the connection then closes without taking the server down.
