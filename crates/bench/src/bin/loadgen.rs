@@ -378,7 +378,8 @@ fn main() {
          \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \
          \"batch_occupancy\": {batch_occupancy:.3},\n  \
          \"fsyncs_per_accept\": {fsyncs_per_accept:.3},\n  \
-         \"window_flushes\": {},\n  \"solo_flushes\": {}\n}}\n",
+         \"window_flushes\": {},\n  \"solo_flushes\": {},\n  \
+         \"cache_corrupt\": {},\n  \"dedup_hits\": {}\n}}\n",
         o.jobs,
         latencies.len(),
         jobs_per_sec / cores,
@@ -386,6 +387,8 @@ fn main() {
         percentile(&latencies, 99.0),
         status.window_flushes,
         status.solo_flushes,
+        status.cache_corrupt,
+        status.dedup_hits,
     );
     print!("{report}");
     if let Some(path) = &o.json {

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod scenario;
 pub mod service;
 pub mod suite;
+pub mod torture;
 pub mod util;
 
 pub use scenario::{run_scenario, run_scenario_workload};

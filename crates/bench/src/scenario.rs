@@ -65,7 +65,10 @@ pub const SIM_VERSION: u32 = 1;
 
 /// On-disk entry format version (bump when the encoding below changes;
 /// old entries then fail the header check and are recomputed).
-const DISK_VERSION: u32 = 1;
+/// v2 added the `crc` line: a fnv1a checksum over the entry body, so
+/// any corruption — including a single flipped byte in a numeric field
+/// that would otherwise still parse — is *detected*, never mis-parsed.
+pub(crate) const DISK_VERSION: u32 = 2;
 
 /// Structural identity of one simulation scenario: the FNV-1a hash of
 /// the full configuration/schedule rendering plus [`SIM_VERSION`].
@@ -119,12 +122,46 @@ fn memo() -> &'static Memo {
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_CORRUPT: AtomicU64 = AtomicU64::new(0);
 
 /// Process-lifetime `(hits, misses)` across every [`run_scenario`]
 /// call. The suite runner samples this around each experiment to report
 /// per-experiment counters.
 pub fn cache_stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Process-lifetime count of on-disk cache entries that were *present*
+/// but failed integrity verification (header/CRC/preimage) and degraded
+/// to a recompute. Surfaced in `--status` and `loadgen --json`; a
+/// rising count means the cache store is rotting on disk and wants a
+/// `hyperq scrub --repair`.
+pub fn cache_corrupt_count() -> u64 {
+    CACHE_CORRUPT.load(Ordering::Relaxed)
+}
+
+/// Read one on-disk entry; a file that exists but fails to decode is
+/// counted corrupt and warned about — unlike a missing file, which is
+/// an ordinary (silent) miss.
+fn read_entry(path: &std::path::Path, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let out = decode(&text, pre, cfg);
+    if out.is_none() {
+        CACHE_CORRUPT.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "scenario-cache: corrupt entry {} (recomputing; `hyperq scrub --repair` cleans the store)",
+            path.display()
+        );
+    }
+    out
+}
+
+/// Drop only the in-process memo, leaving every counter alone. The
+/// scrubber's repair pass uses this so a re-execution actually reaches
+/// the disk layer and rewrites the entry it deleted — a memo hit would
+/// silently skip the repopulation.
+pub(crate) fn drop_memo() {
+    memo().lock().clear();
 }
 
 /// Drop the in-process memo and zero the hit/miss counters. Tests and
@@ -134,6 +171,7 @@ pub fn reset_cache() {
     memo().lock().clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    CACHE_CORRUPT.store(0, Ordering::Relaxed);
 }
 
 /// Directory holding on-disk entries for the current results dir.
@@ -165,10 +203,7 @@ pub fn run_scenario(cfg: &RunConfig, specs: &[AppSpec]) -> Result<RunOutcome, Si
     }
     let path = cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex()));
     if mode == CacheMode::MemoAndDisk {
-        if let Some(out) = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| decode(&text, &pre, cfg))
-        {
+        if let Some(out) = read_entry(&path, &pre, cfg) {
             HITS.fetch_add(1, Ordering::Relaxed);
             memo().lock().insert(key.0, (pre, out.clone()));
             return Ok(out);
@@ -213,10 +248,12 @@ pub fn scenario_is_warm(cfg: &RunConfig, kinds: &[AppKind]) -> bool {
         return true;
     }
     mode == CacheMode::MemoAndDisk
-        && std::fs::read_to_string(cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex())))
-            .ok()
-            .and_then(|text| decode(&text, &pre, cfg))
-            .is_some()
+        && read_entry(
+            &cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex())),
+            &pre,
+            cfg,
+        )
+        .is_some()
 }
 
 /// Batched [`run_scenario`]: run `lanes.len()` schedules of one shared
@@ -291,10 +328,7 @@ pub fn run_scenario_batch_jobs(
         }
         if mode == CacheMode::MemoAndDisk {
             let path = cache_dir().join(format!("{}.v{DISK_VERSION}", key.hex()));
-            if let Some(out) = std::fs::read_to_string(&path)
-                .ok()
-                .and_then(|text| decode(&text, &pre, cfg))
-            {
+            if let Some(out) = read_entry(&path, &pre, cfg) {
                 HITS.fetch_add(1, Ordering::Relaxed);
                 memo().lock().insert(key.0, (pre, out.clone()));
                 results[i] = Some(Ok(out));
@@ -335,6 +369,31 @@ pub fn run_scenario_batch_jobs(
 /// documented-nondeterministic line; strip it before comparing).
 pub fn encode_outcome(cfg: &RunConfig, specs: &[AppSpec], out: &RunOutcome) -> String {
     encode(&preimage(cfg, specs), out)
+}
+
+/// Structural integrity check of one on-disk cache entry, for `hyperq
+/// scrub`: header version, body CRC, and — when `expect_key` is the
+/// entry's filename stem — that the stored preimage actually hashes to
+/// the key the file claims to answer for. Cheaper than a full
+/// [`decode`] (no `RunConfig` needed) and catches exactly the damage
+/// classes the cache itself degrades on.
+pub fn verify_cache_entry(text: &str, expect_key: Option<u64>) -> Result<(), String> {
+    let body = checked_body(text).ok_or("bad header, CRC mismatch, or truncated body")?;
+    let mut c = Cursor::new(body);
+    let stored_pre = c.tagged("pre").ok_or("missing preimage line")?;
+    if stored_pre.len() != 1 {
+        return Err("malformed preimage line".to_string());
+    }
+    let pre = unesc(stored_pre[0]).ok_or("unescapable preimage")?;
+    if let Some(key) = expect_key {
+        if fnv1a(pre.as_bytes()) != key {
+            return Err(format!(
+                "preimage hashes to {:016x}, file claims {key:016x}",
+                fnv1a(pre.as_bytes())
+            ));
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -422,9 +481,16 @@ fn push_transfers(out: &mut String, tag: &str, t: &TransferStats) {
 }
 
 fn encode(pre: &str, out: &RunOutcome) -> String {
+    let body = encode_body(pre, out);
+    format!(
+        "hq-scenario v{DISK_VERSION}\ncrc {:016x}\n{body}",
+        fnv1a(body.as_bytes())
+    )
+}
+
+fn encode_body(pre: &str, out: &RunOutcome) -> String {
     let r = &out.result;
     let mut s = String::with_capacity(4096);
-    let _ = writeln!(s, "hq-scenario v{DISK_VERSION}");
     let _ = writeln!(s, "pre {}", esc(pre));
     let _ = writeln!(s, "retries {}", out.retries);
     let _ = writeln!(s, "degraded {}", u8::from(out.degraded));
@@ -538,17 +604,32 @@ fn read_transfers(c: &mut Cursor<'_>, tag: &str) -> Option<TransferStats> {
     })
 }
 
-fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
-    // Atomic writes mean a file is either complete or absent, but a
-    // version bump or a concurrent writer racing the same entry must
-    // degrade to a miss: verify header, preimage and trailer.
+/// Split an entry's raw text into its body after verifying the header
+/// version and the body CRC. Shared by [`decode`] and the scrubber's
+/// [`verify_cache_entry`]: any single corrupt byte — header, CRC line
+/// or body — fails here rather than mis-parsing downstream.
+fn checked_body(text: &str) -> Option<&str> {
     if !text.ends_with("end\n") {
         return None;
     }
-    let mut c = Cursor::new(text);
-    if c.line()? != format!("hq-scenario v{DISK_VERSION}") {
+    let (header, rest) = text.split_once('\n')?;
+    if header != format!("hq-scenario v{DISK_VERSION}") {
         return None;
     }
+    let (crc_line, body) = rest.split_once('\n')?;
+    let crc = crc_line.strip_prefix("crc ")?;
+    if crc.len() != 16 || u64::from_str_radix(crc, 16).ok()? != fnv1a(body.as_bytes()) {
+        return None;
+    }
+    Some(body)
+}
+
+fn decode(text: &str, pre: &str, cfg: &RunConfig) -> Option<RunOutcome> {
+    // Atomic writes mean a file is either complete or absent, but a
+    // version bump, a corrupt byte, or a concurrent writer racing the
+    // same entry must degrade to a miss: verify header, CRC, preimage
+    // and trailer.
+    let mut c = Cursor::new(checked_body(text)?);
     let stored_pre = c.tagged("pre")?;
     if stored_pre.len() != 1 || unesc(stored_pre[0])? != pre {
         return None;
@@ -760,8 +841,44 @@ mod tests {
         }
         let garbled = text.replacen("perf", "prf", 1);
         assert!(decode(&garbled, &pre, &cfg).is_none());
-        let stale = text.replacen("hq-scenario v1", "hq-scenario v0", 1);
+        let stale = text.replacen(
+            &format!("hq-scenario v{DISK_VERSION}"),
+            "hq-scenario v0",
+            1,
+        );
         assert!(decode(&stale, &pre, &cfg).is_none());
+    }
+
+    /// The v2 CRC makes *every* single-byte corruption detectable —
+    /// including flips inside numeric fields that still parse as
+    /// numbers, which the line grammar alone could mis-parse as a
+    /// different (wrong) outcome.
+    #[test]
+    fn single_byte_corruption_is_always_detected() {
+        let cfg = sample_cfg();
+        let specs = sample_specs(&cfg);
+        let pre = preimage(&cfg, &specs);
+        let out = sample_outcome(&cfg, &specs);
+        let text = encode(&pre, &out);
+        assert!(verify_cache_entry(&text, Some(fnv1a(pre.as_bytes()))).is_ok());
+        let bytes = text.as_bytes();
+        // Sampled positions across the whole entry (every byte would be
+        // slow on the long series sections); step is coprime-ish so all
+        // sections get coverage.
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x01;
+            let bad = match String::from_utf8(bad) {
+                Ok(s) => s,
+                Err(_) => continue, // non-UTF-8 never reaches decode
+            };
+            assert!(
+                decode(&bad, &pre, &cfg).is_none(),
+                "flipped byte at {pos} was mis-parsed"
+            );
+            assert!(verify_cache_entry(&bad, None).is_err(), "flip at {pos}");
+        }
     }
 
     /// Differing seeds, devices, fault plans and schedules must all

@@ -59,7 +59,7 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -166,6 +166,13 @@ struct FleetState {
     shards: Vec<Shard>,
     ring: Ring,
     jobs: HashMap<u64, FleetJob>,
+    /// `{tenant}/{idem}` → fleet job id. The coordinator-level half of
+    /// idempotent submission: a client retry after a lost ack dedups
+    /// here without touching any worker, and — more importantly — a
+    /// retry can never be *re-dispatched* to a different shard than
+    /// the original accept (which per-worker journal dedup alone could
+    /// not prevent across a failover reroute).
+    idem: HashMap<String, u64>,
     next_id: u64,
     completed: u64,
     rejected: u64,
@@ -186,6 +193,8 @@ pub struct Fleet {
     stop: AtomicBool,
     /// Drain finished; the supervisor may exit.
     done: AtomicBool,
+    /// Duplicate submits answered from the coordinator idem map.
+    dedup_hits: AtomicU64,
 }
 
 impl Fleet {
@@ -234,6 +243,7 @@ impl Fleet {
                 shards,
                 ring,
                 jobs: HashMap::new(),
+                idem: HashMap::new(),
                 next_id: 1,
                 completed: 0,
                 rejected: 0,
@@ -246,6 +256,7 @@ impl Fleet {
             children: Mutex::new((0..n).map(|_| None).collect()),
             stop: AtomicBool::new(false),
             done: AtomicBool::new(false),
+            dedup_hits: AtomicU64::new(0),
         });
         for i in 0..n {
             let child = fleet.spawn_worker(i)?;
@@ -661,15 +672,35 @@ impl Fleet {
     }
 
     fn submit(&self, spec: JobSpec) -> Response {
-        if self.lock().shutting_down {
-            return Response::Rejected(Reject::ShuttingDown);
+        let idem_key =
+            (!spec.idem.is_empty()).then(|| format!("{}/{}", spec.tenant, spec.idem));
+        {
+            let g = self.lock();
+            if g.shutting_down {
+                return Response::Rejected(Reject::ShuttingDown);
+            }
+            if let Some(&orig) = idem_key.as_ref().and_then(|k| g.idem.get(k)) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::Accepted(orig);
+            }
         }
         let accepted_at = Instant::now();
         match self.dispatch(&spec, accepted_at, self.opts.dispatch_attempts) {
             Ok((shard, worker_id)) => {
                 let mut g = self.lock();
+                // Two concurrent duplicates can both miss the map above
+                // and both dispatch; the worker's journal dedup answers
+                // both with one worker id, so keep whichever fleet id
+                // mapped first and answer with it.
+                if let Some(&orig) = idem_key.as_ref().and_then(|k| g.idem.get(k)) {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Response::Accepted(orig);
+                }
                 let id = g.next_id;
                 g.next_id += 1;
+                if let Some(k) = idem_key {
+                    g.idem.insert(k, id);
+                }
                 g.jobs.insert(
                     id,
                     FleetJob {
@@ -776,6 +807,7 @@ impl Fleet {
             let mut r = StatusReport {
                 completed: g.completed,
                 rejected: g.rejected,
+                dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
                 ..StatusReport::default()
             };
             let mut targets = Vec::new();
@@ -802,6 +834,8 @@ impl Fleet {
                 report.fsyncs += s.fsyncs;
                 report.window_flushes += s.window_flushes;
                 report.solo_flushes += s.solo_flushes;
+                report.cache_corrupt += s.cache_corrupt;
+                report.dedup_hits += s.dedup_hits;
                 report.open_circuits.extend(s.open_circuits);
                 merge_tenant_stats(&mut report.tenants, s.tenants);
             }

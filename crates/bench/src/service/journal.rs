@@ -20,9 +20,24 @@
 //! ```
 //!
 //! * the header pins the journal format version and [`SIM_VERSION`];
-//! * `A <id> <escaped spec>` — job accepted;
-//! * `D <id> <status>` — job finished (`ok`/`deadline`/`panic`/`error`);
+//! * `A <id> <escaped spec>` — job accepted (the spec carries the
+//!   client idempotency key, so recovery rebuilds the dedup map);
+//! * `D <id> <status> [digest]` — job finished (`ok`/`deadline`/
+//!   `panic`/`error`); `ok` marks may carry the 16-hex fnv1a digest of
+//!   the artifact bytes so `hyperq scrub` can verify artifacts without
+//!   re-executing them;
 //! * `S` — sealed by a graceful shutdown (nothing left to replay).
+//!
+//! ## Failed writes and fsyncs
+//!
+//! Appends go through the [`crate::util::io`] facade. Any append or
+//! fsync error **poisons the journal**: a torn record in the middle of
+//! the file would make every record appended after it unrecoverable
+//! (the recovery scan stops at the first invalid record), and a failed
+//! fsync means the kernel dropped the dirty pages (fsyncgate) — in
+//! both cases continuing to append would silently un-journal future
+//! accepted jobs. A poisoned journal rejects every later append with a
+//! structured error; the owning server must stop acknowledging work.
 //!
 //! ## Torn tails
 //!
@@ -37,7 +52,7 @@
 use super::protocol::JobSpec;
 use crate::scenario::SIM_VERSION;
 use crate::util::codec::{esc, fnv1a, unesc};
-use std::io::Write as _;
+use crate::util::io;
 use std::path::{Path, PathBuf};
 
 /// Journal line-format version; bump when the record grammar changes.
@@ -48,7 +63,7 @@ pub const JOURNAL_VERSION: u32 = 1;
 enum Record {
     Header { version: u32, sim: u32 },
     Accept(u64, JobSpec),
-    Done(u64, String),
+    Done(u64, String, Option<u64>),
     Seal,
 }
 
@@ -57,9 +72,17 @@ enum Record {
 pub struct Recovered {
     /// `(id, status)` of jobs with a done marker — never re-run.
     pub completed: Vec<(u64, String)>,
+    /// `(id, artifact digest)` for done marks that recorded one; the
+    /// scrubber checks artifacts against these without re-executing.
+    pub artifact_digests: Vec<(u64, u64)>,
     /// Accepted-but-unfinished jobs, in acceptance order: the replay
     /// work list.
     pub unfinished: Vec<(u64, JobSpec)>,
+    /// `({tenant}/{idem}, id)` for every accept record carrying an
+    /// idempotency key — finished or not — so the server's dedup map
+    /// survives restarts and a client retrying across a crash still
+    /// gets the original id instead of a double execution.
+    pub idem_keys: Vec<(String, u64)>,
     /// First id the server may assign (max journaled id + 1).
     pub next_id: u64,
     /// Bytes of torn tail truncated away, if any.
@@ -154,10 +177,17 @@ impl Inspection {
 /// Append handle over the journal file. All appends are fsynced before
 /// returning, honouring the same discipline as
 /// [`crate::util::write_atomic`]: a record either is durably on disk or
-/// was never acknowledged.
+/// was never acknowledged. The handle latches into a failed state on
+/// the first append/fsync error (see the module docs for why) and
+/// rejects everything afterwards.
 pub struct Journal {
     file: std::fs::File,
     path: PathBuf,
+    /// First append/fsync error, if any; once set, every later append
+    /// is refused. Silent retry after a failed fsync is the fsyncgate
+    /// bug — the dirty pages are gone and a "successful" retry proves
+    /// nothing.
+    failed: Option<String>,
 }
 
 fn encode_record(payload: &str) -> String {
@@ -168,10 +198,7 @@ fn encode_record(payload: &str) -> String {
 /// the journal itself is durable. Errors are surfaced to the caller —
 /// the rotation paths carry the same durability contract as appends.
 fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
-    match path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        Some(dir) => std::fs::File::open(dir)?.sync_all(),
-        None => Ok(()),
-    }
+    io::sync_parent_dir(path)
 }
 
 fn parse_record(line: &str) -> Option<Record> {
@@ -189,7 +216,12 @@ fn parse_record(line: &str) -> Option<Record> {
             id.parse().ok()?,
             JobSpec::decode(&unesc(spec)?).ok()?,
         )),
-        ["D", id, status] => Some(Record::Done(id.parse().ok()?, (*status).to_string())),
+        ["D", id, status] => Some(Record::Done(id.parse().ok()?, (*status).to_string(), None)),
+        ["D", id, status, digest] => Some(Record::Done(
+            id.parse().ok()?,
+            (*status).to_string(),
+            Some(u64::from_str_radix(digest, 16).ok().filter(|_| digest.len() == 16)?),
+        )),
         ["S"] => Some(Record::Seal),
         _ => None,
     }
@@ -239,7 +271,7 @@ impl Journal {
                         rec.torn_bytes = (bytes.len() - valid) as u64;
                         let f = std::fs::OpenOptions::new().write(true).open(path)?;
                         f.set_len(valid as u64)?;
-                        f.sync_all()?;
+                        io::sync_all(&f, path)?;
                     }
                     rec.was_sealed = records.iter().any(|r| matches!(r, Record::Seal));
                     if rec.was_sealed {
@@ -251,14 +283,21 @@ impl Journal {
                         fresh = false;
                         let mut done: Vec<u64> = Vec::new();
                         for r in &records {
-                            if let Record::Done(id, status) = r {
+                            if let Record::Done(id, status, digest) = r {
                                 done.push(*id);
                                 rec.completed.push((*id, status.clone()));
+                                if let Some(d) = digest {
+                                    rec.artifact_digests.push((*id, *d));
+                                }
                             }
                         }
                         for r in &records {
                             if let Record::Accept(id, spec) = r {
                                 rec.next_id = rec.next_id.max(*id + 1);
+                                if !spec.idem.is_empty() {
+                                    rec.idem_keys
+                                        .push((format!("{}/{}", spec.tenant, spec.idem), *id));
+                                }
                                 if !done.contains(id) {
                                     rec.unfinished.push((*id, spec.clone()));
                                 }
@@ -295,6 +334,7 @@ impl Journal {
         let mut journal = Journal {
             file,
             path: path.to_path_buf(),
+            failed: None,
         };
         if fresh {
             journal.append(&format!("hq-journal v{JOURNAL_VERSION} sim {SIM_VERSION}"))?;
@@ -305,9 +345,46 @@ impl Journal {
         Ok((journal, rec))
     }
 
+    /// The first append/fsync error this handle hit, if any. A failed
+    /// journal must stop acknowledging work; callers surface this to
+    /// the admission path.
+    pub fn failed(&self) -> Option<&str> {
+        self.failed.as_deref()
+    }
+
+    /// Latch an external durability failure (e.g. the group-commit
+    /// flusher's covering `sync_data` on a [`Journal::sync_handle`]
+    /// duplicate failed). The journal refuses all later appends.
+    pub fn mark_failed(&mut self, why: &str) {
+        if self.failed.is_none() {
+            self.failed = Some(why.to_string());
+        }
+    }
+
+    /// Refuse the operation if the journal already failed, and latch
+    /// the failure if the operation itself errors.
+    fn guard<R>(
+        &mut self,
+        op: impl FnOnce(&mut Self) -> std::io::Result<R>,
+    ) -> std::io::Result<R> {
+        if let Some(why) = &self.failed {
+            return Err(std::io::Error::other(format!(
+                "journal failed, refusing append: {why}"
+            )));
+        }
+        let r = op(self);
+        if let Err(e) = &r {
+            self.failed = Some(e.to_string());
+        }
+        r
+    }
+
     fn append(&mut self, payload: &str) -> std::io::Result<()> {
-        self.file.write_all(encode_record(payload).as_bytes())?;
-        self.file.sync_data()
+        let rec = encode_record(payload);
+        self.guard(|j| {
+            io::write_all(&mut j.file, &j.path, rec.as_bytes())?;
+            io::sync_data(&j.file, &j.path)
+        })
     }
 
     /// Journal an accepted job. Must be called (and return) before the
@@ -323,13 +400,18 @@ impl Journal {
     /// the job must not become worker-visible (and `accepted` must not
     /// be answered) until a sync covering this record completes.
     pub fn accept_nosync(&mut self, id: u64, spec: &JobSpec) -> std::io::Result<()> {
-        self.file
-            .write_all(encode_record(&format!("A {id} {}", esc(&spec.encode()))).as_bytes())
+        let rec = encode_record(&format!("A {id} {}", esc(&spec.encode())));
+        self.guard(|j| io::write_all(&mut j.file, &j.path, rec.as_bytes()))
     }
 
-    /// Mark a job finished with its wire status code.
-    pub fn done(&mut self, id: u64, status: &str) -> std::io::Result<()> {
-        self.append(&format!("D {id} {status}"))
+    /// Mark a job finished with its wire status code; `digest` records
+    /// the fnv1a of the artifact bytes for `ok` completions so the
+    /// scrubber can verify artifacts offline.
+    pub fn done(&mut self, id: u64, status: &str, digest: Option<u64>) -> std::io::Result<()> {
+        match digest {
+            Some(d) => self.append(&format!("D {id} {status} {d:016x}")),
+            None => self.append(&format!("D {id} {status}")),
+        }
     }
 
     /// Mark a whole dispatch batch finished: every `D` record in one
@@ -338,17 +420,26 @@ impl Journal {
     /// benign — the job replays to a byte-identical artifact — so
     /// group-commit servers pass `sync: false` and let the next commit
     /// window (or the shutdown seal) make the marks durable for free.
-    pub fn done_batch(&mut self, marks: &[(u64, &str)], sync: bool) -> std::io::Result<()> {
+    pub fn done_batch(
+        &mut self,
+        marks: &[(u64, &str, Option<u64>)],
+        sync: bool,
+    ) -> std::io::Result<()> {
         let mut buf = String::with_capacity(marks.len() * 32);
-        for (id, status) in marks {
-            buf.push_str(&encode_record(&format!("D {id} {status}")));
+        for (id, status, digest) in marks {
+            match digest {
+                Some(d) => buf.push_str(&encode_record(&format!("D {id} {status} {d:016x}"))),
+                None => buf.push_str(&encode_record(&format!("D {id} {status}"))),
+            }
         }
-        self.file.write_all(buf.as_bytes())?;
-        if sync {
-            self.file.sync_data()
-        } else {
-            Ok(())
-        }
+        self.guard(|j| {
+            io::write_all(&mut j.file, &j.path, buf.as_bytes())?;
+            if sync {
+                io::sync_data(&j.file, &j.path)
+            } else {
+                Ok(())
+            }
+        })
     }
 
     /// A duplicate handle onto the journal file for `sync_data` calls
@@ -394,7 +485,7 @@ impl Journal {
         };
         let mut done: Vec<u64> = Vec::new();
         for r in &records {
-            if let Record::Done(id, _) = r {
+            if let Record::Done(id, _, _) = r {
                 done.push(*id);
             }
         }
@@ -418,9 +509,12 @@ impl Journal {
                         spec.signature()
                     ));
                 }
-                Record::Done(id, status) => {
+                Record::Done(id, status, digest) => {
                     ins.done += 1;
-                    ins.records.push(format!("D {id} {status}"));
+                    match digest {
+                        Some(d) => ins.records.push(format!("D {id} {status} digest={d:016x}")),
+                        None => ins.records.push(format!("D {id} {status}")),
+                    }
                 }
                 Record::Seal => {
                     ins.sealed = true;
@@ -459,14 +553,21 @@ impl Journal {
         rec.was_sealed = records.iter().any(|r| matches!(r, Record::Seal));
         let mut done: Vec<u64> = Vec::new();
         for r in &records {
-            if let Record::Done(id, status) = r {
+            if let Record::Done(id, status, digest) = r {
                 done.push(*id);
                 rec.completed.push((*id, status.clone()));
+                if let Some(d) = digest {
+                    rec.artifact_digests.push((*id, *d));
+                }
             }
         }
         for r in &records {
             if let Record::Accept(id, spec) = r {
                 rec.next_id = rec.next_id.max(*id + 1);
+                if !spec.idem.is_empty() {
+                    rec.idem_keys
+                        .push((format!("{}/{}", spec.tenant, spec.idem), *id));
+                }
                 if !done.contains(id) {
                     rec.unfinished.push((*id, spec.clone()));
                 }
@@ -474,6 +575,114 @@ impl Journal {
         }
         Ok(rec)
     }
+
+    /// Line-wise integrity scan for `hyperq scrub`. Unlike the
+    /// prefix-scan used by recovery (which stops at the first invalid
+    /// record), this parses every line independently and *resyncs*
+    /// after damage, so it can tell the two corruption classes apart:
+    ///
+    /// * **tail damage** — invalid lines/bytes only at the end of the
+    ///   file (a torn final append): expected wear, repairable by
+    ///   truncation;
+    /// * **mid-file corruption** — an invalid line with valid records
+    ///   after it (a flipped bit, an overwritten block): the file can
+    ///   no longer be trusted as a whole, because recovery's prefix
+    ///   scan would silently drop every record past the damage. Scrub
+    ///   quarantines such journals.
+    ///
+    /// Never mutates the file.
+    pub fn verify(path: &Path) -> std::io::Result<Verification> {
+        let bytes = std::fs::read(path)?;
+        let mut v = Verification {
+            path: path.to_path_buf(),
+            ..Verification::default()
+        };
+        let mut off = 0usize;
+        let mut line_no = 0u64;
+        let mut last_valid_line = 0u64;
+        let mut records: Vec<Record> = Vec::new();
+        while off < bytes.len() {
+            let Some(nl) = bytes[off..].iter().position(|&b| b == b'\n') else {
+                v.torn_tail_bytes = (bytes.len() - off) as u64;
+                break;
+            };
+            line_no += 1;
+            match std::str::from_utf8(&bytes[off..off + nl])
+                .ok()
+                .and_then(parse_record)
+            {
+                Some(rec) => {
+                    last_valid_line = line_no;
+                    if line_no == 1 {
+                        if let Record::Header { version, sim } = &rec {
+                            v.header_ok = *version == JOURNAL_VERSION && *sim == SIM_VERSION;
+                        }
+                    }
+                    if v.bad_lines.is_empty() {
+                        v.valid_prefix_bytes = (off + nl + 1) as u64;
+                    }
+                    records.push(rec);
+                }
+                None => v.bad_lines.push(line_no),
+            }
+            off += nl + 1;
+        }
+        v.total_lines = line_no;
+        v.mid_file_corrupt = v.bad_lines.iter().any(|&b| b < last_valid_line);
+        // A non-empty file with no complete line at all is either torn
+        // at birth (crash inside the very first header append — the
+        // bytes must then be a strict prefix of the header line, and
+        // restart-from-scratch is correct) or whole-file bit rot, which
+        // must quarantine rather than silently restart. Garbage that
+        // happens to contain no newline would otherwise masquerade as
+        // a torn tail and be deleted by recovery.
+        if line_no == 0 && v.torn_tail_bytes > 0 {
+            let expected = format!("hq-journal v{JOURNAL_VERSION} sim {SIM_VERSION}\n");
+            if !expected.as_bytes().starts_with(&bytes) {
+                v.mid_file_corrupt = true;
+            }
+        }
+        for r in records {
+            match r {
+                Record::Header { .. } => {}
+                Record::Accept(id, spec) => v.accepted.push((id, spec)),
+                Record::Done(id, status, digest) => v.completed.push((id, status, digest)),
+                Record::Seal => v.sealed = true,
+            }
+        }
+        Ok(v)
+    }
+}
+
+/// Report from [`Journal::verify`]: per-line integrity over a journal
+/// file, distinguishing repairable tail damage from quarantine-worthy
+/// mid-file corruption.
+#[derive(Debug, Default)]
+pub struct Verification {
+    /// Verified file.
+    pub path: PathBuf,
+    /// Line 1 is a header matching this binary's versions.
+    pub header_ok: bool,
+    /// Complete (newline-terminated) lines seen.
+    pub total_lines: u64,
+    /// 1-based numbers of lines that failed checksum/grammar.
+    pub bad_lines: Vec<u64>,
+    /// Trailing bytes with no newline (torn final append).
+    pub torn_tail_bytes: u64,
+    /// Byte length of the longest all-valid record prefix — where a
+    /// tail-damage repair may safely truncate to. When
+    /// `mid_file_corrupt` is set this is *not* a safe truncation point
+    /// (it would discard valid records after the damage).
+    pub valid_prefix_bytes: u64,
+    /// A bad line is followed by a valid record: recovery's prefix
+    /// scan would silently drop everything past the damage.
+    pub mid_file_corrupt: bool,
+    /// A seal record is present.
+    pub sealed: bool,
+    /// Every valid accept record, in file order.
+    pub accepted: Vec<(u64, JobSpec)>,
+    /// Every valid done record: `(id, status, artifact digest)`.
+    pub completed: Vec<(u64, String, Option<u64>)>,
 }
 
 #[cfg(test)]
@@ -503,7 +712,7 @@ mod tests {
             assert!(rec.unfinished.is_empty());
             j.accept(1, &spec(1)).unwrap();
             j.accept(2, &spec(2)).unwrap();
-            j.done(1, "ok").unwrap();
+            j.done(1, "ok", None).unwrap();
         }
         let (_, rec) = Journal::open(&path).unwrap();
         assert_eq!(rec.completed, vec![(1, "ok".to_string())]);
@@ -520,7 +729,7 @@ mod tests {
         {
             let (mut j, _) = Journal::open(&path).unwrap();
             j.accept(1, &spec(1)).unwrap();
-            j.done(1, "ok").unwrap();
+            j.done(1, "ok", None).unwrap();
             j.seal().unwrap();
         }
         let (_, rec) = Journal::open(&path).unwrap();
@@ -567,7 +776,7 @@ mod tests {
             let (mut j, _) = Journal::open(&path).unwrap();
             j.accept(1, &spec(1)).unwrap();
             j.accept(2, &spec(2)).unwrap();
-            j.done(1, "ok").unwrap();
+            j.done(1, "ok", None).unwrap();
         }
         // Append a torn tail; peek must skip it AND leave it in place.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -607,7 +816,7 @@ mod tests {
                 },
             )
             .unwrap();
-            j.done(1, "ok").unwrap();
+            j.done(1, "ok", None).unwrap();
         }
         // A torn tail must be reported but never truncated by inspect.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -653,5 +862,118 @@ mod tests {
         // The reopened file is a valid fresh journal.
         let (_, rec2) = Journal::open(&path).unwrap();
         assert_eq!(rec2.torn_bytes, 0);
+    }
+
+    #[test]
+    fn done_digest_round_trips_through_recovery() {
+        let path = tmp("digest");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(1, &spec(1)).unwrap();
+            j.accept(2, &spec(2)).unwrap();
+            j.done(1, "ok", Some(0xdead_beef_0042_0017)).unwrap();
+            j.done(2, "deadline", None).unwrap();
+        }
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.completed.len(), 2);
+        assert_eq!(rec.artifact_digests, vec![(1, 0xdead_beef_0042_0017)]);
+        // peek sees the same digests without mutating.
+        let peeked = Journal::peek(&path).unwrap();
+        assert_eq!(peeked.artifact_digests, vec![(1, 0xdead_beef_0042_0017)]);
+        // And inspect renders them.
+        let ins = Journal::inspect(&path).unwrap();
+        assert!(
+            ins.records.iter().any(|r| r.contains("digest=deadbeef00420017")),
+            "{:?}",
+            ins.records
+        );
+    }
+
+    #[test]
+    fn fsync_failure_poisons_the_journal() {
+        let path = tmp("poison");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.accept(1, &spec(1)).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let err = {
+            let _g = crate::util::io::install(crate::util::io::IoFaultPlan {
+                seed: 9,
+                fsync_eio_pm: 1000,
+                ..crate::util::io::IoFaultPlan::default()
+            });
+            j.accept(2, &spec(2)).unwrap_err()
+        };
+        assert!(err.to_string().contains("EIO"), "{err}");
+        assert!(j.failed().is_some(), "journal must latch the failure");
+        // fsyncgate: the unsynced record is gone; the synced one stays.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        // With the plan gone the disk is healthy again — but the
+        // journal must still refuse: dirty pages were already lost.
+        let err2 = j.accept(3, &spec(3)).unwrap_err();
+        assert!(
+            err2.to_string().contains("journal failed, refusing append"),
+            "{err2}"
+        );
+        assert!(j.done(1, "ok", None).is_err(), "done marks refused too");
+    }
+
+    #[test]
+    fn short_write_poisons_the_journal() {
+        // A torn record mid-file makes all later appends unrecoverable
+        // (the prefix scan stops at the tear) — so a failed *write*
+        // must poison exactly like a failed fsync.
+        let path = tmp("poison-write");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        {
+            let _g = crate::util::io::install(crate::util::io::IoFaultPlan {
+                seed: 23,
+                short_write_pm: 1000,
+                ..crate::util::io::IoFaultPlan::default()
+            });
+            assert!(j.accept(1, &spec(1)).is_err());
+        }
+        assert!(j.failed().unwrap().contains("short write"));
+        assert!(j.accept(2, &spec(2)).is_err());
+        // Recovery still works: the torn record is truncated away.
+        drop(j);
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert!(rec.unfinished.is_empty());
+    }
+
+    #[test]
+    fn verify_distinguishes_tail_damage_from_mid_file_corruption() {
+        let path = tmp("verify");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.accept(1, &spec(1)).unwrap();
+            j.accept(2, &spec(2)).unwrap();
+            j.done(1, "ok", Some(0x1234_5678_9abc_def0)).unwrap();
+        }
+        // Pristine journal: header ok, no damage.
+        let v = Journal::verify(&path).unwrap();
+        assert!(v.header_ok && v.bad_lines.is_empty() && !v.mid_file_corrupt);
+        assert_eq!(v.accepted.len(), 2);
+        assert_eq!(v.completed, vec![(1, "ok".to_string(), Some(0x1234_5678_9abc_def0))]);
+
+        // Torn tail only: damaged, but not mid-file corruption.
+        let clean = std::fs::read(&path).unwrap();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(b"deadbeef00000000 A 9 to");
+        std::fs::write(&path, &torn).unwrap();
+        let v = Journal::verify(&path).unwrap();
+        assert_eq!(v.torn_tail_bytes, 23);
+        assert!(!v.mid_file_corrupt);
+
+        // Flip one byte of the first accept record: valid records
+        // still follow, so this is mid-file corruption.
+        let mut flipped = clean.clone();
+        let second_line = clean.iter().position(|&b| b == b'\n').unwrap() + 5;
+        flipped[second_line] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let v = Journal::verify(&path).unwrap();
+        assert_eq!(v.bad_lines, vec![2]);
+        assert!(v.mid_file_corrupt, "valid records after the damage");
+        assert_eq!(v.accepted.len(), 1, "the undamaged accept still parses");
+        assert!(v.header_ok);
     }
 }

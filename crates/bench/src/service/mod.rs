@@ -43,10 +43,12 @@ pub mod fleet;
 pub mod journal;
 pub mod protocol;
 pub mod ring;
+pub mod scrub;
 pub mod tenancy;
 
 pub use fleet::{Fleet, FleetOptions};
 pub use journal::{Inspection, Journal, Recovered};
+pub use scrub::{ScrubOptions, ScrubReport};
 pub use protocol::{
     JobDone, JobSpec, Reject, Request, Response, StatusReport, TenantStat, DEFAULT_TENANT,
 };
@@ -158,7 +160,7 @@ impl ServeOptions {
 // `submit --direct` byte-for-byte comparison path).
 // ---------------------------------------------------------------------
 
-fn config_for(spec: &JobSpec) -> RunConfig {
+pub(crate) fn config_for(spec: &JobSpec) -> RunConfig {
     let mut cfg = if spec.serial {
         RunConfig::serial()
     } else {
@@ -366,15 +368,20 @@ struct GroupCommit {
     /// written through the journal's own handle durable, whichever
     /// handle issues it.
     file: std::fs::File,
+    /// Journal path, so the covering fsync routes through the
+    /// [`crate::util::io`] facade (fault injection, fsyncgate
+    /// poisoning) exactly like the journal's own appends.
+    path: PathBuf,
     window: Duration,
 }
 
 impl GroupCommit {
-    fn new(file: std::fs::File, window: Duration) -> Self {
+    fn new(file: std::fs::File, path: PathBuf, window: Duration) -> Self {
         GroupCommit {
             flush: Mutex::new(FlushState::default()),
             flushed: Condvar::new(),
             file,
+            path,
             window,
         }
     }
@@ -446,7 +453,7 @@ impl GroupCommit {
                 continue;
             }
             drop(pre);
-            let res = self.file.sync_data();
+            let res = crate::util::io::sync_data(&self.file, &self.path);
             let mut post = self.lock();
             post.fsyncs += 1;
             if covered >= 2 {
@@ -470,6 +477,13 @@ impl GroupCommit {
         let s = self.lock();
         (s.fsyncs, s.window_flushes, s.solo_flushes)
     }
+
+    /// Highest record staged so far. A duplicate submit that finds its
+    /// original still `admitting` waits for a sync covering this seq —
+    /// it may not answer `accepted` before the original is durable.
+    fn latest_staged(&self) -> u64 {
+        self.lock().written_seq
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -487,6 +501,13 @@ struct State {
     /// Ids staged in an open commit window: journaled (unsynced) and
     /// holding queue capacity, but not yet worker-visible.
     admitting: HashSet<u64>,
+    /// `{tenant}/{idem}` → job id for every accepted job that carried
+    /// an idempotency key. A retried submit after a lost `accepted` ack
+    /// finds its original id here and dedups instead of double-running.
+    /// Entries are inserted at staging time (so a duplicate racing the
+    /// open commit window still dedups) and removed if the commit
+    /// fails; recovery rebuilds the map from the journal's `A` records.
+    idem: HashMap<String, u64>,
     running: HashSet<u64>,
     results: HashMap<u64, JobDone>,
     breakers: HashMap<String, Breaker>,
@@ -574,6 +595,9 @@ pub struct Server {
     dispatched_jobs: AtomicU64,
     /// Submits answered `accepted`.
     accepts: AtomicU64,
+    /// Submits answered with the original id of an already-accepted
+    /// idempotency key (lost-ack retries that deduped).
+    dedup_hits: AtomicU64,
 }
 
 impl Server {
@@ -592,6 +616,7 @@ impl Server {
         let mut state = State {
             tenants: TenantQueues::default(),
             admitting: HashSet::new(),
+            idem: recovered.idem_keys.iter().cloned().collect(),
             running: HashSet::new(),
             results: HashMap::new(),
             breakers: HashMap::new(),
@@ -632,14 +657,14 @@ impl Server {
         // are conservatively expired — their deadline was anchored at
         // original acceptance, which the crash outlived.
         for (id, spec) in recovered.unfinished {
-            let done = if spec.deadline_ms.is_some() {
-                JobDone::DeadlineExceeded
+            let (done, digest) = if spec.deadline_ms.is_some() {
+                (JobDone::DeadlineExceeded, None)
             } else {
                 self::finish(&opts, id, execute_spec(&spec))
             };
             state
                 .journal
-                .done(id, done.code())
+                .done(id, done.code(), digest)
                 .map_err(|e| format!("journal replay mark: {e}"))?;
             report.replayed.push((id, done.code().to_string()));
             state.completed += 1;
@@ -652,12 +677,17 @@ impl Server {
         let server = Arc::new(Server {
             state: Mutex::new(state),
             cond: Condvar::new(),
-            gc: GroupCommit::new(sync_handle, Duration::from_micros(opts.commit_window_us)),
+            gc: GroupCommit::new(
+                sync_handle,
+                opts.journal.clone(),
+                Duration::from_micros(opts.commit_window_us),
+            ),
             opts,
             stop: AtomicBool::new(false),
             dispatches: AtomicU64::new(0),
             dispatched_jobs: AtomicU64::new(0),
             accepts: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
         });
         Ok((server, report))
     }
@@ -702,6 +732,45 @@ impl Server {
         let mut g = self.lock();
         if g.shutting_down {
             return Response::Rejected(Reject::ShuttingDown);
+        }
+        // Idempotent resubmit: a client that lost the `accepted` ack
+        // retries with the same key; the job was already accepted, so
+        // hand back its original id instead of double-running. Checked
+        // before every capacity gate — a duplicate holds no new
+        // capacity — and before the journal-failed gate: the original
+        // accept is durable, so re-answering it is honest even when the
+        // journal can no longer take new work.
+        let idem_key =
+            (!spec.idem.is_empty()).then(|| format!("{}/{}", spec.tenant, spec.idem));
+        if let Some(key) = &idem_key {
+            if let Some(&orig) = g.idem.get(key) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                if g.admitting.contains(&orig) {
+                    // The original is still waiting on its covering
+                    // fsync. `accepted` may not be answered — for any
+                    // id — before that record is durable, so wait for
+                    // a sync covering everything staged so far.
+                    let seq = self.gc.latest_staged();
+                    drop(g);
+                    if let Err(e) = self.gc.wait_durable(seq) {
+                        let mut g = self.lock();
+                        g.rejected += 1;
+                        return Response::Rejected(Reject::Unavailable(format!(
+                            "journal append failed: {e}"
+                        )));
+                    }
+                    // A sync at `seq` covers the original's earlier
+                    // record, so reaching here means the original is
+                    // durable; its own submitter thread finishes the
+                    // queue bookkeeping.
+                }
+                return Response::Accepted(orig);
+            }
+        }
+        if let Some(why) = g.journal.failed() {
+            let why = why.to_string();
+            g.rejected += 1;
+            return Response::Rejected(Reject::Unavailable(format!("journal failed: {why}")));
         }
         // Jobs staged in an open commit window hold queue capacity
         // already: counting them keeps the bound exact while their
@@ -779,12 +848,16 @@ impl Server {
                 if let Some(b) = g.breakers.get_mut(&key) {
                     b.abort_probe(now);
                 }
-                return Response::Rejected(Reject::BadRequest(format!(
+                g.rejected += 1;
+                return Response::Rejected(Reject::Unavailable(format!(
                     "journal append failed: {e}"
                 )));
             }
             self.gc.note_solo_accept();
             g.next_id += 1;
+            if let Some(k) = idem_key {
+                g.idem.insert(k, id);
+            }
             g.tenants.push(
                 &tenant,
                 QueuedJob {
@@ -807,10 +880,18 @@ impl Server {
             if let Some(b) = g.breakers.get_mut(&key) {
                 b.abort_probe(now);
             }
-            return Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")));
+            g.rejected += 1;
+            return Response::Rejected(Reject::Unavailable(format!("journal append failed: {e}")));
         }
         let seq = self.gc.stage();
         g.next_id += 1;
+        // Map the idempotency key now, under the same lock that staged
+        // the record: a duplicate arriving inside the open commit
+        // window must dedup against this id (and wait for its fsync),
+        // not double-journal the job.
+        if let Some(k) = &idem_key {
+            g.idem.insert(k.clone(), id);
+        }
         g.tenants.begin_admission(&tenant);
         g.admitting.insert(id);
         drop(g);
@@ -836,12 +917,20 @@ impl Server {
                 // The record never became durable, so the job must not
                 // run. (If its bytes did land, crash replay re-runs it
                 // harmlessly: only accepted⇒durable is promised, not
-                // the converse.)
+                // the converse.) The journal handle is poisoned so no
+                // later append can silently land after the lost pages,
+                // and the idempotency key is unmapped — this job was
+                // never accepted, so a retry must be a fresh submit.
+                g.journal.mark_failed(&e);
+                if let Some(k) = &idem_key {
+                    g.idem.remove(k);
+                }
                 if let Some(b) = g.breakers.get_mut(&key) {
                     b.abort_probe(Instant::now());
                 }
+                g.rejected += 1;
                 self.cond.notify_all();
-                Response::Rejected(Reject::BadRequest(format!("journal append failed: {e}")))
+                Response::Rejected(Reject::Unavailable(format!("journal append failed: {e}")))
             }
         }
     }
@@ -892,6 +981,8 @@ impl Server {
             fsyncs,
             window_flushes,
             solo_flushes,
+            cache_corrupt: crate::scenario::cache_corrupt_count(),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         })
     }
 
@@ -951,7 +1042,7 @@ impl Server {
             let settled = self.execute_batch(batch);
             let mut g = self.lock();
             let mut marks = Vec::with_capacity(settled.len());
-            for (job, done, exec_ms) in &settled {
+            for (job, done, exec_ms, digest) in &settled {
                 g.running.remove(&job.id);
                 g.completed += 1;
                 let served_ms = matches!(done, JobDone::Ok { .. })
@@ -978,7 +1069,7 @@ impl Server {
                         self.opts.breaker_threshold,
                         Duration::from_millis(self.opts.breaker_cooldown_ms),
                     );
-                marks.push((job.id, done.code()));
+                marks.push((job.id, done.code(), *digest));
             }
             // One buffered write marks the whole batch done. Done
             // marks owe no durability (a lost `D` replays the job to a
@@ -989,12 +1080,16 @@ impl Server {
             // now, and the covering fsync releases nothing because no
             // submitter ever stages.
             let sync_now = self.opts.commit_window_us == 0;
+            // A failed done-mark write latches the journal failed (the
+            // guard in `done_batch` does it); subsequent submits answer
+            // `unavailable`. The completions themselves stand — a lost
+            // `D` only costs a harmless replay.
             match g.journal.done_batch(&marks, sync_now) {
                 Ok(()) if sync_now => self.gc.note_sync(),
                 Ok(()) => {}
-                Err(e) => eprintln!("service: journal done marks: {e}"),
+                Err(e) => eprintln!("service: journal done marks failed, journal sealed: {e}"),
             }
-            for (job, done, _) in settled {
+            for (job, done, _, _) in settled {
                 g.results.insert(job.id, done);
             }
             self.cond.notify_all();
@@ -1011,7 +1106,10 @@ impl Server {
     /// attribution, so the whole batch falls back to per-job serial
     /// execution under individual catch_unwind — the same divergence
     /// rule `chaos --batch` uses.
-    fn execute_batch(&self, batch: Vec<QueuedJob>) -> Vec<(QueuedJob, JobDone, Option<f64>)> {
+    fn execute_batch(
+        &self,
+        batch: Vec<QueuedJob>,
+    ) -> Vec<(QueuedJob, JobDone, Option<f64>, Option<u64>)> {
         let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
         let deadline_of = |job: &QueuedJob| {
             job.spec
@@ -1067,16 +1165,16 @@ impl Server {
                     // Cancelled before it ever ran.
                     None => (None, None),
                 };
-                let done = match exec {
-                    None => JobDone::DeadlineExceeded,
+                let (done, digest) = match exec {
+                    None => (JobDone::DeadlineExceeded, None),
                     Some(_) if expired(deadline) => {
                         // Finished too late: the result is discarded,
                         // no artifact is written.
-                        JobDone::DeadlineExceeded
+                        (JobDone::DeadlineExceeded, None)
                     }
                     Some(exec) => finish(&self.opts, job.id, exec),
                 };
-                (job, done, exec_ms)
+                (job, done, exec_ms, digest)
             })
             .collect()
     }
@@ -1166,21 +1264,31 @@ impl Server {
     }
 }
 
-/// Render and persist the artifact for an execution result.
-fn finish(opts: &ServeOptions, id: u64, exec: Exec) -> JobDone {
+/// Render and persist the artifact for an execution result. Returns the
+/// outcome plus, for `ok` jobs, the fnv1a digest of the artifact bytes —
+/// journaled with the `D` mark so `hyperq scrub` can verify the artifact
+/// on disk without re-executing the job.
+fn finish(opts: &ServeOptions, id: u64, exec: Exec) -> (JobDone, Option<u64>) {
     match exec {
-        Exec::Panicked(msg) => JobDone::Panicked(msg),
-        Exec::SimError(msg) => JobDone::SimError(msg),
+        Exec::Panicked(msg) => (JobDone::Panicked(msg), None),
+        Exec::SimError(msg) => (JobDone::SimError(msg), None),
         Exec::Ok(artifact) => {
             let path = opts.artifact_dir.join(format!("job-{id}.out"));
+            let digest = fnv1a(artifact.as_bytes());
             if let Err(e) = std::fs::create_dir_all(&opts.artifact_dir)
                 .and_then(|()| write_atomic(&path, &artifact))
             {
-                return JobDone::SimError(format!("write artifact {}: {e}", path.display()));
+                return (
+                    JobDone::SimError(format!("write artifact {}: {e}", path.display())),
+                    None,
+                );
             }
-            JobDone::Ok {
-                artifact: path.display().to_string(),
-            }
+            (
+                JobDone::Ok {
+                    artifact: path.display().to_string(),
+                },
+                Some(digest),
+            )
         }
     }
 }
@@ -1188,7 +1296,38 @@ fn finish(opts: &ServeOptions, id: u64, exec: Exec) -> JobDone {
 /// `hyperq serve` entry point. With `recover_only`, performs journal
 /// recovery (replaying unfinished jobs) and returns without binding
 /// the socket — the deterministic crash-recovery gate CI uses.
+///
+/// Before recovery runs, the journal gets an on-boot integrity scrub:
+/// mid-file corruption is a hard startup error (recovery's prefix scan
+/// would silently drop every record past the damage — serving from
+/// that view could re-run completed jobs or lose accepted ones), while
+/// tail damage is left for recovery's ordinary torn-tail truncation.
 pub fn serve(opts: ServeOptions, recover_only: bool) -> Result<RecoveryReport, String> {
+    match Journal::verify(&opts.journal) {
+        Ok(v) if v.mid_file_corrupt => {
+            let what = if v.total_lines == 0 {
+                "no recognizable content at all".to_string()
+            } else {
+                format!("mid-file corruption (bad line(s) {:?})", v.bad_lines)
+            };
+            return Err(format!(
+                "journal {} has {what}; refusing to serve from a partial \
+                 view — run `hyperq scrub --repair` to quarantine it",
+                opts.journal.display(),
+            ));
+        }
+        // A wrong-but-parseable sim version is legitimate (recovery
+        // archives such journals); a file where *nothing* parses is
+        // damage, not a version skew.
+        Ok(v) if v.total_lines > 0 && v.bad_lines.len() as u64 == v.total_lines => {
+            return Err(format!(
+                "journal {} has no parseable records at all; run \
+                 `hyperq scrub --repair` to quarantine it",
+                opts.journal.display()
+            ));
+        }
+        _ => {}
+    }
     let (server, report) = Server::new(opts)?;
     eprintln!("service: {}", report.summary());
     for (id, status) in &report.replayed {
@@ -1198,6 +1337,24 @@ pub fn serve(opts: ServeOptions, recover_only: bool) -> Result<RecoveryReport, S
         server.run()?;
     }
     Ok(report)
+}
+
+/// Process-unique idempotency key for one logical submit: pid, a
+/// monotonic per-process counter and a wall-clock nanosecond stamp.
+/// Two processes (or two runs of one) can never mint the same key, so
+/// the server's dedup map only ever coalesces genuine retries.
+pub fn gen_idem_key() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    format!(
+        "c{}-{:x}-{}",
+        std::process::id(),
+        nanos,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// Exponential backoff with deterministic jitter: no RNG dependency,
@@ -1263,12 +1420,59 @@ impl Write for Transport {
     }
 }
 
+/// Seeded connection-fault plan for the network torture harness. Each
+/// [`Client::call`] rolls deterministically (from `seed` and a
+/// per-client request counter) for one of three faults:
+///
+/// * **mid-frame disconnect** — only a prefix of the request frame is
+///   written before the call errors out, leaving the server with a
+///   torn frame (its framed `bad-request` answer goes nowhere);
+/// * **trickle** — the frame is delivered one byte at a time with a
+///   flush per byte, exercising the server's buffered frame reader;
+/// * **lost ack** — the request is delivered and answered normally,
+///   but an `accepted` response is dropped on the floor, exactly like
+///   a connection dying between the server's journal fsync and the
+///   client's read. The caller must reconnect and resubmit with the
+///   same idempotency key; the server dedups.
+///
+/// All probabilities are per-mille. Injected faults surface as `Err`
+/// strings prefixed `injected:` so harnesses can tell them from real
+/// transport failures.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetFaultPlan {
+    /// Fault-stream seed; same seed + same call sequence = same faults.
+    pub seed: u64,
+    /// Per-call chance (‰) of a mid-frame disconnect.
+    pub disconnect_pm: u16,
+    /// Per-call chance (‰) of byte-at-a-time delivery.
+    pub trickle_pm: u16,
+    /// Per-submit chance (‰) of losing an `accepted` ack.
+    pub lost_ack_pm: u16,
+}
+
+struct NetFaultState {
+    plan: NetFaultPlan,
+    calls: u64,
+    /// Faults injected so far (harness assertion material).
+    injected: u64,
+}
+
+impl NetFaultState {
+    fn roll(&mut self, lane: u64, pm: u16) -> bool {
+        let x = crate::util::io::splitmix64(
+            self.plan.seed ^ self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ lane,
+        );
+        pm > 0 && x % 1000 < pm as u64
+    }
+}
+
 /// Client connection holding one request/response conversation.
 pub struct Client {
     reader: BufReader<Transport>,
     writer: Transport,
     timeout_ms: Option<u64>,
     bufs: protocol::FrameBufs,
+    net: Option<NetFaultState>,
 }
 
 impl Client {
@@ -1279,7 +1483,23 @@ impl Client {
             writer: stream,
             timeout_ms: None,
             bufs: protocol::FrameBufs::default(),
+            net: None,
         })
+    }
+
+    /// Arm a seeded [`NetFaultPlan`] on this connection (torture
+    /// harness only; production clients never set one).
+    pub fn set_net_faults(&mut self, plan: NetFaultPlan) {
+        self.net = Some(NetFaultState {
+            plan,
+            calls: 0,
+            injected: 0,
+        });
+    }
+
+    /// Network faults injected on this connection so far.
+    pub fn net_faults_injected(&self) -> u64 {
+        self.net.as_ref().map(|n| n.injected).unwrap_or(0)
     }
 
     /// Connect to a serving Unix socket.
@@ -1310,8 +1530,15 @@ impl Client {
 
     /// One request, one response.
     pub fn call(&mut self, req: &Request) -> Result<Response, String> {
+        if self.net.is_some() {
+            return self.call_with_faults(req);
+        }
         protocol::write_frame_into(&mut self.writer, &mut self.bufs, &req.encode())
             .map_err(|e| format!("send request: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
         match protocol::read_frame_into(&mut self.reader, &mut self.bufs) {
             Ok(Some(payload)) => Response::decode(payload),
             Ok(None) => Err("server closed the connection".to_string()),
@@ -1328,6 +1555,56 @@ impl Client {
             }
             Err(e) => Err(format!("read response: {e}")),
         }
+    }
+
+    /// [`Client::call`] under an armed [`NetFaultPlan`]. After an
+    /// `injected: connection lost mid-frame` error the connection is
+    /// dead weight — drop this client and reconnect, like a real
+    /// caller whose TCP session died.
+    fn call_with_faults(&mut self, req: &Request) -> Result<Response, String> {
+        let payload = req.encode();
+        let mut frame = format!("{}\n", payload.len()).into_bytes();
+        frame.extend_from_slice(payload.as_bytes());
+        let net = self.net.as_mut().expect("call_with_faults without a plan");
+        net.calls += 1;
+        let calls = net.calls;
+        let seed = net.plan.seed;
+        let disconnect = net.roll(1, net.plan.disconnect_pm);
+        let trickle = net.roll(2, net.plan.trickle_pm);
+        let lose_ack = matches!(req, Request::Submit(_)) && net.roll(3, net.plan.lost_ack_pm);
+        if disconnect {
+            net.injected += 1;
+            let cut =
+                (crate::util::io::splitmix64(seed ^ calls) as usize) % frame.len().max(1);
+            let _ = self
+                .writer
+                .write_all(&frame[..cut])
+                .and_then(|()| self.writer.flush());
+            return Err("injected: connection lost mid-frame".to_string());
+        }
+        if trickle {
+            net.injected += 1;
+            for b in &frame {
+                self.writer
+                    .write_all(std::slice::from_ref(b))
+                    .and_then(|()| self.writer.flush())
+                    .map_err(|e| format!("send request: {e}"))?;
+            }
+        } else {
+            self.writer
+                .write_all(&frame)
+                .and_then(|()| self.writer.flush())
+                .map_err(|e| format!("send request: {e}"))?;
+        }
+        let resp = self.read_response()?;
+        if lose_ack && matches!(resp, Response::Accepted(_)) {
+            // The server committed and answered; the answer "got lost".
+            if let Some(n) = self.net.as_mut() {
+                n.injected += 1;
+            }
+            return Err("injected: accepted ack lost".to_string());
+        }
+        Ok(resp)
     }
 
     /// Submit and, when accepted, block until the job finishes.
@@ -1352,6 +1629,14 @@ impl Client {
     ) -> Result<Response, String> {
         let started = Instant::now();
         let key = spec.signature();
+        // Every resubmit in this loop is the same logical job: give it
+        // one idempotency key so a retry after a lost ack (or any
+        // response the transport ate) dedups server-side instead of
+        // double-running. A caller-provided key is kept as-is.
+        let mut spec = spec.clone();
+        if spec.idem.is_empty() {
+            spec.idem = gen_idem_key();
+        }
         let mut attempt = 0u32;
         loop {
             let resp = self.call(&Request::Submit(spec.clone()))?;

@@ -194,6 +194,13 @@ pub struct JobSpec {
     pub class: Option<String>,
     /// Panic deliberately instead of simulating (isolation testing).
     pub scripted_panic: bool,
+    /// Client-generated idempotency key, empty for none. A resubmit
+    /// carrying the key of an already-accepted job (a retry after the
+    /// `accepted` ack was lost on the wire) answers the *original*
+    /// job id instead of double-running. Journaled inside the `A`
+    /// record, so the dedup map survives crash recovery. Serving-plane
+    /// only: not part of [`JobSpec::signature`].
+    pub idem: String,
 }
 
 impl Default for JobSpec {
@@ -210,6 +217,7 @@ impl Default for JobSpec {
             deadline_ms: None,
             class: None,
             scripted_panic: false,
+            idem: String::new(),
         }
     }
 }
@@ -285,6 +293,12 @@ impl JobSpec {
         }
         s.push_str(&format!(" panic={}", u8::from(self.scripted_panic)));
         s.push_str(&format!(" tenant={}", esc(&self.tenant)));
+        // Optional on the wire (same schema-bump rule as `tenant=`):
+        // emitted only when set, so keyless specs and old journal
+        // records stay byte-identical.
+        if !self.idem.is_empty() {
+            s.push_str(&format!(" idem={}", esc(&self.idem)));
+        }
         s
     }
 
@@ -346,6 +360,15 @@ impl JobSpec {
                     spec.tenant = unesc(val).ok_or_else(|| format!("bad tenant '{val}'"))?;
                     if spec.tenant.is_empty() {
                         return Err("job tenant must not be empty".to_string());
+                    }
+                }
+                // Optional like `tenant=`: absent on keyless specs and
+                // on every record journaled before the field existed.
+                "idem" => {
+                    seen -= 1;
+                    spec.idem = unesc(val).ok_or_else(|| format!("bad idem '{val}'"))?;
+                    if spec.idem.is_empty() {
+                        return Err("job idem key must not be empty".to_string());
                     }
                 }
                 other => return Err(format!("unknown job field '{other}'")),
@@ -541,6 +564,14 @@ pub struct StatusReport {
     /// Accept-side commits that covered exactly one record (a lone
     /// submitter at window expiry, or `--commit-window-us 0`).
     pub solo_flushes: u64,
+    /// Scenario-cache entries that were present on disk but failed
+    /// integrity verification (corrupt, not merely missing). Each one
+    /// degraded to a recomputation; a rising count means the cache
+    /// store is rotting and wants a `hyperq scrub --repair`.
+    pub cache_corrupt: u64,
+    /// Submits deduplicated by idempotency key: a client retried after
+    /// losing an `accepted` ack and got the original job id back.
+    pub dedup_hits: u64,
 }
 
 /// A server response.
@@ -615,7 +646,7 @@ impl Response {
                     })
                     .collect();
                 format!(
-                    "{MAGIC} status {} {} {} {} {} {} {} {}:{}:{}:{}:{}:{}",
+                    "{MAGIC} status {} {} {} {} {} {} {} {}:{}:{}:{}:{}:{}:{}:{}",
                     s.queued,
                     s.running,
                     s.completed,
@@ -636,7 +667,9 @@ impl Response {
                     s.accepts,
                     s.fsyncs,
                     s.window_flushes,
-                    s.solo_flushes
+                    s.solo_flushes,
+                    s.cache_corrupt,
+                    s.dedup_hits
                 )
             }
             Response::Pong => format!("{MAGIC} pong"),
@@ -721,7 +754,7 @@ impl Response {
                         .collect::<Result<_, _>>()?
                 };
                 let batch: Vec<&str> = toks[9].split(':').collect();
-                if batch.len() != 6 {
+                if batch.len() != 8 {
                     return Err(format!("bad batch counters '{}'", toks[9]));
                 }
                 Ok(Response::Status(StatusReport {
@@ -738,6 +771,8 @@ impl Response {
                     fsyncs: num(batch[3])?,
                     window_flushes: num(batch[4])?,
                     solo_flushes: num(batch[5])?,
+                    cache_corrupt: num(batch[6])?,
+                    dedup_hits: num(batch[7])?,
                 }))
             }
             Some("pong") if toks.len() == 2 => Ok(Response::Pong),
@@ -766,6 +801,7 @@ mod tests {
             deadline_ms: Some(1500),
             class: Some("figure 6 burst".to_string()),
             scripted_panic: false,
+            idem: String::new(),
         }
     }
 
@@ -781,11 +817,20 @@ mod tests {
                 serial: true,
                 ..sample_spec()
             },
+            JobSpec {
+                idem: "cli-1234-0007 a%b".to_string(),
+                ..sample_spec()
+            },
         ] {
             let line = spec.encode();
             assert!(!line.contains('\n'));
             assert_eq!(JobSpec::decode(&line).as_ref(), Ok(&spec), "{line}");
         }
+        // A keyless spec encodes without the idem token at all, so lines
+        // journaled before the field existed stay byte-identical.
+        assert!(!sample_spec().encode().contains("idem="));
+        // Empty keys are rejected, not treated as "no key".
+        assert!(JobSpec::decode(&format!("{} idem=", sample_spec().encode())).is_err());
     }
 
     #[test]
@@ -904,6 +949,8 @@ mod tests {
                 fsyncs: 9,
                 window_flushes: 6,
                 solo_flushes: 3,
+                cache_corrupt: 2,
+                dedup_hits: 5,
             }),
             Response::Status(StatusReport::default()),
             Response::Pong,

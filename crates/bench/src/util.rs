@@ -2,9 +2,9 @@
 //! a small parallel map for independent simulation runs.
 
 pub mod codec;
+pub mod io;
 
 use parking_lot::Mutex;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -80,23 +80,25 @@ impl ExperimentReport {
 /// is fsynced and then atomically renamed over `path`, so a crash or
 /// interrupt (including power loss, not just process death) can never
 /// leave a truncated artifact — `path` either holds the old bytes or
-/// the complete new ones. The parent directory is synced best-effort so
-/// the rename itself is durable.
+/// the complete new ones. The parent directory is then fsynced so the
+/// rename itself is durable; a directory that cannot be *opened*
+/// (exotic filesystems) is tolerated, but a directory fsync that
+/// *fails* surfaces — swallowing it would report durability the disk
+/// never provided. All I/O routes through [`io`] so fault plans can
+/// exercise every step.
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
+        io::write_all(&mut f, &tmp, contents.as_bytes())?;
+        io::sync_all(&f, &tmp)?;
     }
-    std::fs::rename(&tmp, path)?;
+    io::rename(&tmp, path)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        // Directory fsync makes the rename durable; failure to open the
-        // directory (exotic filesystems) degrades to the old behaviour.
         if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
+            io::sync_all(&d, dir)?;
         }
     }
     Ok(())

@@ -29,11 +29,13 @@ use proptest::prelude::*;
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Deterministic artifact bytes for one outcome: the cache entry
-/// encoding minus the wall-clock `perf ` line.
+/// encoding minus the wall-clock `perf ` line — and minus the `crc `
+/// integrity header, which covers the full body (perf line included)
+/// and so inherits its nondeterminism.
 fn artifact(cfg: &RunConfig, specs: &[AppSpec], out: &RunOutcome) -> String {
     scenario::encode_outcome(cfg, specs, out)
         .lines()
-        .filter(|l| !l.starts_with("perf "))
+        .filter(|l| !l.starts_with("perf ") && !l.starts_with("crc "))
         .collect::<Vec<_>>()
         .join("\n")
 }

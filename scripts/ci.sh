@@ -58,6 +58,16 @@
 #      followed by --recover-only must replay every accepted job with
 #      artifacts byte-identical to direct runs — sheds never reach the
 #      journal, accepted work always survives,
+#   7b. a torture-and-scrub gate: a seeded `hyperq torture` soak runs
+#      multi-tenant service bursts under joint host-I/O and network
+#      fault plans (short writes, EINTR, fsync EIO, ENOSPC, torn
+#      renames, bit flips, mid-frame disconnects, trickle reads, lost
+#      accepted-acks) and must lose zero accepted jobs and dedup every
+#      duplicate submit; then a clean store gets a cache entry and an
+#      artifact byte-flipped, `hyperq scrub --repair` must heal both by
+#      deterministic re-execution, a second verify-only `hyperq scrub`
+#      must exit 0, and the repaired artifact must be byte-identical
+#      to a direct rendering,
 #   8. clippy with warnings denied (skipped with a notice when the
 #      component is not installed, e.g. minimal toolchains).
 #
@@ -81,11 +91,15 @@ FLEET_PID=""
 OVL_DIR=""
 OVL_PID=""
 FLOOD_PID=""
+TOR_DIR=""
+SCRUB_DIR=""
+SCRUB_PID=""
 cleanup() {
     [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
     [ -n "$THR_PID" ] && kill -9 "$THR_PID" 2>/dev/null || true
     [ -n "$OVL_PID" ] && kill -9 "$OVL_PID" 2>/dev/null || true
     [ -n "$FLOOD_PID" ] && kill -9 "$FLOOD_PID" 2>/dev/null || true
+    [ -n "$SCRUB_PID" ] && kill -9 "$SCRUB_PID" 2>/dev/null || true
     if [ -n "$FLEET_PID" ]; then
         kill -9 "$FLEET_PID" 2>/dev/null || true
         # The coordinator's workers survive a kill -9 of their parent.
@@ -99,6 +113,8 @@ cleanup() {
     [ -n "$SVC_DIR" ] && rm -rf "$SVC_DIR"
     [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
     [ -n "$OVL_DIR" ] && rm -rf "$OVL_DIR"
+    [ -n "$TOR_DIR" ] && rm -rf "$TOR_DIR"
+    [ -n "$SCRUB_DIR" ] && rm -rf "$SCRUB_DIR"
     true
 }
 trap cleanup EXIT
@@ -398,9 +414,9 @@ awk -v solo="$SOLO_P99" -v contended="$PACED_P99" 'BEGIN {
         printf "FAIL: paced p99 %.3f ms exceeds 3x solo baseline %.3f ms\n", contended, floor; exit 1
     }
 }'
-echo "$STATUS_OUT" | grep -q "^tenant flood: .* shed [1-9]" \
+grep -q "^tenant flood: .* shed [1-9]" <<<"$STATUS_OUT" \
     || { echo "FAIL: --status has no flood tenant shed line: $STATUS_OUT"; exit 1; }
-echo "$STATUS_OUT" | grep -q "^tenant paced: .* shed 0" \
+grep -q "^tenant paced: .* shed 0" <<<"$STATUS_OUT" \
     || { echo "FAIL: --status has no clean paced tenant line: $STATUS_OUT"; exit 1; }
 
 # Phase 2: accepted multi-tenant backlog survives kill -9. Two heavy
@@ -428,11 +444,11 @@ wait "$OVL_PID" 2>/dev/null || true
 OVL_PID=""
 
 INSPECT_OUT="$("$HQ" journal inspect "$OVL_DIR/journal/service.wal")"
-echo "$INSPECT_OUT" | grep -q "^tenant acme:" \
+grep -q "^tenant acme:" <<<"$INSPECT_OUT" \
     || { echo "FAIL: journal inspect lost tenant acme: $INSPECT_OUT"; exit 1; }
-echo "$INSPECT_OUT" | grep -q "^tenant globex:" \
+grep -q "^tenant globex:" <<<"$INSPECT_OUT" \
     || { echo "FAIL: journal inspect lost tenant globex: $INSPECT_OUT"; exit 1; }
-echo "$INSPECT_OUT" | grep -q "sealed=no" \
+grep -q "sealed=no" <<<"$INSPECT_OUT" \
     || { echo "FAIL: kill -9 left a sealed journal?: $INSPECT_OUT"; exit 1; }
 
 OVL_REC="$(HQ_RESULTS="$OVL_DIR" "$HQ" serve --socket "$OVL_SOCK" --recover-only 2>/dev/null)"
@@ -449,6 +465,67 @@ for job in "${OVL_JOBS[@]}"; do
         || { echo "FAIL: job $id (-w $wl --streams $streams --seed $seed) diverges from direct run"; exit 1; }
 done
 echo "overload gate: paced p99 held under flood, $OVL_REPLAYED job(s) replayed, all tenant artifacts byte-identical"
+
+echo "==> torture soak (joint I/O + network fault plans, seed 11)"
+TOR_DIR="$(mktemp -d)"
+# Each case runs a real server on a unix socket under a per-case fault
+# plan; the harness itself enforces zero accepted-job loss, duplicate
+# dedup, journal durability and a clean scrub --repair, exiting 1 with
+# a shrunk JSON repro on the first violation.
+HQ_RESULTS="$TOR_DIR" "$HQ" torture --cases 15 --seed 11 --repro-dir "$TOR_DIR/repro" \
+    || { echo "FAIL: torture soak violated an invariant"; cat "$TOR_DIR"/repro/torture-*.json 2>/dev/null; exit 1; }
+
+echo "==> scrub self-healing gate (byte-flip cache entry + artifact, repair, re-verify)"
+# XOR one byte in place: guaranteed to actually change the file, unlike
+# overwriting with a constant that might already be there.
+flip_byte() {
+    python3 -c '
+import sys
+path, off = sys.argv[1], int(sys.argv[2])
+with open(path, "r+b") as f:
+    data = bytearray(f.read())
+    data[off % len(data)] ^= 0x41
+    f.seek(0)
+    f.write(data)
+' "$1" "$2"
+}
+SCRUB_DIR="$(mktemp -d)"
+SCRUB_SOCK="$SCRUB_DIR/hq.sock"
+HQ_RESULTS="$SCRUB_DIR" "$HQ" serve --socket "$SCRUB_SOCK" --workers 1 --queue-depth 16 \
+    >"$SCRUB_DIR/serve.log" 2>&1 &
+SCRUB_PID=$!
+for _ in $(seq 1 100); do [ -S "$SCRUB_SOCK" ] && break; sleep 0.1; done
+[ -S "$SCRUB_SOCK" ] || { echo "FAIL: scrub server never bound $SCRUB_SOCK"; cat "$SCRUB_DIR/serve.log"; exit 1; }
+SCRUB_ART0="$(HQ_RESULTS="$SCRUB_DIR" "$HQ" submit --socket "$SCRUB_SOCK" -w gaussian+needle --streams 4 --seed 300 | sed -n 's/^artifact: //p')"
+SCRUB_ART1="$(HQ_RESULTS="$SCRUB_DIR" "$HQ" submit --socket "$SCRUB_SOCK" -w gaussian+needle --streams 4 --seed 301 | sed -n 's/^artifact: //p')"
+[ -s "$SCRUB_ART0" ] && [ -s "$SCRUB_ART1" ] \
+    || { echo "FAIL: scrub-gate submits produced no artifacts"; cat "$SCRUB_DIR/serve.log"; exit 1; }
+HQ_RESULTS="$SCRUB_DIR" "$HQ" submit --socket "$SCRUB_SOCK" --shutdown >/dev/null
+wait "$SCRUB_PID" 2>/dev/null || true
+SCRUB_PID=""
+
+HQ_RESULTS="$SCRUB_DIR" "$HQ" scrub >/dev/null \
+    || { echo "FAIL: pristine store does not scrub clean"; exit 1; }
+SCRUB_CACHE="$(ls "$SCRUB_DIR"/.scenario-cache/*.v2 | head -1)"
+[ -s "$SCRUB_CACHE" ] || { echo "FAIL: no scenario-cache entry to corrupt"; exit 1; }
+flip_byte "$SCRUB_ART0" 7
+flip_byte "$SCRUB_CACHE" 40
+RC=0; HQ_RESULTS="$SCRUB_DIR" "$HQ" scrub >/dev/null 2>&1 || RC=$?
+[ "$RC" = 1 ] || { echo "FAIL: verify-only scrub must exit 1 on a damaged store (got $RC)"; exit 1; }
+HQ_RESULTS="$SCRUB_DIR" "$HQ" scrub --repair \
+    || { echo "FAIL: scrub --repair left unresolved damage"; exit 1; }
+# Self-healing contract: after one repair pass, a verify-only scrub
+# finds nothing — and the regenerated artifact is byte-identical to a
+# direct rendering of the journaled spec.
+HQ_RESULTS="$SCRUB_DIR" "$HQ" scrub >/dev/null \
+    || { echo "FAIL: store still damaged after scrub --repair"; exit 1; }
+for s in 300 301; do
+    HQ_RESULTS="$SCRUB_DIR" "$HQ" submit --direct -w gaussian+needle --streams 4 --seed "$s" >"$SCRUB_DIR/direct.tmp"
+    art="$SCRUB_ART0"; [ "$s" = 301 ] && art="$SCRUB_ART1"
+    cmp "$art" "$SCRUB_DIR/direct.tmp" \
+        || { echo "FAIL: repaired artifact for seed $s diverges from direct run"; exit 1; }
+done
+echo "scrub gate: corruption detected, repaired by re-execution, second scrub clean"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -41,6 +41,9 @@ USAGE:
   hyperq submit    --socket PATH|--tcp ADDR --status | --shutdown
   hyperq submit    --direct --workload SPEC [run flags]
   hyperq journal   inspect FILE
+  hyperq scrub     [--repair] [--journal PATH] [--artifact-dir DIR]
+                   [--cache-dir DIR]
+  hyperq torture   [--cases N] [--seed N] [--repro-dir DIR]
   hyperq table3
   hyperq devices
   hyperq help
@@ -85,6 +88,12 @@ pub enum Command {
     Submit,
     /// Read-only dump of a journal file (`journal inspect FILE`).
     JournalInspect,
+    /// Verify (and with `--repair`, heal) the journal, scenario cache
+    /// and artifact store.
+    Scrub,
+    /// Service torture soak: bursts under joint I/O + network fault
+    /// plans, with shrinking JSON repros.
+    Torture,
     /// Print Table III.
     Table3,
     /// List device presets.
@@ -195,6 +204,16 @@ pub struct Cli {
     pub commit_window_us: u64,
     /// Journal file to dump (`journal inspect FILE`).
     pub journal_file: Option<String>,
+    /// Repair detected damage instead of only reporting it
+    /// (`scrub --repair`).
+    pub repair: bool,
+    /// Scenario-cache directory override (`scrub --cache-dir`).
+    pub cache_dir: Option<String>,
+    /// Torture cases to run (`torture --cases`).
+    pub cases: usize,
+    /// Directory shrunk torture repros are written to
+    /// (`torture --repro-dir`).
+    pub repro_dir: Option<String>,
 }
 
 /// Which recovery policy the harness should apply to failed apps.
@@ -260,6 +279,10 @@ impl Default for Cli {
             dispatch_batch: 8,
             commit_window_us: 200,
             journal_file: None,
+            repair: false,
+            cache_dir: None,
+            cases: 25,
+            repro_dir: None,
         }
     }
 }
@@ -340,6 +363,8 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             Some(other) => return Err(format!("unknown journal action '{other}' (try 'inspect')")),
             None => return Err("journal requires an action: journal inspect FILE".into()),
         },
+        "scrub" => Command::Scrub,
+        "torture" => Command::Torture,
         "table3" => Command::Table3,
         "devices" => Command::Devices,
         "help" | "--help" | "-h" => Command::Help,
@@ -557,6 +582,17 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                     return Err("--brownout-threshold must be in (0, 1]".into());
                 }
             }
+            "--repair" => cli.repair = true,
+            "--cache-dir" => cli.cache_dir = Some(value(&mut it, "--cache-dir")?),
+            "--cases" => {
+                cli.cases = value(&mut it, "--cases")?
+                    .parse()
+                    .map_err(|_| "--cases needs an integer".to_string())?;
+                if cli.cases == 0 || cli.cases > 10_000 {
+                    return Err("--cases must be in 1..=10000".into());
+                }
+            }
+            "--repro-dir" => cli.repro_dir = Some(value(&mut it, "--repro-dir")?),
             "--class" => cli.job_class = Some(value(&mut it, "--class")?),
             "--panic" => cli.scripted_panic = true,
             "--no-wait" => cli.no_wait = true,
@@ -874,6 +910,34 @@ mod tests {
         assert!(parse_args(argv("journal inspect")).is_err());
         assert!(parse_args(argv("journal inspect a b")).is_err());
         assert!(parse_args(argv("journal vacuum f")).is_err());
+    }
+
+    #[test]
+    fn scrub_parses_with_optional_overrides() {
+        let cli = parse_args(argv("scrub")).unwrap();
+        assert_eq!(cli.command, Command::Scrub);
+        assert!(!cli.repair);
+        let cli = parse_args(argv(
+            "scrub --repair --journal /tmp/j.wal --artifact-dir /tmp/art --cache-dir /tmp/cache",
+        ))
+        .unwrap();
+        assert!(cli.repair);
+        assert_eq!(cli.journal.as_deref(), Some("/tmp/j.wal"));
+        assert_eq!(cli.artifact_dir.as_deref(), Some("/tmp/art"));
+        assert_eq!(cli.cache_dir.as_deref(), Some("/tmp/cache"));
+    }
+
+    #[test]
+    fn torture_parses_cases_seed_and_repro_dir() {
+        let cli = parse_args(argv("torture")).unwrap();
+        assert_eq!(cli.command, Command::Torture);
+        assert_eq!(cli.cases, 25);
+        let cli = parse_args(argv("torture --cases 3 --seed 99 --repro-dir /tmp/repros")).unwrap();
+        assert_eq!(cli.cases, 3);
+        assert_eq!(cli.seed, 99);
+        assert_eq!(cli.repro_dir.as_deref(), Some("/tmp/repros"));
+        assert!(parse_args(argv("torture --cases 0")).is_err());
+        assert!(parse_args(argv("torture --cases 20000")).is_err());
     }
 
     #[test]

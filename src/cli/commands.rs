@@ -297,6 +297,20 @@ fn cmd_devices() -> String {
 /// useful outcome — and only errors when the file itself is unusable.
 fn cmd_repro(cli: &Cli) -> Result<String, String> {
     let path = cli.repro_file.as_deref().expect("checked by parse_args");
+    // Torture repros are self-identifying (`"kind": "torture"`); route
+    // them to the torture replayer, everything else to the chaos one.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(case) = hq_bench::torture::case_from_json(&text) {
+        return match hq_bench::torture::run_case(&case) {
+            hq_bench::torture::TortureOutcome::Pass(stats) => Ok(format!(
+                "repro {path}: PASS — invariants held ({} acked, {} resolved, {} disk faults, {} net faults)",
+                stats.acked, stats.resolved, stats.io_faults, stats.net_faults
+            )),
+            hq_bench::torture::TortureOutcome::Fail(kind, detail) => {
+                Ok(format!("repro {path}: FAIL ({kind})\n{detail}"))
+            }
+        };
+    }
     match hq_bench::chaos::run_repro(std::path::Path::new(path))? {
         hq_bench::chaos::CaseOutcome::Pass { .. } => Ok(format!(
             "repro {path}: PASS — the case runs clean (bug no longer reproduces)"
@@ -331,6 +345,9 @@ fn job_spec_from(cli: &Cli) -> JobSpec {
             .tenant
             .clone()
             .unwrap_or_else(|| hq_bench::service::DEFAULT_TENANT.to_string()),
+        // Left empty here: submit_with_retry generates a key per logical
+        // submission so every retry of this invocation dedups server-side.
+        idem: String::new(),
     }
 }
 
@@ -486,6 +503,10 @@ fn cmd_submit(cli: &Cli) -> Result<String, String> {
                     "\njournal: accepts {} fsyncs {} ({:.2} per accept) window {} solo {}",
                     s.accepts, s.fsyncs, per_accept, s.window_flushes, s.solo_flushes
                 ));
+                out.push_str(&format!(
+                    "\nintegrity: cache_corrupt {} dedup_hits {}",
+                    s.cache_corrupt, s.dedup_hits
+                ));
                 for t in &s.tenants {
                     out.push_str(&format!(
                         "\ntenant {}: queued {} running {} served {} shed {} p99 {} ms",
@@ -535,6 +556,59 @@ fn cmd_journal_inspect(cli: &Cli) -> Result<String, String> {
     Ok(inspection.render())
 }
 
+/// `hyperq scrub [--repair]`: verify the journal, scenario cache and
+/// artifact store end to end; with `--repair`, heal what can be healed
+/// (truncate torn journal tails, quarantine mid-file corruption,
+/// delete-and-re-execute damaged cache entries and artifacts). Exits
+/// nonzero while damage remains, so `scrub --repair && scrub` is the
+/// self-healing gate: the second pass must find a clean store.
+fn cmd_scrub(cli: &Cli) -> Result<String, String> {
+    let mut opts = hq_bench::service::ScrubOptions::from_results_dir();
+    if let Some(j) = &cli.journal {
+        opts.journal = j.into();
+    }
+    if let Some(a) = &cli.artifact_dir {
+        opts.artifact_dir = a.into();
+    }
+    if let Some(c) = &cli.cache_dir {
+        opts.cache_dir = c.into();
+    }
+    opts.repair = cli.repair;
+    let report = hq_bench::service::scrub::scrub(&opts)?;
+    let rendered = report.render();
+    if report.clean() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
+}
+
+/// `hyperq torture`: run a soak of generated service-burst cases under
+/// joint I/O + network fault plans. The first invariant violation is
+/// shrunk to a minimal case, written as a JSON repro (replayable with
+/// `hyperq repro FILE`), and reported as an error.
+fn cmd_torture(cli: &Cli) -> Result<String, String> {
+    let repro_dir = cli
+        .repro_dir
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| hq_bench::util::out_dir().join("repro"));
+    let report = hq_bench::torture::soak(cli.cases, cli.seed, &repro_dir, |_, _| {});
+    let t = &report.totals;
+    match report.failure {
+        None => Ok(format!(
+            "torture: {} case(s) passed — {} acked, {} resolved, {} unaccepted, {} disk fault(s), {} net fault(s) injected",
+            report.cases, t.acked, t.resolved, t.unaccepted, t.io_faults, t.net_faults
+        )),
+        Some((kind, detail, path)) => Err(format!(
+            "torture: case {} of {} FAILED ({kind})\n{detail}\nshrunk repro: {}",
+            report.cases,
+            cli.cases,
+            path.display()
+        )),
+    }
+}
+
 /// Execute a parsed CLI invocation, returning the text to print.
 pub fn execute(cli: Cli) -> Result<String, String> {
     match cli.command {
@@ -547,6 +621,8 @@ pub fn execute(cli: Cli) -> Result<String, String> {
         Command::Serve => cmd_serve(&cli),
         Command::Submit => cmd_submit(&cli),
         Command::JournalInspect => cmd_journal_inspect(&cli),
+        Command::Scrub => cmd_scrub(&cli),
+        Command::Torture => cmd_torture(&cli),
         Command::Table3 => {
             geometry::validate_against_builders();
             Ok(geometry::render_markdown())
@@ -708,7 +784,7 @@ mod tests {
             };
             spec.tenant = "acme".to_string();
             j.accept(1, &spec).unwrap();
-            j.done(1, "ok").unwrap();
+            j.done(1, "ok", None).unwrap();
             spec.tenant = "globex".to_string();
             j.accept(2, &spec).unwrap();
         }

@@ -144,3 +144,159 @@ proptest! {
         prop_assert!(ratio < 1.05, "concurrent/serial ratio {ratio}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Durability codecs. The integrity scrubber's whole contract rests on
+// the journal and scenario-cache line formats *detecting* damage: a
+// flipped byte or a truncated write must surface as a bad line, torn
+// tail, or verification error — never silently parse into a different
+// record. These properties hammer both codecs with arbitrary
+// single-byte corruption and arbitrary cuts.
+// ---------------------------------------------------------------------
+
+use hq_bench::service::{JobSpec, Journal};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+struct CorruptionCorpus {
+    /// A sealed journal: two accepts, one done (with digest), seal.
+    journal_bytes: Vec<u8>,
+    /// A real scenario-cache entry produced through the miss path.
+    cache_text: String,
+    /// The entry's filename key (hex stem), for the preimage check.
+    cache_key: u64,
+    scratch: PathBuf,
+}
+
+fn corpus() -> &'static CorruptionCorpus {
+    static FIX: OnceLock<CorruptionCorpus> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let root = std::env::temp_dir().join(format!("hq-props-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("props scratch dir");
+        // Point the results dir (journal defaults, scenario cache) at
+        // the scratch root for this whole test process.
+        std::env::set_var("HQ_RESULTS", &root);
+        let jpath = root.join("fixture.wal");
+        {
+            let (mut j, _) = Journal::open(&jpath).expect("fixture journal");
+            let spec = JobSpec::default();
+            j.accept(1, &spec).expect("accept 1");
+            j.done(1, "ok", Some(0xFEED_FACE)).expect("done 1");
+            j.accept(2, &spec).expect("accept 2");
+            j.seal().expect("seal");
+        }
+        let journal_bytes = std::fs::read(&jpath).expect("read fixture journal");
+        let _ = hq_bench::service::run_job_direct(&JobSpec::default()).expect("direct run");
+        let entry = std::fs::read_dir(hq_bench::scenario::cache_dir())
+            .expect("cache dir")
+            .filter_map(|e| e.ok())
+            .find(|e| e.path().extension().is_some_and(|x| x == "v2"))
+            .expect("direct run populated the cache");
+        let stem = entry.path();
+        let stem = stem.file_stem().unwrap().to_str().unwrap().to_string();
+        let cache_key = u64::from_str_radix(&stem, 16).expect("hex cache key");
+        let cache_text = std::fs::read_to_string(entry.path()).expect("read cache entry");
+        CorruptionCorpus {
+            journal_bytes,
+            cache_text,
+            cache_key,
+            scratch: root,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn journal_detects_any_single_byte_corruption(
+        pos in 0usize..1 << 20,
+        xor in 1u32..256,
+    ) {
+        let fix = corpus();
+        let mut bytes = fix.journal_bytes.clone();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor as u8;
+        let path = fix.scratch.join("flip.wal");
+        std::fs::write(&path, &bytes).expect("write corrupted journal");
+        let v = Journal::verify(&path).expect("verify runs");
+        let flagged = !v.header_ok || !v.bad_lines.is_empty() || v.torn_tail_bytes > 0;
+        prop_assert!(
+            flagged,
+            "flipping byte {pos} with {xor:#04x} went undetected"
+        );
+        // Never mis-parse: whatever survives must be records we wrote.
+        for (id, _) in &v.accepted {
+            prop_assert!(*id == 1 || *id == 2, "invented accept record id {id}");
+        }
+        for (id, status, digest) in &v.completed {
+            prop_assert_eq!(*id, 1, "invented done record");
+            prop_assert_eq!(status.as_str(), "ok");
+            prop_assert_eq!(*digest, Some(0xFEED_FACE));
+        }
+    }
+
+    #[test]
+    fn journal_truncation_yields_a_prefix_or_is_flagged(cut in 0usize..1 << 20) {
+        let fix = corpus();
+        let full = &fix.journal_bytes;
+        let cut = cut % (full.len() + 1);
+        let path = fix.scratch.join("cut.wal");
+        std::fs::write(&path, &full[..cut]).expect("write truncated journal");
+        let v = Journal::verify(&path).expect("verify runs");
+        let at_line_boundary = cut == 0 || full[cut - 1] == b'\n';
+        if at_line_boundary {
+            // A crash between appends: a clean prefix, nothing flagged.
+            prop_assert!(v.bad_lines.is_empty(), "clean prefix flagged: {:?}", v.bad_lines);
+            prop_assert_eq!(v.torn_tail_bytes, 0);
+        } else {
+            // Mid-record cut: must be flagged as torn or unparseable.
+            prop_assert!(
+                !v.header_ok || v.torn_tail_bytes > 0 || !v.bad_lines.is_empty(),
+                "mid-record cut at {cut} went undetected"
+            );
+        }
+        for (id, _) in &v.accepted {
+            prop_assert!(*id == 1 || *id == 2, "truncation invented accept id {id}");
+        }
+    }
+
+    #[test]
+    fn cache_entry_detects_any_single_byte_corruption(
+        pos in 0usize..1 << 20,
+        xor in 1u32..256,
+    ) {
+        let fix = corpus();
+        let mut bytes = fix.cache_text.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor as u8;
+        match String::from_utf8(bytes) {
+            // Non-UTF-8 bytes never reach the codec: read_to_string
+            // fails first, which is detection too.
+            Err(_) => {}
+            Ok(s) => prop_assert!(
+                hq_bench::scenario::verify_cache_entry(&s, Some(fix.cache_key)).is_err(),
+                "flipping byte {pos} with {xor:#04x} went undetected"
+            ),
+        }
+    }
+
+    #[test]
+    fn cache_entry_truncation_is_always_detected(cut in 0usize..1 << 20) {
+        let fix = corpus();
+        let text = &fix.cache_text;
+        let mut cut = cut % text.len();
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(
+            hq_bench::scenario::verify_cache_entry(&text[..cut], Some(fix.cache_key)).is_err(),
+            "truncation to {cut} bytes went undetected"
+        );
+        // The untouched entry still verifies — the corpus is valid.
+        prop_assert!(
+            hq_bench::scenario::verify_cache_entry(text, Some(fix.cache_key)).is_ok()
+        );
+    }
+}

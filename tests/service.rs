@@ -71,7 +71,7 @@ fn journal_truncation_sweep_recovers_at_every_offset() {
     {
         let (mut j, _) = Journal::open(&opts.journal).expect("fresh journal");
         j.accept(1, &spec(1)).unwrap();
-        j.done(1, "ok").unwrap();
+        j.done(1, "ok", None).unwrap();
         j.accept(2, &spec(2)).unwrap();
         j.accept(3, &spec(3)).unwrap();
     }
